@@ -1,0 +1,83 @@
+"""E9 (Section 6): Paxos vs PBFT throughput/latency vs cluster size.
+
+The comparison the paper explicitly prescribes for distributed PReVer
+instantiations.  Measured in *simulated* time (protocol-level, host-
+independent); wall time measures the simulator itself.  Shapes:
+Paxos messages grow O(n), PBFT O(n^2); both keep latency at a few
+network RTTs.
+"""
+
+import pytest
+
+from repro.consensus.paxos import PaxosCluster
+from repro.consensus.pbft import PBFTCluster
+from repro.net.simnet import SimNetwork
+
+from _report import print_table
+
+COMMANDS = 30
+
+# Replicas handle one message per 50us of simulated time, so the
+# message-complexity gap (O(n) vs O(n^2)) turns into a throughput gap.
+PER_MESSAGE_COST = 0.00005
+
+
+def run_paxos(n):
+    network = SimNetwork(per_message_cost=PER_MESSAGE_COST)
+    cluster = PaxosCluster(n=n, network=network)
+    for i in range(COMMANDS):
+        cluster.submit({"op": i})
+    cluster.run()
+    return cluster.stats()
+
+
+def run_pbft(f):
+    network = SimNetwork(per_message_cost=PER_MESSAGE_COST)
+    cluster = PBFTCluster(f=f, network=network, view_timeout=30.0)
+    for i in range(COMMANDS):
+        cluster.submit({"op": i})
+    cluster.run()
+    return cluster.stats()
+
+
+@pytest.mark.parametrize("n", [3, 5, 9])
+def test_paxos_simulation_cost(benchmark, n):
+    stats = benchmark.pedantic(run_paxos, args=(n,), rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize("f", [1, 2])
+def test_pbft_simulation_cost(benchmark, f):
+    benchmark.pedantic(run_pbft, args=(f,), rounds=3, iterations=1)
+
+
+def test_consensus_report(benchmark, capsys):
+    rows = []
+
+    def sweep():
+        rows.clear()
+        for n in (3, 5, 7, 9, 13):
+            stats = run_paxos(n)
+            rows.append([
+                "paxos", n, stats.decided, f"{stats.messages:,}",
+                f"{stats.mean_latency * 1e3:.2f}ms",
+                f"{stats.p95_latency * 1e3:.2f}ms",
+                f"{stats.throughput:,.0f}/s",
+            ])
+        for f in (1, 2, 3, 4):
+            stats = run_pbft(f)
+            rows.append([
+                "pbft", 3 * f + 1, stats.decided, f"{stats.messages:,}",
+                f"{stats.mean_latency * 1e3:.2f}ms",
+                f"{stats.p95_latency * 1e3:.2f}ms",
+                f"{stats.throughput:,.0f}/s",
+            ])
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    with capsys.disabled():
+        print_table(
+            f"E9: consensus comparison ({COMMANDS} commands, sim-time, "
+            f"50us/msg replica capacity)",
+            ["protocol", "nodes", "decided", "messages", "mean lat",
+             "p95 lat", "throughput"],
+            rows,
+        )

@@ -1,0 +1,148 @@
+"""E15: cost of the extension features.
+
+* ORAM overhead — the price of closing the ACCESS_PATTERN channel,
+  vs direct table access (O(log N) blocks per access);
+* authenticated query costs — snapshot, membership proof, absence
+  proof, and client verification;
+* the constraint-DSL parse cost (one-time per regulation).
+"""
+
+import pytest
+
+from repro.database.schema import ColumnType, TableSchema
+from repro.database.table import Table
+from repro.ledger.authenticated import (
+    AuthenticatedTableView,
+    verify_absence,
+    verify_row,
+)
+from repro.model.dsl import parse_regulation
+from repro.privacy.oram import PathORAM
+
+from _report import print_table
+
+
+def make_table(n):
+    table = Table(TableSchema.build(
+        "kv", [("key", ColumnType.INT), ("value", ColumnType.INT)],
+        primary_key=["key"],
+    ))
+    for i in range(n):
+        table.insert({"key": i * 2, "value": i})  # even keys only
+    return table
+
+
+@pytest.mark.parametrize("capacity", [64, 256, 1024])
+def test_oram_access_cost(benchmark, capacity):
+    oram = PathORAM(capacity=capacity)
+    for i in range(capacity):
+        oram.write(i, i)
+    benchmark.pedantic(lambda: oram.read(capacity // 2), rounds=10,
+                       iterations=2)
+
+
+def test_direct_access_baseline(benchmark):
+    table = make_table(1024)
+    benchmark.pedantic(lambda: table.get((512,)), rounds=10, iterations=10)
+
+
+@pytest.mark.parametrize("n", [100, 1000])
+def test_snapshot_cost(benchmark, n):
+    view = AuthenticatedTableView(make_table(n))
+    benchmark.pedantic(view.snapshot, rounds=3, iterations=1)
+
+
+def test_membership_proof_and_verify(benchmark):
+    view = AuthenticatedTableView(make_table(1000))
+    commitment = view.snapshot()
+
+    def round_trip():
+        proof = view.prove_row((500,))
+        assert verify_row(commitment, proof)
+
+    benchmark.pedantic(round_trip, rounds=5, iterations=2)
+
+
+def test_sse_add_and_search_cost(benchmark):
+    from repro.privacy.sse import SSEClient
+
+    client = SSEClient(master_key=b"k" * 32)
+    for i in range(500):
+        client.add_record(f"doc-{i}", [f"kw-{i % 20}"])
+
+    def add_and_search():
+        client.add_record(f"doc-extra-{client.server.observed_adds}",
+                          ["kw-3"])
+        client.search("kw-3")
+
+    benchmark.pedantic(add_and_search, rounds=5, iterations=1)
+
+
+def test_dsl_parse_cost(benchmark):
+    text = ("SUM(hours) WHERE hours >= 1 PER worker "
+            "WITHIN 7d OF completed_at <= 40 ON tasks")
+    benchmark.pedantic(lambda: parse_regulation(text), rounds=10,
+                       iterations=5)
+
+
+def test_extensions_report(benchmark, capsys):
+    import time
+
+    rows = []
+
+    def sweep():
+        rows.clear()
+        # ORAM vs direct.
+        table = make_table(1024)
+        start = time.perf_counter()
+        for _ in range(50):
+            table.get((512,))
+        direct = (time.perf_counter() - start) / 50
+        for capacity in (64, 256, 1024):
+            oram = PathORAM(capacity=capacity)
+            for i in range(capacity):
+                oram.write(i, i)
+            start = time.perf_counter()
+            for _ in range(50):
+                oram.read(capacity // 2)
+            cost = (time.perf_counter() - start) / 50
+            rows.append([
+                f"ORAM read, N={capacity}", f"{cost * 1e6:,.0f}us",
+                f"{cost / max(direct, 1e-9):,.0f}x direct",
+            ])
+        # Authenticated queries.
+        view = AuthenticatedTableView(make_table(1000))
+        start = time.perf_counter()
+        commitment = view.snapshot()
+        snap = time.perf_counter() - start
+        rows.append([f"snapshot, 1000 rows", f"{snap * 1e3:,.1f}ms", "-"])
+        start = time.perf_counter()
+        for _ in range(20):
+            proof = view.prove_row((500,))
+            verify_row(commitment, proof)
+        member = (time.perf_counter() - start) / 20
+        rows.append(["membership prove+verify", f"{member * 1e3:,.2f}ms",
+                     f"{proof.proof.tree_size} leaves"])
+        start = time.perf_counter()
+        for _ in range(20):
+            absent = view.prove_absent((501,))
+            verify_absence(commitment, absent)
+        absence = (time.perf_counter() - start) / 20
+        rows.append(["absence prove+verify", f"{absence * 1e3:,.2f}ms", "-"])
+        # SSE: dynamic add + keyword search over a 500-entry index.
+        from repro.privacy.sse import SSEClient
+
+        client = SSEClient(master_key=b"k" * 32)
+        for i in range(500):
+            client.add_record(f"d{i}", [f"kw-{i % 20}"])
+        start = time.perf_counter()
+        for _ in range(20):
+            client.search("kw-3")
+        search = (time.perf_counter() - start) / 20
+        rows.append(["SSE search (25 matches / 500 entries)",
+                     f"{search * 1e6:,.0f}us", "forward-private"])
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    with capsys.disabled():
+        print_table("E15: extension-feature costs",
+                    ["operation", "cost", "note"], rows)

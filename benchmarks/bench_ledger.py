@@ -1,0 +1,74 @@
+"""E8 (RC4-single): centralized ledger costs vs. history length.
+
+Appends are O(1), digests O(n) over leaf hashes (cacheable), proofs
+O(log n), audits O(log n + spot checks) — the access pattern a QLDB-
+style deployment relies on.
+"""
+
+import pytest
+
+from repro.ledger.audit import LedgerAuditor
+from repro.ledger.central import CentralLedger
+
+from _report import print_table
+
+
+def filled(n):
+    ledger = CentralLedger()
+    for i in range(n):
+        ledger.append({"update": i, "digest": "0x" + "ab" * 16})
+    return ledger
+
+
+@pytest.mark.parametrize("n", [100, 1000, 10_000])
+def test_append_cost(benchmark, n):
+    ledger = filled(n)
+    benchmark.pedantic(lambda: ledger.append({"update": -1}), rounds=10,
+                       iterations=5)
+
+
+@pytest.mark.parametrize("n", [100, 1000, 10_000])
+def test_inclusion_proof_cost(benchmark, n):
+    ledger = filled(n)
+    benchmark.pedantic(lambda: ledger.prove_inclusion(n // 2), rounds=5,
+                       iterations=2)
+
+
+@pytest.mark.parametrize("n", [100, 1000])
+def test_audit_cost(benchmark, n):
+    ledger = filled(n)
+    auditor = LedgerAuditor()
+    auditor.audit(ledger)
+
+    def audit_round():
+        ledger.append({"update": -1})
+        assert auditor.audit(ledger, spot_check=3).ok
+
+    benchmark.pedantic(audit_round, rounds=5, iterations=1)
+
+
+def test_ledger_scaling_report(benchmark, capsys):
+    import time
+
+    rows = []
+
+    def sweep():
+        rows.clear()
+        for n in (100, 1000, 10_000):
+            ledger = filled(n)
+            start = time.perf_counter()
+            proof = ledger.prove_inclusion(n // 2)
+            proof_cost = time.perf_counter() - start
+            rows.append([
+                n,
+                len(proof.path),
+                f"{proof_cost * 1e3:.2f}ms",
+            ])
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    with capsys.disabled():
+        print_table(
+            "E8: inclusion proof size/cost vs history length (O(log n))",
+            ["entries", "proof nodes", "prove cost"],
+            rows,
+        )

@@ -1,0 +1,57 @@
+"""E6 (RC2): MPC protocol cost vs. parties and bit width.
+
+Reproduces the paper's "secure multi-party computations ... do not
+scale" concern as a measured surface: communication rounds, messages,
+and Beaver triples as functions of (parties, width).
+"""
+
+import pytest
+
+from repro.privacy.mpc import MPCContext
+
+from _report import print_table
+
+
+def run_protocol(parties, width):
+    context = MPCContext(parties=parties)
+    context.verify_sum_upper_bound([3] * parties, bound=10**6, width=width)
+    return context
+
+
+@pytest.mark.parametrize("parties", [2, 4, 8])
+def test_mpc_wall_time_vs_parties(benchmark, parties):
+    benchmark.pedantic(run_protocol, args=(parties, 10), rounds=3,
+                       iterations=1)
+
+
+@pytest.mark.parametrize("width", [8, 16])
+def test_mpc_wall_time_vs_width(benchmark, width):
+    benchmark.pedantic(run_protocol, args=(3, width), rounds=3, iterations=1)
+
+
+def test_mpc_cost_surface_report(benchmark, capsys):
+    rows = []
+
+    RTT = 0.002  # 2ms datacenter round trip
+
+    def sweep():
+        rows.clear()
+        for parties in (2, 4, 8):
+            for width in (8, 16):
+                context = run_protocol(parties, width)
+                rounds = context.metrics.counter("mpc.rounds").count
+                rows.append([
+                    parties, width, rounds,
+                    f"{context.metrics.counter('mpc.messages').total:,.0f}",
+                    context.dealer.triples_dealt,
+                    f"{rounds * RTT * 1e3:,.0f}ms",
+                ])
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    with capsys.disabled():
+        print_table(
+            "E6: MPC cost surface (one regulation check)",
+            ["parties", "bit width", "rounds", "messages", "triples",
+             "latency @2ms RTT"],
+            rows,
+        )

@@ -1,0 +1,72 @@
+"""E7 (RC3): PIR read/write cost vs. database size.
+
+The classic IT-vs-computational trade-off: the 2-server XOR scheme is
+nearly free computationally but needs two non-colluding servers; the
+single-server Paillier scheme pays n ciphertext operations per query.
+Private writes are measured too — the RC3 extension.
+"""
+
+import pytest
+
+from repro.privacy.pir import PaillierPIR, TwoServerXorPIR
+
+from _report import print_table
+
+
+def records(n):
+    return [f"rec-{i}".encode() for i in range(n)]
+
+
+@pytest.mark.parametrize("n", [256, 1024, 4096])
+def test_xor_pir_read(benchmark, n):
+    pir = TwoServerXorPIR(records(n), record_size=32)
+    benchmark.pedantic(lambda: pir.read(n // 2), rounds=5, iterations=1)
+
+
+@pytest.mark.parametrize("n", [64, 256])
+def test_paillier_pir_read(benchmark, n, paillier_keys):
+    pir = PaillierPIR(list(range(n)), keypair=paillier_keys)
+    benchmark.pedantic(lambda: pir.read(n // 2), rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize("n", [256, 1024])
+def test_xor_pir_private_write(benchmark, n):
+    pir = TwoServerXorPIR(records(n), record_size=32)
+
+    def write_and_merge():
+        pir.write(n // 3, b"new")
+        pir.merge_epoch()
+
+    benchmark.pedantic(write_and_merge, rounds=3, iterations=1)
+
+
+def test_pir_scaling_report(benchmark, capsys, paillier_keys):
+    import time
+
+    rows = []
+
+    def sweep():
+        rows.clear()
+        for n in (256, 1024, 4096):
+            pir = TwoServerXorPIR(records(n), record_size=32)
+            start = time.perf_counter()
+            for _ in range(5):
+                pir.read(n // 2)
+            xor_cost = (time.perf_counter() - start) / 5
+            if n <= 1024:
+                cpir = PaillierPIR(list(range(n)), keypair=paillier_keys)
+                start = time.perf_counter()
+                cpir.read(n // 2)
+                paillier_cost = time.perf_counter() - start
+                paillier_text = f"{paillier_cost * 1e3:,.1f}ms"
+            else:
+                paillier_text = "(skipped)"
+            rows.append([n, f"{xor_cost * 1e6:,.0f}us", paillier_text])
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    with capsys.disabled():
+        print_table(
+            "E7: PIR read cost vs database size",
+            ["records", "2-server XOR", "1-server Paillier"],
+            rows,
+        )

@@ -1,0 +1,70 @@
+"""E10 (RC4-federated): SharPer-style sharding scalability.
+
+Two sweeps: throughput vs shard count (near-linear for disjoint
+workloads) and the cross-shard penalty vs the cross-shard transaction
+ratio — the two headline curves of the SharPer paper PReVer builds on.
+"""
+
+import pytest
+
+from repro.chain.sharper import ShardedLedger
+from repro.net.simnet import SimNetwork
+
+from _report import print_table
+
+TXS = 40
+
+# Each replica can handle one message per 50us of simulated time —
+# this is what caps a single cluster's throughput and lets sharding's
+# aggregate capacity show.
+PER_MESSAGE_COST = 0.00005
+
+
+def run_sharded(shards, cross_ratio=0.0):
+    network = SimNetwork(per_message_cost=PER_MESSAGE_COST)
+    ledger = ShardedLedger([f"s{i}" for i in range(shards)], f=1,
+                           network=network)
+    names = list(ledger.shards)
+    for i in range(TXS):
+        if shards > 1 and i % 100 < cross_ratio * 100:
+            ledger.submit_cross(names[:2], {"op": i})
+        else:
+            ledger.submit_intra(names[i % shards], {"op": i})
+    ledger.run()
+    return ledger
+
+
+@pytest.mark.parametrize("shards", [1, 2, 4])
+def test_sharding_simulation_cost(benchmark, shards):
+    benchmark.pedantic(run_sharded, args=(shards,), rounds=2, iterations=1)
+
+
+def test_sharding_report(benchmark, capsys):
+    rows = []
+
+    def sweep():
+        rows.clear()
+        for shards in (1, 2, 4, 8):
+            ledger = run_sharded(shards)
+            rows.append([
+                f"{shards} shards, 0% cross",
+                f"{ledger.throughput():,.0f} tx/s",
+                "-",
+            ])
+        for ratio in (0.1, 0.3, 0.5):
+            ledger = run_sharded(4, cross_ratio=ratio)
+            lats = ledger.cross_shard_latencies()
+            mean_cross = sum(lats) / len(lats) if lats else 0.0
+            rows.append([
+                f"4 shards, {ratio:.0%} cross",
+                f"{ledger.throughput():,.0f} tx/s",
+                f"{mean_cross * 1e3:.2f}ms cross-lat",
+            ])
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    with capsys.disabled():
+        print_table(
+            f"E10: sharding scalability ({TXS} txs, sim-time)",
+            ["configuration", "throughput", "cross-shard latency"],
+            rows,
+        )

@@ -1,0 +1,118 @@
+"""E3 (RC1): constraint-verification mechanisms head-to-head.
+
+One linear aggregate constraint, one update, every engine.  The series
+the paper predicts: plaintext < enclave << paillier << zkp, with the
+dp-index cheap but approximate (its error rate is also reported).
+"""
+
+import itertools
+
+import pytest
+
+from repro.core.verifiers import (
+    DPIndexVerifier,
+    EnclaveVerifier,
+    PaillierVerifier,
+    PlaintextVerifier,
+    ZKPVerifier,
+)
+from repro.database.engine import Database
+from repro.database.schema import ColumnType, TableSchema
+from repro.model.constraints import upper_bound_regulation
+from repro.model.update import Update, UpdateOperation
+from repro.privacy.dp import DPIndex, PrivacyAccountant
+
+from _report import print_table
+
+_ids = itertools.count()
+
+
+def fresh_db():
+    db = Database("mgr")
+    db.create_table(TableSchema.build(
+        "reports",
+        [("id", ColumnType.INT), ("org", ColumnType.TEXT),
+         ("amount", ColumnType.INT)],
+        primary_key=["id"],
+    ))
+    return db
+
+
+def regulation(bound=10**6):
+    return upper_bound_regulation("cap", "reports", "amount", bound, ["org"])
+
+
+def make_engine(name, db):
+    constraint = regulation()
+    if name == "plaintext":
+        return PlaintextVerifier([db], [constraint])
+    if name == "enclave":
+        return EnclaveVerifier([db], [constraint])
+    if name == "paillier":
+        return PaillierVerifier([constraint])
+    if name == "zkp":
+        return ZKPVerifier([constraint])
+    if name == "dp-index":
+        accountant = PrivacyAccountant(10**6)
+        index = DPIndex(0, 1e9, 64, accountant, epsilon_per_refresh=1.0)
+        return DPIndexVerifier([db], [constraint], index)
+    raise ValueError(name)
+
+
+def one_verify(engine):
+    i = next(_ids)
+    engine.verify(Update(
+        table="reports", operation=UpdateOperation.INSERT,
+        payload={"id": i, "org": f"org{i % 4}", "amount": 10},
+    ), now=0.0)
+
+
+ENGINES = ["plaintext", "enclave", "dp-index", "paillier", "zkp"]
+
+
+@pytest.mark.parametrize("name", ENGINES)
+def test_verification_cost(benchmark, name):
+    engine = make_engine(name, fresh_db())
+    rounds = 3 if name == "zkp" else 10
+    benchmark.pedantic(one_verify, args=(engine,), rounds=rounds,
+                       iterations=1, warmup_rounds=1)
+
+
+def test_dp_index_accuracy_report(benchmark, capsys):
+    """The dp-index trades accuracy for budget: measure its error rate
+    near the boundary at several epsilon values."""
+    rows = []
+
+    def sweep():
+        rows.clear()
+        for epsilon in (0.1, 0.5, 2.0, 10.0):
+            errors = 0
+            trials = 60
+            for t in range(trials):
+                db = fresh_db()
+                constraint = regulation(bound=100)
+                accountant = PrivacyAccountant(10**6)
+                from repro.privacy.dp import LaplaceMechanism
+
+                index = DPIndex(0, 1e9, 64, accountant,
+                                epsilon_per_refresh=epsilon,
+                                mechanism=LaplaceMechanism(seed=5000 + t))
+                engine = DPIndexVerifier([db], [constraint], index,
+                                         refresh_every=1)
+                # Ground truth: 95 already recorded, +10 exceeds 100.
+                db.insert("reports",
+                          {"id": 10**6 + t, "org": "x", "amount": 95})
+                outcome = engine.verify(Update(
+                    table="reports", operation=UpdateOperation.INSERT,
+                    payload={"id": 10**6 + t + 10**7, "org": "x",
+                             "amount": 10},
+                ), now=0.0)
+                if outcome.accepted:  # false accept
+                    errors += 1
+            rows.append([f"{epsilon}", f"{errors / trials:.0%}"])
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    with capsys.disabled():
+        print_table("E3b: dp-index false-accept rate near the bound "
+                    "(true total 105 > cap 100)",
+                    ["epsilon/refresh", "false-accept rate"], rows)

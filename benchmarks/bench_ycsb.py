@@ -1,0 +1,111 @@
+"""E2 (Section 6, YCSB): private vs non-private single database.
+
+Runs YCSB workloads A-F against the plain relational substrate, then
+runs the write portion of YCSB-A through the PReVer pipeline with the
+plaintext and Paillier engines.  Shape to observe: the read-heavy
+workloads (B/C/D) are nearly free; the privacy layer multiplies the
+cost of write-heavy workloads by the crypto factor measured in E3.
+"""
+
+import pytest
+
+from repro.core.contexts import single_private_database
+from repro.database.engine import Database
+from repro.database.schema import ColumnType, TableSchema
+from repro.model.constraints import upper_bound_regulation
+from repro.model.update import Update, UpdateOperation
+from repro.workloads.ycsb import WORKLOAD_MIXES, YCSBOperation, YCSBWorkload
+
+from _report import print_table
+
+KV_SCHEMA = TableSchema.build(
+    "kv",
+    [("key", ColumnType.INT), ("value", ColumnType.INT)],
+    primary_key=["key"],
+)
+
+RECORDS = 500
+OPERATIONS = 2000
+
+
+def load_plain():
+    workload = YCSBWorkload("A", RECORDS, OPERATIONS)
+    db = Database("plain")
+    db.create_table(KV_SCHEMA)
+    for key, value in workload.initial_records():
+        db.insert("kv", {"key": key, "value": value})
+    return db
+
+
+def run_ops(db, ops):
+    for op in ops:
+        if op.op is YCSBOperation.READ:
+            db.table("kv").get((op.key,))
+        elif op.op is YCSBOperation.UPDATE:
+            db.update("kv", (op.key,), {"value": op.value})
+        elif op.op is YCSBOperation.INSERT:
+            # Upsert semantics so repeated benchmark rounds over the
+            # same operation list stay valid.
+            db.table("kv").upsert({"key": op.key, "value": op.value})
+        elif op.op is YCSBOperation.SCAN:
+            rows = db.table("kv").rows()
+        elif op.op is YCSBOperation.RMW:
+            row = db.table("kv").get((op.key,))
+            if row is not None:
+                db.update("kv", (op.key,), {"value": row["value"] + 1})
+
+
+@pytest.mark.parametrize("letter", sorted(WORKLOAD_MIXES))
+def test_ycsb_plain_database(benchmark, letter):
+    db = load_plain()
+    workload = YCSBWorkload(letter, RECORDS, OPERATIONS)
+    ops = list(workload.operations())
+    benchmark.pedantic(run_ops, args=(db, ops), rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize("engine", ["plaintext", "paillier"])
+def test_ycsb_a_writes_through_pipeline(benchmark, engine):
+    """The write half of YCSB-A as regulated updates."""
+    workload = YCSBWorkload("A", RECORDS, 200, seed=4)
+    writes = [op for op in workload.operations()
+              if op.op is YCSBOperation.UPDATE][:100]
+
+    def run():
+        db = Database("mgr")
+        db.create_table(KV_SCHEMA)
+        regulation = upper_bound_regulation("cap", "kv", "value", 10**9,
+                                            ["key"])
+        framework = single_private_database(db, [regulation], engine=engine)
+        for i, op in enumerate(writes):
+            framework.submit(Update(
+                table="kv", operation=UpdateOperation.INSERT,
+                payload={"key": i, "value": op.value},
+            ))
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_ycsb_report(benchmark, capsys):
+    import time
+
+    rows = []
+
+    def sweep():
+        rows.clear()
+        for letter in sorted(WORKLOAD_MIXES):
+            db = load_plain()
+            ops = list(YCSBWorkload(letter, RECORDS, OPERATIONS).operations())
+            start = time.perf_counter()
+            run_ops(db, ops)
+            elapsed = time.perf_counter() - start
+            rows.append([
+                letter,
+                ", ".join(f"{k}:{v:.0%}" for k, v in
+                          WORKLOAD_MIXES[letter].items()),
+                f"{OPERATIONS / elapsed:,.0f} ops/s",
+            ])
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    with capsys.disabled():
+        print_table("E2: YCSB A-F on the plain substrate",
+                    ["workload", "mix", "throughput"], rows)

@@ -1,0 +1,27 @@
+"""Shared benchmark fixtures and reporting helpers.
+
+Every bench file maps to one experiment in DESIGN.md's per-experiment
+index (E1-E14).  Benches print their result tables to stdout (run with
+``pytest benchmarks/ --benchmark-only -s`` to see them inline); the
+shapes are recorded in EXPERIMENTS.md.
+"""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from repro.crypto.paillier import generate_paillier_keypair
+from repro.crypto.rsa import generate_rsa_keypair
+
+
+@pytest.fixture(scope="session")
+def paillier_keys():
+    return generate_paillier_keypair(256)
+
+
+@pytest.fixture(scope="session")
+def rsa_keys():
+    return generate_rsa_keypair(512)

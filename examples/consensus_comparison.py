@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Section 6's evaluation methodology in miniature: compare the
+distributed PReVer substrate against Paxos and PBFT in throughput and
+latency, on one deterministic network simulator.
+
+Run:  python examples/consensus_comparison.py
+"""
+
+from repro.chain.sharper import ShardedLedger
+from repro.consensus.paxos import PaxosCluster
+from repro.consensus.pbft import PBFTCluster
+
+COMMANDS = 50
+
+
+def drive(cluster):
+    for i in range(COMMANDS):
+        cluster.submit({"op": i})
+    cluster.run()
+    return cluster.stats()
+
+
+def main():
+    print(f"{COMMANDS} commands through each protocol "
+          f"(simulated 1ms +/- 0.5ms links)\n")
+    print(f"{'protocol':<22}{'nodes':>6}{'decided':>9}{'msgs':>8}"
+          f"{'mean lat':>10}{'tput':>12}")
+
+    paxos = drive(PaxosCluster(n=7))
+    print(f"{'Paxos (CFT)':<22}{7:>6}{paxos.decided:>9}{paxos.messages:>8}"
+          f"{paxos.mean_latency*1000:>8.2f}ms"
+          f"{paxos.throughput:>10.0f}/s")
+
+    pbft = drive(PBFTCluster(f=2))
+    print(f"{'PBFT (BFT)':<22}{7:>6}{pbft.decided:>9}{pbft.messages:>8}"
+          f"{pbft.mean_latency*1000:>8.2f}ms"
+          f"{pbft.throughput:>10.0f}/s")
+
+    # SharPer: two PBFT shards (f=1 each), 10% cross-shard.
+    ledger = ShardedLedger(["s0", "s1"], f=1)
+    for i in range(COMMANDS):
+        if i % 10 == 0:
+            ledger.submit_cross(["s0", "s1"], {"op": i})
+        else:
+            ledger.submit_intra(f"s{i % 2}", {"op": i})
+    ledger.run()
+    committed = sum(ledger.committed_counts().values())
+    msgs = ledger.network.metrics.counter("net.messages").count
+    cross = ledger.cross_shard_latencies()
+    print(f"{'SharPer (2 shards)':<22}{8:>6}{committed:>9}{msgs:>8}"
+          f"{(sum(cross)/len(cross))*1000:>8.2f}ms"
+          f"{ledger.throughput():>10.0f}/s")
+
+    print("\nshape to observe: PBFT pays ~O(n^2) messages vs Paxos's O(n);")
+    print("sharding recovers throughput on shardable workloads, at a")
+    print("latency premium for cross-shard transactions.")
+
+
+if __name__ == "__main__":
+    main()

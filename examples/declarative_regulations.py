@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Regulations as text: the declarative constraint language.
+
+Section 3.2 argues regulations should be expressed in declarative,
+query-language form, with temporal extensions for sliding windows.
+Here an authority publishes three regulations as strings; they compile
+to constraint objects and drive the same engines as hand-built ones.
+
+Run:  python examples/declarative_regulations.py
+"""
+
+from repro import (
+    ColumnType,
+    Database,
+    TableSchema,
+    Update,
+    UpdateOperation,
+    parse_constraint,
+    parse_regulation,
+    single_private_database,
+)
+
+REGULATION_TEXTS = [
+    ("flsa-40h",
+     "SUM(hours) PER worker WITHIN 7d OF completed_at <= 40 ON tasks"),
+    ("sane-hours",
+     "CHECK NEW.hours > 0 AND NEW.hours <= 12 ON tasks"),
+    ("task-quota",
+     "COUNT(*) PER worker WITHIN 1d OF completed_at <= 3 ON tasks"),
+]
+
+
+def main():
+    schema = TableSchema.build(
+        "tasks",
+        [("task_id", ColumnType.TEXT), ("worker", ColumnType.TEXT),
+         ("hours", ColumnType.INT), ("completed_at", ColumnType.FLOAT)],
+        primary_key=["task_id"],
+    )
+    db = Database("platform")
+    db.create_table(schema)
+
+    print("published regulation texts:")
+    constraints = []
+    for name, text in REGULATION_TEXTS:
+        constraint = (parse_regulation if "SUM" in text or "COUNT" in text
+                      else parse_constraint)(text, name=name)
+        constraints.append(constraint)
+        shape = "aggregate" if constraint.is_aggregate else "predicate"
+        print(f"  [{name}] {text}")
+        print(f"      -> {shape}, engine-evaluable: {constraint.is_linear()}")
+
+    framework = single_private_database(db, constraints, engine="plaintext")
+    framework.constraints = constraints  # all three active
+
+    day = 86_400.0
+    submissions = [
+        ("t1", "dora", 8, 0.0, "fine"),
+        ("t2", "dora", 13, 1.0, "rejected: over 12h in one task"),
+        ("t3", "dora", 8, 2.0, "fine"),
+        ("t4", "dora", 8, 3.0, "fine"),
+        ("t5", "dora", 1, 4.0, "rejected: 4th task within a day"),
+        ("t6", "dora", 8, 1.5 * day, "fine (new day)"),
+        ("t7", "dora", 8, 1.6 * day, "fine"),
+        ("t8", "dora", 4, 1.7 * day, "rejected: 44h inside the week"),
+    ]
+    print("\nsubmissions:")
+    for task_id, worker, hours, at, note in submissions:
+        framework.clock.advance_to(at)
+        result = framework.submit(Update(
+            table="tasks", operation=UpdateOperation.INSERT,
+            payload={"task_id": task_id, "worker": worker, "hours": hours,
+                     "completed_at": at},
+        ))
+        print(f"  {task_id}: {hours:>2}h at day {at/day:>4.1f}  "
+              f"{'ACCEPTED' if result.accepted else 'REJECTED':8}  ({note})")
+
+    total = db.aggregate("tasks", "SUM", "hours")
+    print(f"\nincorporated weekly hours: {total} (cap 40)")
+
+
+if __name__ == "__main__":
+    main()

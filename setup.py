@@ -1,0 +1,17 @@
+"""Setup shim.
+
+The canonical metadata lives in pyproject.toml; this file exists so the
+package can be installed editable (``python setup.py develop``) in
+offline environments whose pip lacks the ``wheel`` backend required for
+PEP-660 editable installs.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

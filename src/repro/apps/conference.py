@@ -1,0 +1,91 @@
+"""Figure 1(b): in-person conference participation.
+
+The attendee list is public; each registrant's vaccination record is
+private; the admission constraint (valid COVID vaccination) is public.
+A registrant proves eligibility by having the venue check their health
+record via PIR — the health-registry servers never learn who the venue
+queried — and accepted registrations land on the public list.
+"""
+
+from typing import Callable, Dict, List, Optional
+
+from repro.core.contexts import public_database
+from repro.database.engine import Database
+from repro.database.schema import ColumnType, TableSchema
+from repro.database.expr import lit
+from repro.model.constraints import Constraint, ConstraintKind
+from repro.model.update import Update, UpdateOperation
+
+ATTENDEE_SCHEMA = TableSchema.build(
+    "attendees",
+    [("name", ColumnType.TEXT), ("mode", ColumnType.TEXT)],
+    primary_key=["name"],
+)
+
+RECORD_SIZE = 48
+
+
+class ConferenceRegistration:
+    """A conference with a public attendee list and PIR-checked
+    vaccination records."""
+
+    def __init__(self, registrants: Dict[str, bool]):
+        """``registrants`` maps name -> vaccinated?  (the health
+        registry's private contents)."""
+        self.names = sorted(registrants)
+        records = [
+            self._health_record(name, registrants[name]) for name in self.names
+        ]
+        self.database = Database("venue")
+        self.database.create_table(ATTENDEE_SCHEMA)
+        constraint = Constraint(
+            name="covid-vaccination",
+            kind=ConstraintKind.INTERNAL,
+            predicate=lit(True),  # real logic runs client-side over PIR
+            tables=("attendees",),
+        )
+        self.framework, self.verifier = public_database(
+            self.database,
+            constraint,
+            records,
+            record_index_of=self._index_of,
+            predicate=self._is_vaccinated,
+            record_size=RECORD_SIZE,
+        )
+
+    @staticmethod
+    def _health_record(name: str, vaccinated: bool) -> bytes:
+        status = "yes" if vaccinated else "no"
+        return f"{name}|vaccinated:{status}".encode()
+
+    def _index_of(self, update: Update) -> int:
+        return self.names.index(update.payload["name"])
+
+    @staticmethod
+    def _is_vaccinated(record: bytes, update: Update) -> bool:
+        return record.rstrip(b"\0").endswith(b"vaccinated:yes")
+
+    def register_in_person(self, name: str):
+        """Attempt in-person registration (the private update)."""
+        update = Update(
+            table="attendees",
+            operation=UpdateOperation.INSERT,
+            payload={"name": name, "mode": "in-person"},
+            producers=[name],
+        )
+        return self.framework.submit(update)
+
+    def register_online(self, name: str):
+        """Online participation needs no vaccination check: applied
+        directly (still anchored on the ledger)."""
+        self.database.insert("attendees", {"name": name, "mode": "online"})
+        self.framework.ledger.append({"online_registration": name})
+
+    def attendee_list(self) -> List[Dict]:
+        return sorted(
+            self.database.table("attendees").rows(), key=lambda r: r["name"]
+        )
+
+    def in_person_count(self) -> int:
+        from repro.database.expr import col
+        return len(self.database.select("attendees", col("mode").eq(lit("in-person"))))

@@ -1,0 +1,115 @@
+"""Figure 1(d): supply chain management.
+
+Multiple mutually distrustful enterprises (supplier → manufacturer →
+carrier → retailer) process internal and cross-enterprise updates.
+Internal updates (e.g. the manufacturer's production process) are
+confidential to the enterprise; cross-enterprise updates are visible to
+the enterprises involved; SLA constraints govern flows.  Data, updates,
+and constraints can all be private.
+
+Infrastructure per the paper: Qanaat-style confidential collaborations
+over a permissioned ledger — every pair (or subset) of collaborating
+enterprises gets a private collection; integrity is anchored globally.
+SLA checks (e.g. "shipments from supplier S to manufacturer M may not
+exceed Q units per window") run inside the collaboration that can see
+the data.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.chain.qanaat import QanaatNetwork
+from repro.common.clock import SimClock
+from repro.common.errors import ConstraintViolation, PrivacyError
+
+
+@dataclass(frozen=True)
+class SLA:
+    """A service-level agreement between two enterprises: a cap on
+    units flowing from ``source`` to ``target`` per time window."""
+
+    source: str
+    target: str
+    max_units_per_window: int
+    window: float  # seconds
+
+
+class SupplyChainNetwork:
+    """Enterprises, confidential collaborations, SLA-regulated flows."""
+
+    def __init__(self, enterprises: Sequence[str]):
+        self.network = QanaatNetwork(set(enterprises))
+        self.clock = SimClock()
+        self._slas: Dict[Tuple[str, str], SLA] = {}
+        self._collaboration_of: Dict[Tuple[str, str], str] = {}
+        self.internal_logs: Dict[str, List[dict]] = {e: [] for e in enterprises}
+        self.rejections: List[dict] = []
+
+    # -- setup ------------------------------------------------------------
+
+    def agree_sla(self, sla: SLA) -> str:
+        """Both parties agree on an SLA; a confidential collaboration is
+        formed for their flow records."""
+        key = (sla.source, sla.target)
+        name = f"{sla.source}->{sla.target}"
+        self.network.form_collaboration(name, {sla.source, sla.target})
+        self._slas[key] = sla
+        self._collaboration_of[key] = name
+        return name
+
+    # -- updates --------------------------------------------------------------
+
+    def internal_update(self, enterprise: str, record: dict) -> None:
+        """A confidential internal update (e.g. a production step):
+        visible to nobody else, not even as a hash payload."""
+        if enterprise not in self.network.enterprises:
+            raise PrivacyError(f"unknown enterprise {enterprise!r}")
+        self.internal_logs[enterprise].append(dict(record, at=self.clock.now()))
+
+    def ship(self, source: str, target: str, units: int) -> bool:
+        """A cross-enterprise update: checked against the SLA, recorded
+        in the pair's confidential collaboration, anchored globally."""
+        key = (source, target)
+        sla = self._slas.get(key)
+        if sla is None:
+            raise ConstraintViolation("no-sla", f"no SLA between {source} and {target}")
+        shipped = self._units_in_window(key, sla.window)
+        if shipped + units > sla.max_units_per_window:
+            self.rejections.append(
+                {"source": source, "target": target, "units": units,
+                 "at": self.clock.now()}
+            )
+            return False
+        self.network.append(
+            source,
+            self._collaboration_of[key],
+            {"units": units, "at": self.clock.now()},
+        )
+        return True
+
+    def _units_in_window(self, key: Tuple[str, str], window: float) -> int:
+        name = self._collaboration_of[key]
+        now = self.clock.now()
+        total = 0
+        for record in self.network.read(key[0], name):
+            if now - window < record["at"] <= now:
+                total += record["units"]
+        return total
+
+    # -- queries with the privacy boundary -------------------------------------
+
+    def flow_history(self, requester: str, source: str, target: str) -> List[dict]:
+        """Only the two parties to a flow may read it."""
+        name = self._collaboration_of[(source, target)]
+        return self.network.read(requester, name)
+
+    def verify_integrity(self, enterprise: str) -> bool:
+        """An enterprise audits every collaboration it belongs to
+        against the global anchors."""
+        return all(
+            self.network.verify_collaboration(enterprise, name)
+            for name in self.network.visible_collaborations(enterprise)
+        )
+
+    def advance(self, seconds: float) -> None:
+        self.clock.advance(seconds)

@@ -1,0 +1,94 @@
+"""Figure 1(a): environmental sustainability certification.
+
+An organization continuously reports sustainability statistics (private
+data, private updates) to a certifying authority that checks them
+against public quantitative metrics (ISO-14000 / LEED style) and awards
+Platinum/Gold/Silver.  The organization must be certified *without*
+revealing its statistics to the authority, other parties, or the
+public — so verification runs under the Paillier engine: the authority
+sees only ciphertext aggregates and decision bits.
+"""
+
+from typing import Dict, List, Optional
+
+from repro.core.contexts import single_private_database
+from repro.core.framework import PReVer
+from repro.database.engine import Database
+from repro.database.schema import ColumnType, TableSchema
+from repro.model.constraints import upper_bound_regulation
+from repro.model.participants import Authority, DataOwner
+from repro.model.update import Update, UpdateOperation
+
+EMISSIONS_SCHEMA = TableSchema.build(
+    "emissions",
+    [
+        ("report_id", ColumnType.INT),
+        ("org", ColumnType.TEXT),
+        ("category", ColumnType.TEXT),   # energy | waste | transport
+        ("co2_tons", ColumnType.INT),
+    ],
+    primary_key=["report_id"],
+    indexes=["org"],
+)
+
+# Public certification tiers: annual CO2 caps (tons).
+CERT_TIERS = {"platinum": 100, "gold": 250, "silver": 500}
+
+
+class SustainabilityCertification:
+    """One organization pursuing a certification tier."""
+
+    def __init__(self, org: str, tier: str = "gold", engine: str = "paillier"):
+        if tier not in CERT_TIERS:
+            raise ValueError(f"unknown tier {tier!r}")
+        self.org = org
+        self.tier = tier
+        self.cap = CERT_TIERS[tier]
+        self.owner = DataOwner(org)
+        self.certifier = Authority("iso-certifier", external=True)
+        self.database = Database("certifier-cloud")
+        self.database.create_table(EMISSIONS_SCHEMA)
+        regulation = upper_bound_regulation(
+            name=f"iso-{tier}-cap",
+            table="emissions",
+            column="co2_tons",
+            bound=self.cap,
+            match_columns=["org"],
+            authority=self.certifier.name,
+        )
+        regulation.signature = self.certifier.sign(regulation.body_bytes())
+        self.regulation = regulation
+        self.framework: PReVer = single_private_database(
+            self.database, [regulation], engine=engine
+        )
+        self._report_counter = 0
+
+    def report(self, category: str, co2_tons: int):
+        """Submit one (private) emissions report."""
+        self._report_counter += 1
+        update = Update(
+            table="emissions",
+            operation=UpdateOperation.INSERT,
+            payload={
+                "report_id": self._report_counter,
+                "org": self.org,
+                "category": category,
+                "co2_tons": co2_tons,
+            },
+            producers=[self.org],
+        )
+        return self.framework.submit(update)
+
+    def certified(self) -> bool:
+        """Certified while every accepted report kept the total under
+        the tier cap (rejected reports were never incorporated)."""
+        total = self.database.aggregate("emissions", "SUM", "co2_tons")
+        return total <= self.cap
+
+    def reported_total(self) -> int:
+        return self.database.aggregate("emissions", "SUM", "co2_tons")
+
+    def authority_view(self) -> List:
+        """What the certifying authority (the manager) observed."""
+        engine = self.framework.engine
+        return list(getattr(engine, "manager_transcript", []))

@@ -1,0 +1,239 @@
+"""A permissioned blockchain with private data collections.
+
+Architecture (Hyperledger-Fabric-inspired, simplified to the parts
+PReVer needs):
+
+* **Transactions** carry a public payload, or — for confidential data —
+  only the *hash* of a private payload; the payload itself is
+  replicated off-chain to the members of a named
+  :class:`PrivateDataCollection` (Fabric's private data collections,
+  which the paper cites directly).
+* **Ordering** runs through a :class:`repro.consensus.PBFTCluster`;
+  decided transactions are batched into blocks.
+* **Blocks** hash-link to their predecessor and carry a Merkle root of
+  their transactions, so light clients can verify inclusion with an
+  O(log n) proof against a block header.
+"""
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set
+
+from repro.common.errors import IntegrityError, PrivacyError
+from repro.common.ids import make_id
+from repro.common.serialization import canonical_bytes
+from repro.consensus.pbft import PBFTCluster
+from repro.crypto.merkle import MerkleTree, verify_inclusion
+
+
+def _hash(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """One chain transaction.
+
+    Exactly one of ``payload`` (public) or ``private_hash`` (hash of an
+    off-chain private payload) carries the content.
+    """
+
+    tx_id: str
+    channel: str
+    payload: Optional[Dict[str, Any]] = None
+    private_hash: Optional[str] = None
+    collection: Optional[str] = None
+
+    def to_dict(self) -> dict:
+        return {
+            "tx_id": self.tx_id,
+            "channel": self.channel,
+            "payload": self.payload,
+            "private_hash": self.private_hash,
+            "collection": self.collection,
+        }
+
+    def tx_bytes(self) -> bytes:
+        return canonical_bytes(self.to_dict())
+
+
+@dataclass(frozen=True)
+class Block:
+    height: int
+    prev_hash: str
+    tx_root: bytes
+    transactions: Sequence[Transaction] = field(default_factory=tuple)
+
+    def header_bytes(self) -> bytes:
+        return canonical_bytes(
+            {
+                "height": self.height,
+                "prev_hash": self.prev_hash,
+                "tx_root": self.tx_root,
+            }
+        )
+
+    def block_hash(self) -> str:
+        return _hash(self.header_bytes())
+
+
+class PrivateDataCollection:
+    """Off-chain replicated private payloads, member-gated.
+
+    The chain stores only ``sha256(payload)``; members hold the payload
+    and can prove it matches the on-chain hash.  Non-members asking for
+    the payload get a :class:`PrivacyError` — the test suite checks
+    this boundary.
+    """
+
+    def __init__(self, name: str, members: Set[str]):
+        self.name = name
+        self.members = set(members)
+        self._store: Dict[str, Dict[str, Any]] = {}
+
+    def put(self, payload: Dict[str, Any]) -> str:
+        digest = _hash(canonical_bytes(payload))
+        self._store[digest] = dict(payload)
+        return digest
+
+    def get(self, requester: str, digest: str) -> Dict[str, Any]:
+        if requester not in self.members:
+            raise PrivacyError(
+                f"{requester!r} is not a member of collection {self.name!r}"
+            )
+        try:
+            return dict(self._store[digest])
+        except KeyError:
+            raise IntegrityError(f"no private payload with hash {digest}") from None
+
+    def verify_against_chain(self, digest: str) -> bool:
+        payload = self._store.get(digest)
+        if payload is None:
+            return False
+        return _hash(canonical_bytes(payload)) == digest
+
+
+class PermissionedBlockchain:
+    """The chain: PBFT ordering + block assembly + collections."""
+
+    def __init__(
+        self,
+        channel: str = "main",
+        f: int = 1,
+        block_size: int = 10,
+        cluster: Optional[PBFTCluster] = None,
+    ):
+        self.channel = channel
+        self.block_size = block_size
+        self.cluster = cluster or PBFTCluster(f=f, name_prefix=f"{channel}-orderer")
+        self.collections: Dict[str, PrivateDataCollection] = {}
+        self._blocks: List[Block] = []
+        self._pending: List[Transaction] = []
+        self._applied = 0  # consumed prefix length of the consensus log
+
+    # -- collections -------------------------------------------------------
+
+    def create_collection(self, name: str, members: Set[str]) -> PrivateDataCollection:
+        if name in self.collections:
+            raise IntegrityError(f"collection {name!r} already exists")
+        collection = PrivateDataCollection(name, members)
+        self.collections[name] = collection
+        return collection
+
+    # -- submission -----------------------------------------------------------
+
+    def submit_public(self, payload: Dict[str, Any]) -> Transaction:
+        tx = Transaction(tx_id=make_id("tx"), channel=self.channel, payload=payload)
+        self.cluster.submit(tx.to_dict())
+        return tx
+
+    def submit_private(self, collection_name: str, payload: Dict[str, Any]) -> Transaction:
+        try:
+            collection = self.collections[collection_name]
+        except KeyError:
+            raise IntegrityError(f"no collection {collection_name!r}") from None
+        digest = collection.put(payload)
+        tx = Transaction(
+            tx_id=make_id("tx"),
+            channel=self.channel,
+            private_hash=digest,
+            collection=collection_name,
+        )
+        self.cluster.submit(tx.to_dict())
+        return tx
+
+    # -- block production ---------------------------------------------------------
+
+    def process(self) -> List[Block]:
+        """Run consensus and cut blocks from newly decided transactions."""
+        self.cluster.run()
+        decided = self.cluster.committed()
+        new_blocks: List[Block] = []
+        for tx_dict in decided[self._applied:]:
+            if "noop" in tx_dict:
+                self._applied += 1
+                continue
+            self._pending.append(
+                Transaction(
+                    tx_id=tx_dict["tx_id"],
+                    channel=tx_dict["channel"],
+                    payload=tx_dict["payload"],
+                    private_hash=tx_dict["private_hash"],
+                    collection=tx_dict["collection"],
+                )
+            )
+            self._applied += 1
+            if len(self._pending) >= self.block_size:
+                new_blocks.append(self._cut_block())
+        return new_blocks
+
+    def flush(self) -> Optional[Block]:
+        """Cut a block from any remaining pending transactions."""
+        self.process()
+        if not self._pending:
+            return None
+        return self._cut_block()
+
+    def _cut_block(self) -> Block:
+        transactions = tuple(self._pending)
+        self._pending = []
+        tree = MerkleTree([tx.tx_bytes() for tx in transactions])
+        block = Block(
+            height=len(self._blocks),
+            prev_hash=self._blocks[-1].block_hash() if self._blocks else "genesis",
+            tx_root=tree.root(),
+            transactions=transactions,
+        )
+        self._blocks.append(block)
+        return block
+
+    # -- reading and verification --------------------------------------------------
+
+    @property
+    def height(self) -> int:
+        return len(self._blocks)
+
+    def block(self, height: int) -> Block:
+        return self._blocks[height]
+
+    def verify_chain(self) -> bool:
+        """Full structural verification: hash links + Merkle roots."""
+        prev = "genesis"
+        for block in self._blocks:
+            if block.prev_hash != prev:
+                return False
+            tree = MerkleTree([tx.tx_bytes() for tx in block.transactions])
+            if tree.root() != block.tx_root:
+                return False
+            prev = block.block_hash()
+        return True
+
+    def prove_transaction(self, height: int, tx_index: int):
+        """(tx, inclusion proof) against the block's tx_root."""
+        block = self._blocks[height]
+        tree = MerkleTree([tx.tx_bytes() for tx in block.transactions])
+        return block.transactions[tx_index], tree.inclusion_proof(tx_index)
+
+    @staticmethod
+    def verify_transaction(block: Block, tx: Transaction, proof) -> bool:
+        return verify_inclusion(block.tx_root, tx.tx_bytes(), proof)

@@ -1,0 +1,134 @@
+"""SharPer-style sharded permissioned ledger.
+
+SharPer (SIGMOD'21, cited as PReVer's integrity substrate for Separ)
+partitions the nodes into clusters (shards); intra-shard transactions
+run consensus only within their shard — so disjoint shards commit in
+parallel and throughput scales near-linearly — while cross-shard
+transactions run a *flattened* consensus across the union of involved
+shards, paying a latency and message penalty.  Bench E10 sweeps the
+cross-shard ratio to reproduce that scaling shape.
+
+The simulator models each shard as its own PBFT cluster on a shared
+simulated network.  A cross-shard transaction is submitted to every
+involved shard, and counts as committed when all involved shards have
+ordered it; a deterministic lock on the lexicographically-first shard
+avoids conflicting interleavings (the simulator's stand-in for
+SharPer's cross-shard ordering rule).
+"""
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.common.errors import ProtocolError
+from repro.common.ids import make_id
+from repro.consensus.pbft import PBFTCluster
+from repro.net.simnet import SimNetwork
+
+
+@dataclass
+class CrossShardResult:
+    tx_id: str
+    shards: List[str]
+    submitted_at: float
+    committed_at: Optional[float] = None
+    shard_results: Optional[list] = None  # per-shard ConsensusResults
+
+    @property
+    def latency(self) -> Optional[float]:
+        if self.committed_at is None:
+            return None
+        return self.committed_at - self.submitted_at
+
+
+class ShardedLedger:
+    """A set of PBFT shards with intra- and cross-shard transactions."""
+
+    def __init__(
+        self,
+        shard_names: Sequence[str],
+        f: int = 1,
+        network: Optional[SimNetwork] = None,
+    ):
+        if not shard_names:
+            raise ProtocolError("need at least one shard")
+        self.network = network or SimNetwork()
+        self.shards: Dict[str, PBFTCluster] = {
+            name: PBFTCluster(f=f, network=self.network, name_prefix=f"shard-{name}")
+            for name in shard_names
+        }
+        self._intra_results: Dict[str, list] = {name: [] for name in shard_names}
+        self._cross_results: List[CrossShardResult] = []
+
+    def submit_intra(self, shard: str, payload: Dict[str, Any]) -> str:
+        """An intra-shard transaction: one shard's consensus only."""
+        tx_id = make_id("itx")
+        cluster = self._shard(shard)
+        result = cluster.submit({"tx_id": tx_id, "shard": shard, "payload": payload})
+        self._intra_results[shard].append(result)
+        return tx_id
+
+    def submit_cross(self, shards: Sequence[str], payload: Dict[str, Any]) -> CrossShardResult:
+        """A cross-shard transaction ordered in every involved shard."""
+        involved = sorted(set(shards))
+        if len(involved) < 2:
+            raise ProtocolError("cross-shard transactions need >= 2 shards")
+        tx_id = make_id("xtx")
+        record = CrossShardResult(
+            tx_id=tx_id,
+            shards=involved,
+            submitted_at=self.network.clock.now(),
+        )
+        self._cross_results.append(record)
+        body = {"tx_id": tx_id, "shards": involved, "payload": payload}
+        record.shard_results = [
+            self._shard(shard).submit(dict(body, shard=shard))
+            for shard in involved
+        ]
+        return record
+
+    def _shard(self, name: str) -> PBFTCluster:
+        try:
+            return self.shards[name]
+        except KeyError:
+            raise ProtocolError(f"no shard {name!r}") from None
+
+    def run(self, until: Optional[float] = None) -> None:
+        self.network.run(until=until)
+        self._settle_cross()
+
+    def _settle_cross(self) -> None:
+        """Mark cross-shard transactions committed once ordered in all
+        involved shards; commit time is when the *last* shard decided."""
+        for record in self._cross_results:
+            if record.committed_at is not None:
+                continue
+            decided = [r.decided_at for r in record.shard_results]
+            if all(d is not None for d in decided):
+                record.committed_at = max(decided)
+
+    # -- reporting -------------------------------------------------------
+
+    def committed_counts(self) -> Dict[str, int]:
+        return {
+            name: len(cluster.committed()) for name, cluster in self.shards.items()
+        }
+
+    def cross_shard_latencies(self) -> List[float]:
+        return [
+            r.latency for r in self._cross_results if r.latency is not None
+        ]
+
+    def throughput(self) -> float:
+        """Committed transactions per simulated second, counting each
+        cross-shard transaction once."""
+        duration = self.network.clock.now()
+        if duration <= 0:
+            return 0.0
+        cross_ids = {r.tx_id for r in self._cross_results}
+        total = 0
+        for cluster in self.shards.values():
+            for entry in cluster.committed():
+                if isinstance(entry, dict) and entry.get("tx_id") not in cross_ids:
+                    total += 1
+        total += sum(1 for r in self._cross_results if r.committed_at is not None)
+        return total / duration

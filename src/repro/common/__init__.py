@@ -1,0 +1,45 @@
+"""Shared infrastructure used by every PReVer subsystem.
+
+This package deliberately contains only dependency-free building blocks:
+error types, identifier generation, canonical serialization (needed so
+that hashes and signatures are stable), a simulated clock for
+discrete-event components, a metrics registry used by the benchmark
+harness, and seeded randomness helpers so every experiment is
+reproducible.
+"""
+
+from repro.common.errors import (
+    PReVerError,
+    ConstraintViolation,
+    IntegrityError,
+    PrivacyError,
+    ProtocolError,
+    BudgetExhausted,
+    SerializationError,
+)
+from repro.common.ids import make_id, short_hash
+from repro.common.serialization import canonical_bytes, canonical_json
+from repro.common.clock import SimClock, WallClock
+from repro.common.metrics import MetricsRegistry, Counter, Timer
+from repro.common.randomness import deterministic_rng, SystemRandomSource
+
+__all__ = [
+    "PReVerError",
+    "ConstraintViolation",
+    "IntegrityError",
+    "PrivacyError",
+    "ProtocolError",
+    "BudgetExhausted",
+    "SerializationError",
+    "make_id",
+    "short_hash",
+    "canonical_bytes",
+    "canonical_json",
+    "SimClock",
+    "WallClock",
+    "MetricsRegistry",
+    "Counter",
+    "Timer",
+    "deterministic_rng",
+    "SystemRandomSource",
+]

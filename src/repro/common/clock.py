@@ -1,0 +1,42 @@
+"""Clocks.
+
+Protocol-level experiments (consensus, MPC rounds) run on a simulated
+clock so results are deterministic and independent of host load; crypto
+micro-benchmarks use the wall clock.  Both expose the same ``now()``
+interface so components can be written once.
+"""
+
+import time
+
+
+class SimClock:
+    """A manually-advanced clock measured in seconds of simulated time."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move simulated time forward; negative advances are rejected."""
+        if seconds < 0:
+            raise ValueError("cannot advance a clock backwards")
+        self._now += seconds
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Jump to an absolute timestamp (monotonically)."""
+        if timestamp < self._now:
+            raise ValueError(
+                f"cannot move clock from {self._now} back to {timestamp}"
+            )
+        self._now = timestamp
+        return self._now
+
+
+class WallClock:
+    """Real time, for measuring actual crypto computation cost."""
+
+    def now(self) -> float:
+        return time.perf_counter()

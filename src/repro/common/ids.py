@@ -1,0 +1,33 @@
+"""Identifier helpers.
+
+PReVer components (updates, blocks, tokens, participants) need stable,
+collision-resistant identifiers.  Identifiers are derived from a counter
+plus entropy rather than wall-clock time so that simulations remain
+deterministic when seeded.
+"""
+
+import hashlib
+import itertools
+import threading
+
+_COUNTER = itertools.count()
+_LOCK = threading.Lock()
+
+
+def make_id(prefix: str, entropy: bytes = b"") -> str:
+    """Return a unique identifier of the form ``prefix-NNNNNN[-hash]``.
+
+    The counter guarantees process-level uniqueness; optional entropy
+    (e.g. a serialized payload) is mixed in as a short digest suffix so
+    identifiers are also meaningful across processes.
+    """
+    with _LOCK:
+        n = next(_COUNTER)
+    if entropy:
+        return f"{prefix}-{n:06d}-{short_hash(entropy)}"
+    return f"{prefix}-{n:06d}"
+
+
+def short_hash(data: bytes, length: int = 8) -> str:
+    """A short hex digest used for human-readable identifiers."""
+    return hashlib.sha256(data).hexdigest()[:length]

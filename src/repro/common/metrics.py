@@ -1,0 +1,95 @@
+"""A small metrics registry.
+
+Benchmarks and protocol simulations record counters (messages sent,
+bytes on the wire, constraint checks) and timers.  The registry is
+explicit — components receive one rather than writing to a global — so
+parallel experiments never interfere.
+"""
+
+import statistics
+from contextlib import contextmanager
+from typing import Dict, List
+
+from repro.common.clock import WallClock
+
+
+class Counter:
+    """A monotonically increasing count with an optional value sum."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+
+    def add(self, value: float = 1.0) -> None:
+        self.count += 1
+        self.total += value
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "count": self.count, "total": self.total}
+
+
+class Timer:
+    """Collects durations; reports mean / p50 / p95 / max."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.samples: List[float] = []
+
+    def record(self, seconds: float) -> None:
+        self.samples.append(seconds)
+
+    @property
+    def mean(self) -> float:
+        return statistics.fmean(self.samples) if self.samples else 0.0
+
+    def percentile(self, pct: float) -> float:
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        index = min(len(ordered) - 1, int(pct / 100.0 * len(ordered)))
+        return ordered[index]
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "n": len(self.samples),
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "max": max(self.samples) if self.samples else 0.0,
+        }
+
+
+class MetricsRegistry:
+    """Holds named counters and timers for one experiment run."""
+
+    def __init__(self, clock=None):
+        self._clock = clock or WallClock()
+        self._counters: Dict[str, Counter] = {}
+        self._timers: Dict[str, Timer] = {}
+
+    def counter(self, name: str) -> Counter:
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def timer(self, name: str) -> Timer:
+        if name not in self._timers:
+            self._timers[name] = Timer(name)
+        return self._timers[name]
+
+    @contextmanager
+    def timed(self, name: str):
+        """Context manager recording wall time into ``timer(name)``."""
+        start = self._clock.now()
+        try:
+            yield
+        finally:
+            self.timer(name).record(self._clock.now() - start)
+
+    def snapshot(self) -> dict:
+        return {
+            "counters": {n: c.to_dict() for n, c in self._counters.items()},
+            "timers": {n: t.to_dict() for n, t in self._timers.items()},
+        }

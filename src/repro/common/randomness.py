@@ -1,0 +1,57 @@
+"""Randomness sources.
+
+Cryptographic components need integers sampled from large ranges.  For
+production use the source is the OS CSPRNG; for tests and reproducible
+experiments a seeded deterministic source is provided.  Both expose the
+same three methods, so key generation code is source-agnostic.
+"""
+
+import random
+import secrets
+
+
+class SystemRandomSource:
+    """Cryptographically secure randomness backed by ``secrets``."""
+
+    def randbits(self, bits: int) -> int:
+        return secrets.randbits(bits)
+
+    def randbelow(self, bound: int) -> int:
+        if bound <= 0:
+            raise ValueError("bound must be positive")
+        return secrets.randbelow(bound)
+
+    def randrange(self, low: int, high: int) -> int:
+        """Uniform integer in [low, high)."""
+        if high <= low:
+            raise ValueError("empty range")
+        return low + self.randbelow(high - low)
+
+
+class DeterministicRandomSource:
+    """Seeded randomness for reproducible tests and simulations.
+
+    Not cryptographically secure; suitable only for experiments where
+    determinism matters more than unpredictability.
+    """
+
+    def __init__(self, seed: int):
+        self._rng = random.Random(seed)
+
+    def randbits(self, bits: int) -> int:
+        return self._rng.getrandbits(bits)
+
+    def randbelow(self, bound: int) -> int:
+        if bound <= 0:
+            raise ValueError("bound must be positive")
+        return self._rng.randrange(bound)
+
+    def randrange(self, low: int, high: int) -> int:
+        if high <= low:
+            raise ValueError("empty range")
+        return self._rng.randrange(low, high)
+
+
+def deterministic_rng(seed: int) -> DeterministicRandomSource:
+    """Convenience constructor used throughout tests and benchmarks."""
+    return DeterministicRandomSource(seed)

@@ -1,0 +1,63 @@
+"""Canonical serialization.
+
+Hashes, signatures and Merkle leaves must be computed over a canonical
+byte representation; two semantically equal values must serialize to the
+same bytes on every platform.  We use JSON with sorted keys and no
+insignificant whitespace, with a small extension for ``bytes`` (hex
+tagged) and big integers (JSON handles arbitrary ints natively).
+"""
+
+import json
+from typing import Any
+
+from repro.common.errors import SerializationError
+
+_BYTES_TAG = "__bytes_hex__"
+
+
+def _encode(value: Any) -> Any:
+    """Recursively convert a value into JSON-representable primitives."""
+    if isinstance(value, bytes):
+        return {_BYTES_TAG: value.hex()}
+    if isinstance(value, dict):
+        out = {}
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise SerializationError(f"non-string dict key: {key!r}")
+            out[key] = _encode(item)
+        return out
+    if isinstance(value, (list, tuple)):
+        return [_encode(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if hasattr(value, "to_dict"):
+        return _encode(value.to_dict())
+    raise SerializationError(f"cannot canonically serialize {type(value)!r}")
+
+
+def _decode(value: Any) -> Any:
+    if isinstance(value, dict):
+        if set(value.keys()) == {_BYTES_TAG}:
+            return bytes.fromhex(value[_BYTES_TAG])
+        return {key: _decode(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [_decode(item) for item in value]
+    return value
+
+
+def canonical_json(value: Any) -> str:
+    """Serialize ``value`` to a canonical JSON string."""
+    return json.dumps(_encode(value), sort_keys=True, separators=(",", ":"))
+
+
+def canonical_bytes(value: Any) -> bytes:
+    """Serialize ``value`` to canonical UTF-8 bytes (hash/sign input)."""
+    return canonical_json(value).encode("utf-8")
+
+
+def from_canonical_json(text: str) -> Any:
+    """Inverse of :func:`canonical_json` (restores tagged bytes)."""
+    try:
+        return _decode(json.loads(text))
+    except (ValueError, TypeError) as exc:
+        raise SerializationError(str(exc)) from exc

@@ -1,0 +1,21 @@
+"""Consensus protocols over the simulated network.
+
+The paper's evaluation methodology (Section 6) asks distributed PReVer
+instantiations to be compared in throughput and latency against Paxos
+(crash fault tolerance) and PBFT (Byzantine fault tolerance).  Both are
+implemented from scratch over :class:`repro.net.SimNetwork`:
+
+* :mod:`repro.consensus.paxos` — multi-decree Paxos with a stable
+  leader (one Phase-1 per ballot, Phase-2 per decree);
+* :mod:`repro.consensus.pbft` — three-phase PBFT (pre-prepare /
+  prepare / commit) with view changes and byzantine-replica hooks.
+
+Both clusters expose the same interface (``submit``, ``committed``),
+so the benchmark harness measures them identically.
+"""
+
+from repro.consensus.base import ConsensusResult, ClusterStats
+from repro.consensus.paxos import PaxosCluster
+from repro.consensus.pbft import PBFTCluster
+
+__all__ = ["ConsensusResult", "ClusterStats", "PaxosCluster", "PBFTCluster"]

@@ -1,0 +1,92 @@
+"""Shared pieces for the consensus clusters."""
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.common.errors import ProtocolError
+
+
+@dataclass
+class ConsensusResult:
+    """Outcome of one submitted command."""
+
+    value: Any
+    sequence: int
+    submitted_at: float
+    decided_at: Optional[float] = None
+
+    @property
+    def latency(self) -> Optional[float]:
+        if self.decided_at is None:
+            return None
+        return self.decided_at - self.submitted_at
+
+
+@dataclass
+class ClusterStats:
+    """Aggregates the benchmark harness reads after a run."""
+
+    decided: int
+    total: int
+    sim_duration: float
+    messages: int
+    mean_latency: float
+    p95_latency: float
+
+    @property
+    def throughput(self) -> float:
+        if self.sim_duration <= 0:
+            return 0.0
+        return self.decided / self.sim_duration
+
+
+def compute_stats(results: List[ConsensusResult], sim_duration: float,
+                  messages: int) -> ClusterStats:
+    latencies = sorted(
+        r.latency for r in results if r.latency is not None
+    )
+    decided = len(latencies)
+    mean = sum(latencies) / decided if decided else 0.0
+    p95 = latencies[min(decided - 1, int(0.95 * decided))] if decided else 0.0
+    return ClusterStats(
+        decided=decided,
+        total=len(results),
+        sim_duration=sim_duration,
+        messages=messages,
+        mean_latency=mean,
+        p95_latency=p95,
+    )
+
+
+class DecisionLog:
+    """Per-node ordered log of decided values."""
+
+    def __init__(self):
+        self._decisions: Dict[int, Any] = {}
+
+    def decide(self, sequence: int, value: Any) -> bool:
+        """Record a decision; returns False on conflicting re-decision."""
+        existing = self._decisions.get(sequence)
+        if existing is not None and existing != value:
+            raise ProtocolError(
+                f"safety violation: slot {sequence} decided twice "
+                f"({existing!r} vs {value!r})"
+            )
+        first_time = sequence not in self._decisions
+        self._decisions[sequence] = value
+        return first_time
+
+    def get(self, sequence: int) -> Optional[Any]:
+        return self._decisions.get(sequence)
+
+    def committed_prefix(self) -> List[Any]:
+        """Values of the gap-free prefix."""
+        out = []
+        index = 0
+        while index in self._decisions:
+            out.append(self._decisions[index])
+            index += 1
+        return out
+
+    def __len__(self) -> int:
+        return len(self._decisions)

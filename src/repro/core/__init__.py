@@ -1,0 +1,54 @@
+"""The PReVer framework (Section 4 of the paper).
+
+* :mod:`repro.core.outcome` — shared result types for verification;
+* :mod:`repro.core.verifiers` — single-database engines (RC1):
+  plaintext baseline, Paillier, producer-side ZK proofs, enclave,
+  DP-index prescreening;
+* :mod:`repro.core.federated` — federated engines (RC2): MPC and
+  token-based;
+* :mod:`repro.core.pir_engine` — the public-database engine (RC3);
+* :mod:`repro.core.framework` — the Figure-2 pipeline: constraints
+  registered by authorities, updates verified, applied, and anchored
+  on an append-only ledger (RC4);
+* :mod:`repro.core.contexts` — factory functions for the canonical
+  instantiations (single private / federated private / public);
+* :mod:`repro.core.separ` — the Separ instantiation (Section 5).
+"""
+
+from repro.core.outcome import VerificationOutcome, UpdateResult
+from repro.core.verifiers import (
+    PlaintextVerifier,
+    PaillierVerifier,
+    ZKPVerifier,
+    EnclaveVerifier,
+    DPIndexVerifier,
+)
+from repro.core.federated import MPCVerifier, TokenVerifier
+from repro.core.pir_engine import PIRVerifier
+from repro.core.framework import PReVer
+from repro.core.contexts import (
+    single_private_database,
+    federated_private_databases,
+    public_database,
+)
+from repro.core.separ import SeparSystem, Platform, Worker
+
+__all__ = [
+    "VerificationOutcome",
+    "UpdateResult",
+    "PlaintextVerifier",
+    "PaillierVerifier",
+    "ZKPVerifier",
+    "EnclaveVerifier",
+    "DPIndexVerifier",
+    "MPCVerifier",
+    "TokenVerifier",
+    "PIRVerifier",
+    "PReVer",
+    "single_private_database",
+    "federated_private_databases",
+    "public_database",
+    "SeparSystem",
+    "Platform",
+    "Worker",
+]

@@ -1,0 +1,175 @@
+"""The demarcation protocol (paper ref [19]) — the classic
+*non-private* technique for maintaining linear arithmetic constraints
+across distributed databases, and therefore the natural baseline for
+Research Challenge 2.
+
+Barbará & Garcia-Molina's idea: split a global budget ``B`` into local
+allocations ``a_1 + ... + a_n = B``.  A platform may accept updates
+against its own allocation **without any communication**; only when a
+platform's allocation runs dry does it request slack transfers from
+peers, via a safe two-step limit-change protocol (the donor lowers its
+limit *before* the recipient raises its own, so the global invariant
+holds at every interleaving).
+
+What the comparison with PReVer's mechanisms (bench E5) shows:
+
+* cost — demarcation is nearly free for local traffic (zero messages)
+  and cheap on transfers, far below tokens and MPC;
+* privacy — the price: every platform's allocation and every transfer
+  is visible to the peers, so the federation learns each platform's
+  per-group consumption trajectory.  The recorded ``peer_visible_log``
+  makes that leakage explicit, which is exactly why the paper needs
+  the private mechanisms at all.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import PReVerError
+from repro.common.metrics import MetricsRegistry
+
+
+class DemarcationError(PReVerError):
+    pass
+
+
+@dataclass
+class _GroupState:
+    """One platform's allocation and consumption for one budget group."""
+
+    allocation: float = 0.0
+    consumed: float = 0.0
+
+    @property
+    def slack(self) -> float:
+        return self.allocation - self.consumed
+
+
+class DemarcationPlatform:
+    """One participant in the protocol."""
+
+    def __init__(self, name: str, metrics: MetricsRegistry):
+        self.name = name
+        self._groups: Dict[object, _GroupState] = {}
+        self._metrics = metrics
+
+    def _group(self, group) -> _GroupState:
+        if group not in self._groups:
+            self._groups[group] = _GroupState()
+        return self._groups[group]
+
+    def try_consume(self, group, amount: float) -> bool:
+        """A purely local decision — the protocol's selling point."""
+        state = self._group(group)
+        if state.consumed + amount <= state.allocation + 1e-12:
+            state.consumed += amount
+            return True
+        return False
+
+    def grant(self, group, amount: float) -> float:
+        """Donate up to ``amount`` of slack; lowers the local limit
+        FIRST (the demarcation safety rule)."""
+        state = self._group(group)
+        donation = min(amount, max(0.0, state.slack))
+        state.allocation -= donation
+        return donation
+
+    def receive(self, group, amount: float) -> None:
+        self._group(group).allocation += amount
+
+    def slack(self, group) -> float:
+        return self._group(group).slack
+
+    def consumed(self, group) -> float:
+        return self._group(group).consumed
+
+
+class DemarcationFederation:
+    """The federation: platforms enforcing SUM(group) <= bound jointly.
+
+    The initial bound is split evenly; ``consume`` tries locally first
+    and falls back to slack transfers.  Every transfer is logged in
+    ``peer_visible_log`` — the protocol's inherent leakage surface.
+    """
+
+    def __init__(self, platform_names: Sequence[str], bound: float,
+                 metrics: Optional[MetricsRegistry] = None):
+        if len(platform_names) < 2:
+            raise DemarcationError("a federation needs >= 2 platforms")
+        if bound < 0:
+            raise DemarcationError("bound must be non-negative")
+        self.bound = bound
+        self.metrics = metrics or MetricsRegistry()
+        self.platforms: Dict[str, DemarcationPlatform] = {
+            name: DemarcationPlatform(name, self.metrics)
+            for name in platform_names
+        }
+        self.peer_visible_log: List[dict] = []
+        self._initialized_groups: set = set()
+
+    def _ensure_group(self, group) -> None:
+        if group in self._initialized_groups:
+            return
+        share = self.bound / len(self.platforms)
+        for platform in self.platforms.values():
+            platform.receive(group, share)
+        self._initialized_groups.add(group)
+
+    def consume(self, platform_name: str, group, amount: float) -> bool:
+        """One regulated update: ``amount`` units for ``group`` at the
+        given platform.  Returns the accept/reject decision."""
+        if amount < 0:
+            raise DemarcationError("amounts must be non-negative")
+        self._ensure_group(group)
+        platform = self.platforms[platform_name]
+        self.metrics.counter("demarcation.attempts").add()
+        if platform.try_consume(group, amount):
+            self.metrics.counter("demarcation.local_accepts").add()
+            return True
+        # Local allocation exhausted: request transfers from peers.
+        needed = amount - max(0.0, platform.slack(group))
+        for peer_name, peer in self.platforms.items():
+            if peer_name == platform_name or needed <= 1e-12:
+                continue
+            # One request + one response per contacted peer.
+            self.metrics.counter("demarcation.messages").add(2)
+            donated = peer.grant(group, needed)
+            if donated > 0:
+                platform.receive(group, donated)
+                needed -= donated
+                self.peer_visible_log.append({
+                    "group": group, "from": peer_name,
+                    "to": platform_name, "amount": donated,
+                })
+        if platform.try_consume(group, amount):
+            self.metrics.counter("demarcation.transfer_accepts").add()
+            return True
+        self.metrics.counter("demarcation.rejects").add()
+        return False
+
+    # -- invariants and reporting ------------------------------------------
+
+    def total_consumed(self, group) -> float:
+        return sum(p.consumed(group) for p in self.platforms.values())
+
+    def total_allocation(self, group) -> float:
+        return sum(p.allocation for p in
+                   (platform._group(group) for platform in
+                    self.platforms.values()))
+
+    def invariant_holds(self, group) -> bool:
+        """The global constraint, checkable at any moment."""
+        if group not in self._initialized_groups:
+            return True
+        return (
+            self.total_consumed(group) <= self.bound + 1e-9
+            and self.total_allocation(group) <= self.bound + 1e-9
+        )
+
+    def leakage_summary(self) -> dict:
+        """What every platform learns about the others: the full
+        transfer history (amounts, directions, groups)."""
+        return {
+            "transfers": len(self.peer_visible_log),
+            "groups_exposed": len({t["group"] for t in self.peer_visible_log}),
+        }

@@ -1,0 +1,271 @@
+"""The PReVer pipeline — Figure 2 of the paper, made executable.
+
+    (0) authorities define constraints and regulations
+    (1) a data producer sends a (signed) update
+    (2) the update is verified against regulations and constraints
+    (3) the verified update is incorporated into the database(s)
+    (+) every decision is anchored on an append-only ledger (RC4)
+
+The framework is engine-agnostic: plug any verifier from
+``repro.core.verifiers`` / ``federated`` / ``pir_engine``.  It owns the
+databases (one for the single setting, several for the federated one),
+routes applies to the database named in ``update.managers`` (or the
+first database), and appends an attestation record per decision to the
+ledger so any participant can audit the full decision history.
+"""
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.common.clock import SimClock, WallClock
+from repro.common.errors import IntegrityError, PReVerError
+from repro.common.metrics import MetricsRegistry
+from repro.core.outcome import UpdateResult, VerificationOutcome
+from repro.database.engine import Database
+from repro.ledger.central import CentralLedger
+from repro.model.constraints import Constraint, ConstraintKind
+from repro.model.participants import Authority
+from repro.model.policy import PrivacyPolicy, Visibility
+from repro.model.threat import ThreatModel
+from repro.model.update import Update, UpdateOperation
+
+
+class PReVer:
+    """One instantiation of the framework."""
+
+    def __init__(
+        self,
+        databases: Sequence[Database],
+        engine=None,
+        ledger: Optional[CentralLedger] = None,
+        policy: Optional[PrivacyPolicy] = None,
+        threat_model: Optional[ThreatModel] = None,
+        clock: Optional[SimClock] = None,
+        require_signed_updates: bool = False,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        if not databases:
+            raise PReVerError("PReVer needs at least one database")
+        self.databases = list(databases)
+        self.engine = engine
+        self.ledger = ledger or CentralLedger(name="prever-ledger")
+        self.policy = policy or PrivacyPolicy(
+            data=Visibility.PRIVATE,
+            updates=Visibility.PRIVATE,
+            constraints=Visibility.PUBLIC,
+        )
+        self.threat_model = threat_model or ThreatModel.honest_but_curious_manager()
+        self.clock = clock or SimClock()
+        self.require_signed_updates = require_signed_updates
+        self.metrics = metrics or MetricsRegistry()
+        self.constraints: List[Constraint] = []
+        self._authorities: Dict[str, Authority] = {}
+        self.results: List[UpdateResult] = []
+        self._wall = WallClock()
+        self._auth_views: Dict[str, object] = {}
+
+    # -- step (0): constraint registration -------------------------------
+
+    def register_authority(self, authority: Authority) -> None:
+        self._authorities[authority.name] = authority
+
+    def register_constraint(self, constraint: Constraint,
+                            authority: Optional[Authority] = None) -> None:
+        """Regulations must be signed by a registered external authority."""
+        if constraint.kind is ConstraintKind.REGULATION:
+            if authority is None and constraint.authority:
+                authority = self._authorities.get(constraint.authority)
+            if authority is None:
+                raise IntegrityError(
+                    f"regulation {constraint.name!r} needs an issuing authority"
+                )
+            if not authority.external:
+                raise IntegrityError(
+                    "regulations must come from an external authority"
+                )
+            constraint.signature = authority.sign(constraint.body_bytes())
+            constraint.authority = authority.name
+            if authority.name not in self._authorities:
+                self._authorities[authority.name] = authority
+        self.constraints.append(constraint)
+
+    def verify_constraint_provenance(self, constraint: Constraint) -> bool:
+        """Anyone can check a regulation's authority signature."""
+        if constraint.kind is not ConstraintKind.REGULATION:
+            return True
+        authority = self._authorities.get(constraint.authority)
+        if authority is None or constraint.signature is None:
+            return False
+        return authority.verifier().verify(
+            constraint.body_bytes(), constraint.signature
+        )
+
+    # -- steps (1)-(3): the update pipeline ------------------------------------
+
+    def submit(self, update: Update) -> UpdateResult:
+        """Run one update through the full Figure-2 pipeline."""
+        timings: Dict[str, float] = {}
+        now = self.clock.now()
+
+        # (1) provenance: signature check on the incoming update.
+        start = self._wall.now()
+        if self.require_signed_updates:
+            if update.signature is None or update.signer_public_key is None:
+                return self._reject(update, "unsigned update", timings)
+            from repro.crypto.group import SchnorrGroup
+            from repro.crypto.signatures import SchnorrVerifier
+
+            verifier = SchnorrVerifier(
+                SchnorrGroup.default(), update.signer_public_key
+            )
+            if not verifier.verify(update.body_bytes(), update.signature):
+                return self._reject(update, "bad signature", timings)
+        timings["authenticate"] = self._wall.now() - start
+
+        # (2) verification against constraints/regulations.
+        start = self._wall.now()
+        if self.engine is not None:
+            outcome = self.engine.verify(update, now)
+        else:
+            outcome = self._verify_plaintext(update, now)
+        timings["verify"] = self._wall.now() - start
+        if not outcome.accepted:
+            update.mark_rejected(outcome.failed_constraint or "constraint")
+            return self._finish(update, outcome, applied=False, timings=timings)
+        update.mark_verified()
+
+        # (3) incorporation into the target database.  Apply failures
+        # (duplicate key, missing row) reject the update rather than
+        # crash the pipeline; the rejection is anchored like any other.
+        start = self._wall.now()
+        from repro.database.schema import SchemaError
+        from repro.database.table import TableError
+
+        try:
+            self._apply(update)
+        except (TableError, SchemaError) as exc:
+            timings["apply"] = self._wall.now() - start
+            update.mark_rejected(f"apply failed: {exc}")
+            failed = VerificationOutcome(
+                accepted=False, engine=outcome.engine,
+                constraint_ids=outcome.constraint_ids,
+                failed_constraint="apply-failure",
+            )
+            return self._finish(update, failed, applied=False,
+                                timings=timings)
+        update.mark_applied()
+        timings["apply"] = self._wall.now() - start
+
+        return self._finish(update, outcome, applied=True, timings=timings)
+
+    def _verify_plaintext(self, update: Update, now: float) -> VerificationOutcome:
+        for constraint in self.constraints:
+            if constraint.tables and update.table not in constraint.tables:
+                continue
+            if not constraint.check(self.databases, update, now):
+                return VerificationOutcome(
+                    accepted=False,
+                    engine="framework-plaintext",
+                    failed_constraint=constraint.constraint_id,
+                )
+        return VerificationOutcome(accepted=True, engine="framework-plaintext")
+
+    def _apply(self, update: Update) -> None:
+        database = self._target_database(update)
+        if update.operation is UpdateOperation.INSERT:
+            database.insert(update.table, update.payload, update_id=update.update_id)
+        elif update.operation is UpdateOperation.MODIFY:
+            database.update(
+                update.table, update.key, update.payload, update_id=update.update_id
+            )
+        else:
+            database.delete(update.table, update.key, update_id=update.update_id)
+
+    def _target_database(self, update: Update) -> Database:
+        if update.managers:
+            for database in self.databases:
+                if database.name == update.managers[0]:
+                    return database
+        return self.databases[0]
+
+    def _reject(self, update: Update, reason: str, timings) -> UpdateResult:
+        update.mark_rejected(reason)
+        outcome = VerificationOutcome(
+            accepted=False, engine="framework-auth", failed_constraint=reason
+        )
+        return self._finish(update, outcome, applied=False, timings=timings)
+
+    def _finish(self, update: Update, outcome: VerificationOutcome,
+                applied: bool, timings: Dict[str, float]) -> UpdateResult:
+        start = self._wall.now()
+        entry = self.ledger.append(
+            {
+                "update_id": update.update_id,
+                "table": update.table,
+                "status": update.status.value,
+                "decision": outcome.to_dict(),
+                "timestamp": self.clock.now(),
+            }
+        )
+        timings["anchor"] = self._wall.now() - start
+        self.metrics.counter("pipeline.updates").add()
+        self.metrics.counter(
+            "pipeline.accepted" if applied else "pipeline.rejected"
+        ).add()
+        result = UpdateResult(
+            update=update,
+            outcome=outcome,
+            applied=applied,
+            ledger_sequence=entry.sequence,
+            stage_timings=timings,
+        )
+        self.results.append(result)
+        return result
+
+    # -- authenticated reads (RC4's query side) -----------------------------------
+
+    def publish_state(self, table_name: str):
+        """Publish an authenticated snapshot of one table, anchored on
+        this framework's ledger.  Returns the
+        :class:`~repro.ledger.authenticated.StateCommitment`; clients
+        verify query answers against it with
+        :func:`~repro.ledger.authenticated.verify_row` /
+        :func:`verify_absence`."""
+        from repro.ledger.authenticated import AuthenticatedTableView
+
+        view = self._auth_views.get(table_name)
+        if view is None:
+            # Route the view's anchor entries onto the main ledger.
+            database = self.databases[0]
+            for candidate in self.databases:
+                if table_name in candidate.table_names():
+                    database = candidate
+                    break
+            view = AuthenticatedTableView(
+                database.table(table_name), ledger=self.ledger
+            )
+            self._auth_views[table_name] = view
+        return view.snapshot()
+
+    def prove_query(self, table_name: str, key):
+        """A manager answers a keyed query with proof: returns either
+        ("row", RowProof) or ("absent", AbsenceProof) against the last
+        published commitment."""
+        if table_name not in self._auth_views:
+            raise IntegrityError(
+                f"publish_state({table_name!r}) before proving queries"
+            )
+        view = self._auth_views[table_name]
+        try:
+            return "row", view.prove_row(key)
+        except IntegrityError:
+            return "absent", view.prove_absent(key)
+
+    # -- reporting ---------------------------------------------------------------
+
+    def acceptance_rate(self) -> float:
+        if not self.results:
+            return 0.0
+        return sum(1 for r in self.results if r.applied) / len(self.results)
+
+    def decision_history(self) -> List[dict]:
+        return [entry.payload for entry in self.ledger.entries()]

@@ -1,0 +1,40 @@
+"""Result types shared by all verification engines and the pipeline."""
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.model.update import Update
+
+
+@dataclass
+class VerificationOutcome:
+    """What an engine returns for one update."""
+
+    accepted: bool
+    engine: str
+    constraint_ids: List[str] = field(default_factory=list)
+    evidence: Dict[str, Any] = field(default_factory=dict)
+    failed_constraint: Optional[str] = None
+
+    def to_dict(self) -> dict:
+        return {
+            "accepted": self.accepted,
+            "engine": self.engine,
+            "constraint_ids": self.constraint_ids,
+            "failed_constraint": self.failed_constraint,
+        }
+
+
+@dataclass
+class UpdateResult:
+    """Full pipeline outcome for one submitted update (Figure 2)."""
+
+    update: Update
+    outcome: VerificationOutcome
+    applied: bool
+    ledger_sequence: Optional[int] = None
+    stage_timings: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def accepted(self) -> bool:
+        return self.outcome.accepted

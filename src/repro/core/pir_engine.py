@@ -1,0 +1,89 @@
+"""The public-database engine (Research Challenge 3).
+
+Data is public (e.g. the in-person attendee list); updates and possibly
+constraints are private.  The producer verifies its own eligibility by
+privately reading the relevant public records via PIR — the manager
+never learns *which* records the producer consulted — and then applies
+its update through the private-write path, so the link between the
+producer's identity/credential and the written record position stays
+hidden up to the epoch batch.
+
+Constraint privacy: when the constraint is private (e.g. an admission
+rule the venue does not publish), the constraint is evaluated entirely
+client-side against PIR-fetched data, so the manager learns neither
+the rule nor the accessed indices; the manager-side acceptance is the
+possession of a credential signature from the authority (who knows the
+rule), which is all it needs.
+"""
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.common.metrics import MetricsRegistry
+from repro.core.outcome import VerificationOutcome
+from repro.core.verifiers import BaseVerifier, EngineError
+from repro.crypto.signatures import SchnorrSigner, SchnorrVerifier
+from repro.model.constraints import Constraint
+from repro.model.update import Update
+from repro.privacy import leakage as lk
+from repro.privacy.pir import TwoServerXorPIR
+
+
+class PIRVerifier(BaseVerifier):
+    """RC3: private verification against public data via PIR.
+
+    ``record_index_of(update)`` maps an update to the public record it
+    must be checked against (e.g. the producer's registration slot);
+    ``predicate(record_bytes, update)`` is the client-side constraint
+    body.  The authority countersigns accepted updates so the public
+    store can gate writes on a credential instead of the (private)
+    constraint inputs.
+    """
+
+    name = "pir"
+    profile = lk.profile(
+        "pir",
+        lk.LeakageClass.DECISION_BIT,
+        lk.LeakageClass.TIMING,
+        lk.LeakageClass.VOLUME,
+        notes="servers see uniformly random query vectors only",
+    )
+
+    def __init__(
+        self,
+        pir: TwoServerXorPIR,
+        constraint: Constraint,
+        record_index_of: Callable[[Update], int],
+        predicate: Callable[[bytes, Update], bool],
+        authority_signer: Optional[SchnorrSigner] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        super().__init__([constraint], metrics)
+        self.pir = pir
+        self.record_index_of = record_index_of
+        self.predicate = predicate
+        self.authority_signer = authority_signer or SchnorrSigner()
+        self.authority_verifier: SchnorrVerifier = self.authority_signer.verifier()
+
+    def verify(self, update: Update, now: float) -> VerificationOutcome:
+        index = self.record_index_of(update)
+        with self.metrics.timed("pir.check"):
+            record = self.pir.read(index)
+            # Both servers' views of this read: the random selectors.
+            self._observe(("selector", self.pir.server_a.query_log[-1][1]))
+            ok = self.predicate(record, update)
+        if not ok:
+            return self._outcome(False, failed=self.constraints[0].constraint_id)
+        credential = self.authority_signer.sign(update.body_bytes())
+        return self._outcome(True, credential=credential)
+
+    def apply_private_write(self, index: int, new_value: bytes) -> None:
+        """Write through the PIR private-write path."""
+        with self.metrics.timed("pir.write"):
+            self.pir.write(index, new_value)
+
+    def end_epoch(self) -> int:
+        return self.pir.merge_epoch()
+
+    def check_credential(self, update: Update, credential) -> bool:
+        """Anyone can check that an accepted update was authorized."""
+        return self.authority_verifier.verify(update.body_bytes(), credential)

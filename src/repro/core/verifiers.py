@@ -1,0 +1,384 @@
+"""Single-database verification engines (Research Challenge 1).
+
+Every engine implements ``verify(update, now) -> VerificationOutcome``
+and declares a leakage profile.  Engines hold their own view of the
+data (ciphertexts, commitments, sealed rows, noisy histograms) and a
+``manager_transcript`` list recording exactly what the untrusted
+manager observed, which the leakage tests compare against the profile.
+
+Engines and their paper anchors:
+
+* :class:`PlaintextVerifier` — the non-private baseline Section 6 says
+  to compare against;
+* :class:`PaillierVerifier` — homomorphic-encryption path: the manager
+  aggregates ciphertexts; the data owner (key holder) makes the final
+  comparison and returns only the decision bit;
+* :class:`ZKPVerifier` — the verifiable-computation path: the producer
+  commits to values and proves bound satisfaction in zero knowledge;
+  the manager verifies proofs and never sees values;
+* :class:`EnclaveVerifier` — hardware-protected computation;
+* :class:`DPIndexVerifier` — differentially-private partial
+  disclosure: approximate verification from noisy histograms,
+  trading accuracy for budget.
+"""
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import PReVerError, PrivacyError
+from repro.common.metrics import MetricsRegistry
+from repro.core.outcome import VerificationOutcome
+from repro.crypto.commitments import PedersenCommitter
+from repro.crypto.paillier import PaillierKeyPair, generate_paillier_keypair
+from repro.crypto import zkp
+from repro.model.constraints import Comparison, Constraint
+from repro.model.update import Update
+from repro.privacy import leakage as lk
+from repro.privacy.dp import DPIndex
+from repro.privacy.enclave import TrustedEnclaveSimulator
+
+
+class EngineError(PReVerError):
+    pass
+
+
+class BaseVerifier:
+    """Common plumbing: constraint list, metrics, manager transcript."""
+
+    name = "base"
+    profile = lk.PLAINTEXT_PROFILE
+
+    def __init__(self, constraints: Sequence[Constraint],
+                 metrics: Optional[MetricsRegistry] = None):
+        self.constraints = list(constraints)
+        self.metrics = metrics or MetricsRegistry()
+        self.manager_transcript: List = []
+
+    def _observe(self, item) -> None:
+        """Record something the untrusted manager gets to see."""
+        self.manager_transcript.append(item)
+
+    def verify(self, update: Update, now: float) -> VerificationOutcome:
+        raise NotImplementedError
+
+    def _outcome(self, accepted: bool, failed: Optional[str] = None,
+                 **evidence) -> VerificationOutcome:
+        self.metrics.counter(f"{self.name}.verifications").add()
+        return VerificationOutcome(
+            accepted=accepted,
+            engine=self.name,
+            constraint_ids=[c.constraint_id for c in self.constraints],
+            failed_constraint=failed,
+            evidence=evidence,
+        )
+
+
+class PlaintextVerifier(BaseVerifier):
+    """Reference semantics: direct evaluation on plaintext databases."""
+
+    name = "plaintext"
+    profile = lk.PLAINTEXT_PROFILE
+
+    def __init__(self, databases: Sequence, constraints: Sequence[Constraint],
+                 metrics: Optional[MetricsRegistry] = None):
+        super().__init__(constraints, metrics)
+        self.databases = list(databases)
+
+    def verify(self, update: Update, now: float) -> VerificationOutcome:
+        self._observe(dict(update.payload))  # the baseline leaks everything
+        for constraint in self.constraints:
+            with self.metrics.timed("plaintext.check"):
+                ok = constraint.check(self.databases, update, now)
+            if not ok:
+                return self._outcome(False, failed=constraint.constraint_id)
+        return self._outcome(True)
+
+
+class PaillierVerifier(BaseVerifier):
+    """RC1 via additively homomorphic encryption.
+
+    The manager stores per-group encrypted running aggregates.  On each
+    update it homomorphically adds the encrypted contribution and sends
+    the resulting ciphertext to the data owner, who decrypts, compares
+    against the (public or owner-known) bound, and returns the decision
+    bit.  The manager's transcript contains only ciphertext values and
+    group keys (access pattern) — asserted by the leakage tests.
+
+    Only linear aggregate constraints are supported; a non-linear
+    constraint raises at construction (fail-closed), which reproduces
+    the expressiveness gap the paper attributes to partially
+    homomorphic schemes.
+    """
+
+    name = "paillier"
+    profile = lk.PAILLIER_PROFILE
+
+    def __init__(
+        self,
+        constraints: Sequence[Constraint],
+        keypair: Optional[PaillierKeyPair] = None,
+        key_bits: int = 256,
+        scale: int = 1,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        super().__init__(constraints, metrics)
+        for constraint in self.constraints:
+            if not (constraint.is_aggregate and constraint.is_linear()):
+                raise EngineError(
+                    f"PaillierVerifier supports linear aggregate "
+                    f"constraints only; {constraint.name!r} is not"
+                )
+            if constraint.comparison not in (Comparison.LE, Comparison.GE,
+                                             Comparison.LT, Comparison.GT):
+                raise EngineError("unsupported comparison for Paillier engine")
+        self.keypair = keypair or generate_paillier_keypair(key_bits)
+        self.scale = scale  # fixed-point scale for float contributions
+        # manager-side state: constraint_id -> group key -> ciphertext
+        self._cipher_aggregates: Dict[str, Dict[tuple, object]] = {
+            c.constraint_id: {} for c in self.constraints
+        }
+
+    def _group_key(self, constraint: Constraint, update: Update) -> tuple:
+        return tuple(
+            update.payload.get(col) for col in constraint.aggregate.match_columns
+        )
+
+    def _encrypt_contribution(self, constraint: Constraint, update: Update):
+        contribution = constraint.aggregate.contribution_of(update.payload)
+        fixed = int(round(contribution * self.scale))
+        return self.keypair.public_key.encrypt_signed(fixed), fixed
+
+    def verify(self, update: Update, now: float) -> VerificationOutcome:
+        for constraint in self.constraints:
+            with self.metrics.timed("paillier.check"):
+                ok = self._check_one(constraint, update)
+            if not ok:
+                return self._outcome(False, failed=constraint.constraint_id)
+        return self._outcome(True)
+
+    def _check_one(self, constraint: Constraint, update: Update) -> bool:
+        group = self._group_key(constraint, update)
+        ciphertext, _ = self._encrypt_contribution(constraint, update)
+        # Manager side: homomorphic aggregation over ciphertexts.
+        aggregates = self._cipher_aggregates[constraint.constraint_id]
+        current = aggregates.get(group)
+        proposed = ciphertext if current is None else current + ciphertext
+        self._observe(("group", group))
+        self._observe(("ciphertext", proposed.value))
+        self.metrics.counter("paillier.homomorphic_ops").add()
+        # Owner side: decrypt the proposed aggregate, compare, answer.
+        plaintext = self.keypair.private_key.decrypt_signed(proposed)
+        accepted = constraint.comparison.apply(
+            plaintext / self.scale, float(constraint.bound)
+        )
+        if accepted:
+            aggregates[group] = proposed
+        return accepted
+
+    def apply_to_store(self, update: Update) -> None:
+        """Hook for contexts that also maintain an encrypted table."""
+
+
+class ZKPVerifier(BaseVerifier):
+    """RC1 via producer-side zero-knowledge proofs.
+
+    The manager keeps, per group, the homomorphic product of Pedersen
+    commitments to all accepted contributions.  A producer submitting
+    an update must supply a :class:`~repro.crypto.zkp.BoundProof` that
+    the *new* cumulative total stays within the bound.  The manager
+    verifies the proof against the combined commitment — it never sees
+    any value.  The producer must know the current total (it does: the
+    totals are its own submissions; the framework echoes the running
+    commitment randomness back over a secure owner channel).
+    """
+
+    name = "zkp"
+    profile = lk.profile(
+        "zkp",
+        lk.LeakageClass.DECISION_BIT,
+        lk.LeakageClass.TIMING,
+        lk.LeakageClass.VOLUME,
+        lk.LeakageClass.ACCESS_PATTERN,
+        notes="manager sees commitments and proofs only",
+    )
+
+    def __init__(
+        self,
+        constraints: Sequence[Constraint],
+        bits: int = 16,
+        committer: Optional[PedersenCommitter] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        super().__init__(constraints, metrics)
+        for constraint in self.constraints:
+            if not constraint.is_aggregate or constraint.comparison not in (
+                Comparison.LE, Comparison.GE,
+            ):
+                raise EngineError(
+                    "ZKPVerifier supports upper/lower-bound aggregate "
+                    "constraints"
+                )
+        # Proof width must cover both the running total and the slack to
+        # the bound, so widen it to the largest registered bound.
+        max_bound_bits = max(
+            (int(c.bound).bit_length() for c in self.constraints), default=0
+        )
+        self.bits = max(bits, max_bound_bits)
+        self.committer = committer or PedersenCommitter()
+        # manager side: constraint -> group -> combined commitment value
+        self._commitments: Dict[str, Dict[tuple, object]] = {
+            c.constraint_id: {} for c in self.constraints
+        }
+        # producer/owner side: running totals + randomness (secret)
+        self._secret_state: Dict[str, Dict[tuple, Tuple[int, int]]] = {
+            c.constraint_id: {} for c in self.constraints
+        }
+
+    def verify(self, update: Update, now: float) -> VerificationOutcome:
+        for constraint in self.constraints:
+            with self.metrics.timed("zkp.check"):
+                ok = self._check_one(constraint, update)
+            if not ok:
+                return self._outcome(False, failed=constraint.constraint_id)
+        return self._outcome(True)
+
+    def _check_one(self, constraint: Constraint, update: Update) -> bool:
+        group = tuple(
+            update.payload.get(col) for col in constraint.aggregate.match_columns
+        )
+        contribution = int(constraint.aggregate.contribution_of(update.payload))
+        if contribution < 0:
+            raise EngineError("range proofs need non-negative contributions")
+        secrets = self._secret_state[constraint.constraint_id]
+        total, _ = secrets.get(group, (0, 0))
+        new_total = total + contribution
+        bound = int(constraint.bound)
+        satisfied = (
+            new_total <= bound
+            if constraint.comparison is Comparison.LE
+            else new_total >= bound
+        )
+        if not satisfied:
+            # The producer cannot construct a valid proof; an honest
+            # client refuses, a cheating client's proof won't verify.
+            self.metrics.counter("zkp.refused").add()
+            return False
+        # Producer: commit to the new total and prove the bound.
+        # GE totals grow without bound, so widen the proof as needed.
+        bits = max(self.bits, int(new_total).bit_length() + 1)
+        if constraint.comparison is Comparison.LE:
+            commitment, randomness, proof = zkp.prove_upper_bound(
+                self.committer, new_total, bound, bits
+            )
+            verify = zkp.verify_upper_bound
+        else:
+            commitment, randomness, proof = zkp.prove_lower_bound(
+                self.committer, new_total, bound, bits
+            )
+            verify = zkp.verify_lower_bound
+        # Manager: verify; its view is (group, commitment, proof).
+        self._observe(("group", group))
+        self._observe(("commitment", commitment.value))
+        accepted = verify(self.committer, commitment, proof)
+        self.metrics.counter("zkp.proofs_verified").add()
+        if accepted:
+            self._commitments[constraint.constraint_id][group] = commitment
+            secrets[group] = (new_total, randomness)
+        return accepted
+
+
+class EnclaveVerifier(BaseVerifier):
+    """RC1 via hardware-protected computation (simulated enclave)."""
+
+    name = "enclave"
+    profile = lk.ENCLAVE_PROFILE
+
+    def __init__(
+        self,
+        databases: Sequence,
+        constraints: Sequence[Constraint],
+        epc_capacity: int = 1000,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        super().__init__(constraints, metrics)
+        self.databases = list(databases)
+        self.enclave = TrustedEnclaveSimulator(
+            constraints=self.constraints, epc_capacity=epc_capacity
+        )
+        self.expected_measurement = self.enclave.attest()
+
+    def verify(self, update: Update, now: float) -> VerificationOutcome:
+        with self.metrics.timed("enclave.check"):
+            decision, measurement = self.enclave.verify_update(
+                self.databases, update, now
+            )
+        if measurement != self.expected_measurement:
+            raise PrivacyError("enclave attestation mismatch")
+        self._observe(("decision", decision))
+        if not decision:
+            return self._outcome(False, failed=self.constraints[0].constraint_id)
+        return self._outcome(True, attestation=measurement)
+
+
+class DPIndexVerifier(BaseVerifier):
+    """RC1 via differentially private partial disclosure.
+
+    The manager holds a DP histogram of the per-group aggregate values
+    and verifies against it — *approximately*.  False accepts/rejects
+    happen with probability governed by the noise scale; the accuracy
+    experiment (bench E3/E4) quantifies them and the budget accountant
+    eventually halts refreshes, reproducing the paper's exhaustion
+    concern.
+    """
+
+    name = "dp-index"
+    profile = lk.DP_INDEX_PROFILE
+
+    def __init__(
+        self,
+        databases: Sequence,
+        constraints: Sequence[Constraint],
+        index: DPIndex,
+        refresh_every: int = 10,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        super().__init__(constraints, metrics)
+        if len(self.constraints) != 1 or not self.constraints[0].is_aggregate:
+            raise EngineError("DPIndexVerifier handles a single aggregate constraint")
+        self.databases = list(databases)
+        self.index = index
+        self.refresh_every = refresh_every
+        self._since_refresh = 0
+        self._noisy_totals: Dict[tuple, float] = {}
+
+    def verify(self, update: Update, now: float) -> VerificationOutcome:
+        constraint = self.constraints[0]
+        group = tuple(
+            update.payload.get(col) for col in constraint.aggregate.match_columns
+        )
+        contribution = constraint.aggregate.contribution_of(update.payload)
+        self._since_refresh += 1
+        if self._since_refresh >= self.refresh_every or group not in self._noisy_totals:
+            self._refresh_group(constraint, update, group, now)
+        noisy_total = self._noisy_totals.get(group, 0.0)
+        proposed = noisy_total + contribution
+        accepted = constraint.comparison.apply(proposed, float(constraint.bound))
+        self._observe(("noisy_total", round(noisy_total, 3)))
+        if accepted:
+            self._noisy_totals[group] = proposed
+        if not accepted:
+            return self._outcome(False, failed=constraint.constraint_id)
+        return self._outcome(True)
+
+    def _refresh_group(self, constraint: Constraint, update: Update,
+                       group: tuple, now: float) -> None:
+        true_total = constraint.aggregate.evaluate_over(
+            self.databases, update.table, update.payload, now
+        )
+        self.index.accountant.charge(
+            self.index.epsilon_per_refresh, label="dp-verify-refresh"
+        )
+        noisy = self.index.mechanism.add_noise(
+            true_total, 1.0, self.index.epsilon_per_refresh
+        )
+        self._noisy_totals[group] = max(0.0, noisy)
+        self._since_refresh = 0

@@ -1,0 +1,87 @@
+"""Chaum RSA blind signatures — the unlinkable-token primitive.
+
+Separ's regulation tokens must be (a) issued by the authority, (b)
+single-use, and (c) unlinkable: when a platform sees a token being
+spent it must not learn which issuance event it came from, otherwise
+the platform links the worker's activity across platforms.  Chaum's
+protocol achieves this:
+
+    client:  m' = H(m) * r^e  (mod n)      -- blind
+    signer:  s' = (m')^d      (mod n)      -- sign blindly
+    client:  s  = s' * r^-1   (mod n)      -- unblind; s = H(m)^d
+
+The signer never sees ``m`` or ``s``; the verifier checks the ordinary
+FDH-RSA equation.
+"""
+
+from dataclasses import dataclass
+
+from repro.common.errors import PReVerError
+from repro.common.randomness import SystemRandomSource
+from repro.crypto.numbers import modinv, random_coprime
+from repro.crypto.rsa import RSAKeyPair, RSAPublicKey, generate_rsa_keypair
+
+
+class BlindSignatureError(PReVerError):
+    pass
+
+
+@dataclass(frozen=True)
+class BlindedToken:
+    """What the client sends to the signer: the blinded hash."""
+
+    blinded: int
+
+
+class BlindSigner:
+    """The authority side: blindly signs whatever residue it is handed.
+
+    Real deployments rate-limit and authenticate this endpoint; the
+    token scheme layers issuance policy on top (see
+    ``repro.privacy.tokens``).
+    """
+
+    def __init__(self, keypair: RSAKeyPair = None, bits: int = 768, rng=None):
+        self._keypair = keypair or generate_rsa_keypair(bits, rng=rng)
+        self.signatures_issued = 0
+
+    @property
+    def public_key(self) -> RSAPublicKey:
+        return self._keypair.public_key
+
+    def sign_blinded(self, token: BlindedToken) -> int:
+        if not 0 < token.blinded < self.public_key.n:
+            raise BlindSignatureError("blinded value out of range")
+        self.signatures_issued += 1
+        return self._keypair.private_key.sign_raw(token.blinded)
+
+
+class BlindClient:
+    """The client side: blinds a message, unblinds the signature."""
+
+    def __init__(self, public_key: RSAPublicKey, rng=None):
+        self.public_key = public_key
+        self._rng = rng or SystemRandomSource()
+        self._blinding_factor = None
+        self._message = None
+
+    def blind(self, message: bytes) -> BlindedToken:
+        if self._blinding_factor is not None:
+            raise BlindSignatureError("client already has a blinding in flight")
+        n, e = self.public_key.n, self.public_key.e
+        r = random_coprime(n, rng=self._rng)
+        self._blinding_factor = r
+        self._message = message
+        blinded = self.public_key.fdh(message) * pow(r, e, n) % n
+        return BlindedToken(blinded=blinded)
+
+    def unblind(self, blind_signature: int) -> int:
+        if self._blinding_factor is None:
+            raise BlindSignatureError("no blinding in flight")
+        n = self.public_key.n
+        signature = blind_signature * modinv(self._blinding_factor, n) % n
+        if not self.public_key.verify(self._message, signature):
+            raise BlindSignatureError("signer returned an invalid signature")
+        self._blinding_factor = None
+        self._message = None
+        return signature

@@ -1,0 +1,75 @@
+"""Pedersen commitments over a Schnorr group.
+
+``Commit(m, r) = g^m * h^r`` is perfectly hiding and computationally
+binding (assuming the discrete log of h base g is unknown, which our
+group derives via hash-to-group).  Commitments are additively
+homomorphic, which the ZK range proofs and the token scheme rely on.
+"""
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.common.errors import IntegrityError
+from repro.crypto.group import SchnorrGroup
+
+
+@dataclass(frozen=True)
+class PedersenCommitment:
+    """The committed group element; carries no secret information."""
+
+    value: int
+
+    def __mul__(self, other):
+        # Multiplying commitments adds the committed values; the caller
+        # must track the combined randomness itself.
+        raise TypeError(
+            "use PedersenCommitter.combine so the group modulus is applied"
+        )
+
+    def to_dict(self) -> dict:
+        return {"value": self.value}
+
+
+class PedersenCommitter:
+    """Creates, combines, and verifies Pedersen commitments."""
+
+    def __init__(self, group: Optional[SchnorrGroup] = None, label: bytes = b"prever"):
+        self.group = group or SchnorrGroup.default()
+        self.g = self.group.g
+        self.h = self.group.independent_generator(b"pedersen-h:" + label)
+
+    def commit(self, message: int, rng=None) -> Tuple[PedersenCommitment, int]:
+        """Commit to ``message``; returns (commitment, randomness)."""
+        randomness = self.group.random_exponent(rng)
+        return self.commit_with(message, randomness), randomness
+
+    def commit_with(self, message: int, randomness: int) -> PedersenCommitment:
+        value = (
+            self.group.power(self.g, message)
+            * self.group.power(self.h, randomness)
+            % self.group.p
+        )
+        return PedersenCommitment(value=value)
+
+    def verify(
+        self, commitment: PedersenCommitment, message: int, randomness: int
+    ) -> bool:
+        return self.commit_with(message, randomness).value == commitment.value
+
+    def open_or_raise(
+        self, commitment: PedersenCommitment, message: int, randomness: int
+    ) -> None:
+        if not self.verify(commitment, message, randomness):
+            raise IntegrityError("Pedersen commitment opening failed")
+
+    def combine(self, *commitments: PedersenCommitment) -> PedersenCommitment:
+        """Homomorphic addition: product of commitments commits to the
+        sum of messages under the sum of randomness values."""
+        value = 1
+        for commitment in commitments:
+            value = value * commitment.value % self.group.p
+        return PedersenCommitment(value=value)
+
+    def scale(self, commitment: PedersenCommitment, scalar: int) -> PedersenCommitment:
+        """Commitment to ``scalar * m`` with randomness ``scalar * r``."""
+        return PedersenCommitment(self.group.power(commitment.value, scalar))

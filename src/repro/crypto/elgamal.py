@@ -1,0 +1,131 @@
+"""Exponential ElGamal over a Schnorr group.
+
+Encrypts ``m`` as ``(g^r, g^m * y^r)``: additively homomorphic in the
+exponent and rerandomizable, which makes it convenient for mix-style
+unlinkability and for small-domain counters (decryption requires a
+discrete-log search, so plaintexts must stay small — we cap the search
+at a configurable bound).  PReVer uses it where rerandomization
+matters; Paillier is the workhorse for large values.
+"""
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.common.errors import PReVerError
+from repro.crypto.group import SchnorrGroup
+from repro.crypto.numbers import modinv
+
+
+class ElGamalError(PReVerError):
+    pass
+
+
+@dataclass(frozen=True)
+class ElGamalCiphertext:
+    """Pair (c1, c2) = (g^r, g^m * y^r)."""
+
+    group: SchnorrGroup
+    c1: int
+    c2: int
+
+    def __add__(self, other):
+        if not isinstance(other, ElGamalCiphertext):
+            return NotImplemented
+        if other.group != self.group:
+            raise ElGamalError("ciphertexts from different groups")
+        p = self.group.p
+        return ElGamalCiphertext(
+            self.group, self.c1 * other.c1 % p, self.c2 * other.c2 % p
+        )
+
+    def __mul__(self, scalar: int):
+        if not isinstance(scalar, int):
+            return NotImplemented
+        return ElGamalCiphertext(
+            self.group,
+            self.group.power(self.c1, scalar),
+            self.group.power(self.c2, scalar),
+        )
+
+    __rmul__ = __mul__
+
+    def to_dict(self) -> dict:
+        return {"c1": self.c1, "c2": self.c2}
+
+
+@dataclass(frozen=True)
+class ElGamalPublicKey:
+    group: SchnorrGroup
+    y: int  # y = g^x
+
+    def encrypt(self, message: int, rng=None) -> ElGamalCiphertext:
+        r = self.group.random_exponent(rng)
+        c1 = self.group.power(self.group.g, r)
+        c2 = (
+            self.group.power(self.group.g, message)
+            * self.group.power(self.y, r)
+            % self.group.p
+        )
+        return ElGamalCiphertext(self.group, c1, c2)
+
+    def rerandomize(self, ct: ElGamalCiphertext, rng=None) -> ElGamalCiphertext:
+        """Multiply in a fresh encryption of zero."""
+        return ct + self.encrypt(0, rng=rng)
+
+
+@dataclass(frozen=True)
+class ElGamalPrivateKey:
+    public_key: ElGamalPublicKey
+    x: int
+
+    def decrypt(self, ct: ElGamalCiphertext, max_plaintext: int = 1_000_000) -> int:
+        """Recover m by a bounded baby-step search for g^m.
+
+        Raises :class:`ElGamalError` if the plaintext exceeds
+        ``max_plaintext`` — exponential ElGamal is only suitable for
+        small counters, which is all PReVer uses it for.
+        """
+        group = self.public_key.group
+        shared = group.power(ct.c1, self.x)
+        g_m = ct.c2 * modinv(shared, group.p) % group.p
+        return discrete_log_bounded(group, g_m, max_plaintext)
+
+
+def discrete_log_bounded(
+    group: SchnorrGroup, target: int, bound: int
+) -> int:
+    """Baby-step/giant-step search for m with g^m == target, m <= bound."""
+    import math as _math
+
+    step = max(1, int(_math.isqrt(bound)) + 1)
+    baby: dict = {}
+    value = 1
+    for j in range(step):
+        baby.setdefault(value, j)
+        value = value * group.g % group.p
+    # giant stride: g^-step
+    stride = modinv(group.power(group.g, step), group.p)
+    gamma = target
+    for i in range(step + 1):
+        if gamma in baby:
+            m = i * step + baby[gamma]
+            if m <= bound:
+                return m
+        gamma = gamma * stride % group.p
+    raise ElGamalError(f"plaintext larger than bound {bound}")
+
+
+@dataclass(frozen=True)
+class ElGamalKeyPair:
+    public_key: ElGamalPublicKey
+    private_key: ElGamalPrivateKey
+
+
+def generate_elgamal_keypair(
+    group: Optional[SchnorrGroup] = None, rng=None
+) -> ElGamalKeyPair:
+    group = group or SchnorrGroup.default()
+    x = group.random_exponent(rng)
+    y = group.power(group.g, x)
+    public = ElGamalPublicKey(group=group, y=y)
+    return ElGamalKeyPair(public_key=public, private_key=ElGamalPrivateKey(public, x))

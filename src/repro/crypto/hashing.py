@@ -1,0 +1,46 @@
+"""Hash utilities with domain separation.
+
+All protocol hashes go through these helpers so that a hash computed in
+one role (e.g. a Merkle leaf) can never collide with a hash computed in
+another role (e.g. a Fiat–Shamir challenge) — a standard hygiene rule
+that several real-world ledger bugs trace back to.
+"""
+
+import hashlib
+import hmac
+
+
+def sha256d(data: bytes, domain: bytes = b"") -> bytes:
+    """Double SHA-256 with an optional domain-separation prefix."""
+    inner = hashlib.sha256(domain + data).digest()
+    return hashlib.sha256(inner).digest()
+
+
+def hash_to_int(data: bytes, modulus: int, domain: bytes = b"FS") -> int:
+    """Hash bytes to an integer in [0, modulus).
+
+    Used for Fiat–Shamir challenges.  We hash with a counter until the
+    result, reduced, is unbiased enough for our security level (the
+    modulus is always far smaller than 2^256 in practice here, so one
+    block with rejection sampling suffices).
+    """
+    counter = 0
+    bound_bits = modulus.bit_length()
+    while True:
+        digest = hashlib.sha256(
+            domain + counter.to_bytes(4, "big") + data
+        ).digest()
+        value = int.from_bytes(digest, "big") >> max(0, 256 - bound_bits - 1)
+        if value < modulus:
+            return value
+        counter += 1
+
+
+def prf(key: bytes, message: bytes) -> bytes:
+    """HMAC-SHA256 pseudorandom function (pseudonyms, token serials)."""
+    return hmac.new(key, message, hashlib.sha256).digest()
+
+
+def constant_time_equal(a: bytes, b: bytes) -> bool:
+    """Timing-safe comparison for MACs and token serials."""
+    return hmac.compare_digest(a, b)

@@ -1,0 +1,148 @@
+"""Number-theoretic primitives: primality, prime generation, inverses.
+
+Everything downstream (Paillier, RSA, Schnorr groups, Shamir fields)
+builds on these functions.  Primality testing is Miller–Rabin with a
+deterministic small-prime pre-sieve; the error probability after 40
+rounds is below 2^-80, standard for this setting.
+"""
+
+from typing import Optional, Tuple
+
+from repro.common.randomness import SystemRandomSource
+
+_SMALL_PRIMES = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61,
+    67, 71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137,
+    139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199,
+]
+
+_DEFAULT_ROUNDS = 40
+
+
+def is_probable_prime(n: int, rounds: int = _DEFAULT_ROUNDS, rng=None) -> bool:
+    """Miller–Rabin primality test with a small-prime pre-sieve."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    rng = rng or SystemRandomSource()
+    # Write n-1 as d * 2^r with d odd.
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        a = rng.randrange(2, n - 1)
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, n)
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def generate_prime(bits: int, rng=None) -> int:
+    """Generate a random prime with exactly ``bits`` bits."""
+    if bits < 3:
+        raise ValueError("need at least 3 bits for a prime")
+    rng = rng or SystemRandomSource()
+    while True:
+        candidate = rng.randbits(bits)
+        candidate |= (1 << (bits - 1)) | 1  # force top bit and oddness
+        if is_probable_prime(candidate, rng=rng):
+            return candidate
+
+
+def generate_safe_prime(bits: int, rng=None) -> Tuple[int, int]:
+    """Generate a safe prime p = 2q + 1; returns ``(p, q)``.
+
+    Safe primes give a prime-order subgroup of Z_p* of order q, which is
+    what the Schnorr group, Pedersen commitments and sigma protocols
+    need.  Generation is slow for large ``bits``; tests use 128–256.
+    """
+    rng = rng or SystemRandomSource()
+    while True:
+        q = generate_prime(bits - 1, rng=rng)
+        p = 2 * q + 1
+        if is_probable_prime(p, rng=rng):
+            return p, q
+
+
+def modinv(a: int, m: int) -> int:
+    """Modular inverse via the extended Euclidean algorithm."""
+    g, x, _ = _extended_gcd(a % m, m)
+    if g != 1:
+        raise ValueError(f"{a} is not invertible modulo {m}")
+    return x % m
+
+
+def _extended_gcd(a: int, b: int) -> Tuple[int, int, int]:
+    """Return (g, x, y) with a*x + b*y = g = gcd(a, b)."""
+    old_r, r = a, b
+    old_s, s = 1, 0
+    old_t, t = 0, 1
+    while r != 0:
+        quotient = old_r // r
+        old_r, r = r, old_r - quotient * r
+        old_s, s = s, old_s - quotient * s
+        old_t, t = t, old_t - quotient * t
+    return old_r, old_s, old_t
+
+
+def crt_pair(r_p: int, p: int, r_q: int, q: int) -> int:
+    """Chinese remainder theorem for two coprime moduli.
+
+    Returns the unique x mod p*q with x = r_p (mod p) and x = r_q (mod q).
+    Used by Paillier/RSA decryption for the usual ~4x speedup.
+    """
+    q_inv = modinv(q, p)
+    h = (q_inv * (r_p - r_q)) % p
+    return r_q + q * h
+
+
+def lcm(a: int, b: int) -> int:
+    """Least common multiple (Carmichael function input for Paillier)."""
+    import math
+
+    return a // math.gcd(a, b) * b
+
+
+def random_coprime(n: int, rng=None) -> int:
+    """A uniform element of Z_n* (used for Paillier randomness)."""
+    import math
+
+    rng = rng or SystemRandomSource()
+    while True:
+        r = rng.randrange(1, n)
+        if math.gcd(r, n) == 1:
+            return r
+
+
+def int_to_bytes(n: int) -> bytes:
+    """Big-endian minimal-length byte encoding of a non-negative int."""
+    if n < 0:
+        raise ValueError("negative integers have no canonical encoding")
+    length = max(1, (n.bit_length() + 7) // 8)
+    return n.to_bytes(length, "big")
+
+
+def bytes_to_int(data: bytes) -> int:
+    return int.from_bytes(data, "big")
+
+
+def next_prime_above(n: int, rng: Optional[object] = None) -> int:
+    """Smallest probable prime strictly greater than ``n``."""
+    candidate = n + 1
+    if candidate % 2 == 0:
+        candidate += 1
+    while not is_probable_prime(candidate):
+        candidate += 2
+    return candidate

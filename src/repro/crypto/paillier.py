@@ -1,0 +1,207 @@
+"""Paillier additively homomorphic encryption, from scratch.
+
+PReVer's Research Challenge 1 calls for computing on encrypted data so
+an untrusted data manager can verify constraints without seeing
+plaintexts.  The constraints PReVer's applications need (COUNT/SUM
+bounds, linear aggregates, sliding-window sums) are linear, and Paillier
+supports exactly:
+
+* ``Enc(a) * Enc(b) = Enc(a + b)``   (ciphertext multiplication)
+* ``Enc(a) ^ k    = Enc(a * k)``     (scalar exponentiation)
+
+Decryption uses the CRT optimization.  Plaintexts are integers modulo
+``n``; negative values are represented in the upper half of the range
+(two's-complement style) and mapped back by :meth:`decrypt_signed`.
+"""
+
+import math
+from dataclasses import dataclass
+
+from repro.common.errors import PReVerError
+from repro.common.randomness import SystemRandomSource
+from repro.crypto.numbers import (
+    crt_pair,
+    generate_prime,
+    lcm,
+    modinv,
+    random_coprime,
+)
+
+DEFAULT_KEY_BITS = 512
+
+
+class PaillierError(PReVerError):
+    """Raised on key/ciphertext misuse (mismatched keys, bad range)."""
+
+
+@dataclass(frozen=True)
+class PaillierPublicKey:
+    """Public key: modulus n and generator g = n + 1."""
+
+    n: int
+
+    @property
+    def n_squared(self) -> int:
+        return self.n * self.n
+
+    @property
+    def g(self) -> int:
+        return self.n + 1
+
+    @property
+    def max_plaintext(self) -> int:
+        return self.n - 1
+
+    def encrypt(self, plaintext: int, rng=None) -> "PaillierCiphertext":
+        """Encrypt an integer in [0, n)."""
+        m = plaintext % self.n
+        rng = rng or SystemRandomSource()
+        r = random_coprime(self.n, rng=rng)
+        n_sq = self.n_squared
+        # (n+1)^m = 1 + n*m (mod n^2), so skip the full modpow.
+        c = ((1 + self.n * m) % n_sq) * pow(r, self.n, n_sq) % n_sq
+        return PaillierCiphertext(public_key=self, value=c)
+
+    def encrypt_signed(self, plaintext: int, rng=None) -> "PaillierCiphertext":
+        """Encrypt a possibly negative integer (|m| must be < n/2)."""
+        if abs(plaintext) >= self.n // 2:
+            raise PaillierError("signed plaintext out of range")
+        return self.encrypt(plaintext % self.n, rng=rng)
+
+
+@dataclass(frozen=True)
+class PaillierPrivateKey:
+    """Private key holding the factorization, with CRT precomputation."""
+
+    public_key: PaillierPublicKey
+    p: int
+    q: int
+
+    def __post_init__(self):
+        if self.p * self.q != self.public_key.n:
+            raise PaillierError("private key does not match public key")
+
+    def decrypt(self, ciphertext: "PaillierCiphertext") -> int:
+        """Decrypt to an integer in [0, n)."""
+        if ciphertext.public_key.n != self.public_key.n:
+            raise PaillierError("ciphertext was encrypted under another key")
+        n = self.public_key.n
+        lam = lcm(self.p - 1, self.q - 1)
+        u = pow(ciphertext.value, lam, self.public_key.n_squared)
+        ell = (u - 1) // n
+        mu = modinv(self._l_g(lam), n)
+        return (ell * mu) % n
+
+    def _l_g(self, lam: int) -> int:
+        """L(g^lambda mod n^2) where L(x) = (x-1)/n."""
+        n = self.public_key.n
+        u = pow(self.public_key.g, lam, self.public_key.n_squared)
+        return (u - 1) // n
+
+    def decrypt_signed(self, ciphertext: "PaillierCiphertext") -> int:
+        """Decrypt, mapping the upper half of [0, n) to negatives."""
+        value = self.decrypt(ciphertext)
+        n = self.public_key.n
+        if value > n // 2:
+            return value - n
+        return value
+
+    def decrypt_crt(self, ciphertext: "PaillierCiphertext") -> int:
+        """CRT-accelerated decryption (same result as :meth:`decrypt`)."""
+        if ciphertext.public_key.n != self.public_key.n:
+            raise PaillierError("ciphertext was encrypted under another key")
+        n = self.public_key.n
+        c = ciphertext.value
+        p, q = self.p, self.q
+        hp = self._partial(c, p)
+        hq = self._partial(c, q)
+        m = crt_pair(hp, p, hq, q)
+        return m % n
+
+    def _partial(self, c: int, prime: int) -> int:
+        prime_sq = prime * prime
+        u = pow(c, prime - 1, prime_sq)
+        ell = (u - 1) // prime
+        g_u = pow(self.public_key.g, prime - 1, prime_sq)
+        g_ell = (g_u - 1) // prime
+        return (ell * modinv(g_ell, prime)) % prime
+
+
+@dataclass(frozen=True)
+class PaillierKeyPair:
+    public_key: PaillierPublicKey
+    private_key: PaillierPrivateKey
+
+
+class PaillierCiphertext:
+    """A Paillier ciphertext supporting homomorphic operations.
+
+    Operators: ``ct + ct`` and ``ct + int`` give encrypted sums;
+    ``ct * int`` gives an encrypted scalar product.  Ciphertext-by-
+    ciphertext multiplication is *not* possible in Paillier (that is
+    exactly the FHE gap the paper discusses) and raises ``TypeError``.
+    """
+
+    __slots__ = ("public_key", "value")
+
+    def __init__(self, public_key: PaillierPublicKey, value: int):
+        self.public_key = public_key
+        self.value = value % public_key.n_squared
+
+    def __add__(self, other):
+        n_sq = self.public_key.n_squared
+        if isinstance(other, PaillierCiphertext):
+            if other.public_key.n != self.public_key.n:
+                raise PaillierError("cannot add ciphertexts under different keys")
+            return PaillierCiphertext(self.public_key, self.value * other.value % n_sq)
+        if isinstance(other, int):
+            encrypted = self.public_key.encrypt(other)
+            return self + encrypted
+        return NotImplemented
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        if isinstance(other, PaillierCiphertext):
+            return self + (other * -1)
+        if isinstance(other, int):
+            return self + (-other)
+        return NotImplemented
+
+    def __mul__(self, scalar):
+        if not isinstance(scalar, int):
+            return NotImplemented
+        n = self.public_key.n
+        exponent = scalar % n
+        return PaillierCiphertext(
+            self.public_key, pow(self.value, exponent, self.public_key.n_squared)
+        )
+
+    __rmul__ = __mul__
+
+    def rerandomize(self, rng=None) -> "PaillierCiphertext":
+        """Fresh randomness, same plaintext (unlinkability)."""
+        zero = self.public_key.encrypt(0, rng=rng)
+        return self + zero
+
+    def to_dict(self) -> dict:
+        return {"n": self.public_key.n, "c": self.value}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PaillierCiphertext(<{self.value % 10**8}...>)"
+
+
+def generate_paillier_keypair(bits: int = DEFAULT_KEY_BITS, rng=None) -> PaillierKeyPair:
+    """Generate a Paillier key pair with an n of roughly ``bits`` bits."""
+    rng = rng or SystemRandomSource()
+    half = bits // 2
+    while True:
+        p = generate_prime(half, rng=rng)
+        q = generate_prime(half, rng=rng)
+        if p == q:
+            continue
+        n = p * q
+        if math.gcd(n, (p - 1) * (q - 1)) == 1:
+            public = PaillierPublicKey(n=n)
+            private = PaillierPrivateKey(public_key=public, p=p, q=q)
+            return PaillierKeyPair(public_key=public, private_key=private)

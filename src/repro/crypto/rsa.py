@@ -1,0 +1,75 @@
+"""Textbook-with-hashing RSA, used as the base for blind signatures.
+
+The token scheme (RC2, Separ) needs *blind* signatures, which the RSA
+construction supports cleanly.  We sign the full-domain hash of the
+message (FDH-RSA), not the raw message, which is the standard fix for
+textbook RSA's malleability.
+"""
+
+import math
+from dataclasses import dataclass
+
+from repro.common.errors import PReVerError
+from repro.common.randomness import SystemRandomSource
+from repro.crypto.hashing import hash_to_int
+from repro.crypto.numbers import generate_prime, modinv
+
+DEFAULT_RSA_BITS = 768
+PUBLIC_EXPONENT = 65537
+
+
+class RSAError(PReVerError):
+    pass
+
+
+@dataclass(frozen=True)
+class RSAPublicKey:
+    n: int
+    e: int
+
+    def fdh(self, message: bytes) -> int:
+        """Full-domain hash of the message into Z_n."""
+        return hash_to_int(message, self.n, domain=b"rsa-fdh")
+
+    def verify(self, message: bytes, signature: int) -> bool:
+        if not 0 < signature < self.n:
+            return False
+        return pow(signature, self.e, self.n) == self.fdh(message)
+
+
+@dataclass(frozen=True)
+class RSAPrivateKey:
+    public_key: RSAPublicKey
+    d: int
+
+    def sign(self, message: bytes) -> int:
+        return self.sign_raw(self.public_key.fdh(message))
+
+    def sign_raw(self, value: int) -> int:
+        """Sign a raw residue — the blind-signature path uses this."""
+        if not 0 <= value < self.public_key.n:
+            raise RSAError("value out of range for this modulus")
+        return pow(value, self.d, self.public_key.n)
+
+
+@dataclass(frozen=True)
+class RSAKeyPair:
+    public_key: RSAPublicKey
+    private_key: RSAPrivateKey
+
+
+def generate_rsa_keypair(bits: int = DEFAULT_RSA_BITS, rng=None) -> RSAKeyPair:
+    rng = rng or SystemRandomSource()
+    half = bits // 2
+    while True:
+        p = generate_prime(half, rng=rng)
+        q = generate_prime(half, rng=rng)
+        if p == q:
+            continue
+        phi = (p - 1) * (q - 1)
+        if math.gcd(PUBLIC_EXPONENT, phi) != 1:
+            continue
+        n = p * q
+        d = modinv(PUBLIC_EXPONENT, phi)
+        public = RSAPublicKey(n=n, e=PUBLIC_EXPONENT)
+        return RSAKeyPair(public_key=public, private_key=RSAPrivateKey(public, d))

@@ -1,0 +1,139 @@
+"""Secret sharing: additive (n-of-n) and Shamir (t-of-n) schemes,
+plus a Beaver-triple dealer for MPC multiplication.
+
+RC2's decentralized path runs secure multi-party computation over
+additive shares in a prime field: each platform holds one share of each
+private value; sums are local, multiplications consume one Beaver
+triple, comparisons are built from bits (see ``repro.privacy.mpc``).
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.common.errors import ProtocolError
+from repro.common.randomness import SystemRandomSource
+from repro.crypto.numbers import modinv
+
+# A 127-bit Mersenne prime: big enough for 64-bit values and sums over
+# thousands of parties, with fast reduction.
+DEFAULT_FIELD_PRIME = (1 << 127) - 1
+
+
+def additive_share(
+    secret: int, parties: int, prime: int = DEFAULT_FIELD_PRIME, rng=None
+) -> List[int]:
+    """Split ``secret`` into ``parties`` additive shares mod ``prime``."""
+    if parties < 2:
+        raise ProtocolError("additive sharing needs at least 2 parties")
+    rng = rng or SystemRandomSource()
+    shares = [rng.randbelow(prime) for _ in range(parties - 1)]
+    last = (secret - sum(shares)) % prime
+    shares.append(last)
+    return shares
+
+
+def additive_reconstruct(
+    shares: Sequence[int], prime: int = DEFAULT_FIELD_PRIME
+) -> int:
+    return sum(shares) % prime
+
+
+def to_signed(value: int, prime: int = DEFAULT_FIELD_PRIME) -> int:
+    """Map a field element back to a signed integer (upper half = negative)."""
+    if value > prime // 2:
+        return value - prime
+    return value
+
+
+def shamir_share(
+    secret: int,
+    threshold: int,
+    parties: int,
+    prime: int = DEFAULT_FIELD_PRIME,
+    rng=None,
+) -> List[Tuple[int, int]]:
+    """Shamir t-of-n sharing; returns (x, y) evaluation points.
+
+    Any ``threshold`` shares reconstruct; fewer reveal nothing.
+    """
+    if not 1 <= threshold <= parties:
+        raise ProtocolError("invalid threshold")
+    rng = rng or SystemRandomSource()
+    coefficients = [secret % prime] + [
+        rng.randbelow(prime) for _ in range(threshold - 1)
+    ]
+    shares = []
+    for x in range(1, parties + 1):
+        y = 0
+        for coefficient in reversed(coefficients):
+            y = (y * x + coefficient) % prime
+        shares.append((x, y))
+    return shares
+
+
+def shamir_reconstruct(
+    shares: Sequence[Tuple[int, int]], prime: int = DEFAULT_FIELD_PRIME
+) -> int:
+    """Lagrange interpolation at zero."""
+    if not shares:
+        raise ProtocolError("no shares supplied")
+    xs = [x for x, _ in shares]
+    if len(set(xs)) != len(xs):
+        raise ProtocolError("duplicate share indices")
+    secret = 0
+    for i, (x_i, y_i) in enumerate(shares):
+        numerator = 1
+        denominator = 1
+        for j, (x_j, _) in enumerate(shares):
+            if i == j:
+                continue
+            numerator = numerator * (-x_j) % prime
+            denominator = denominator * (x_i - x_j) % prime
+        secret = (secret + y_i * numerator * modinv(denominator, prime)) % prime
+    return secret
+
+
+@dataclass(frozen=True)
+class BeaverTriple:
+    """Per-party shares of (a, b, c) with c = a*b, used once."""
+
+    a: int
+    b: int
+    c: int
+
+
+class BeaverTripleDealer:
+    """A semi-honest dealer handing out correlated randomness.
+
+    Real systems generate triples with OT or homomorphic encryption in
+    an offline phase; PReVer's simulator uses a dealer, which preserves
+    the *online* protocol exactly (the measurable part) and is the
+    standard benchmark configuration for semi-honest MPC.
+    """
+
+    def __init__(self, parties: int, prime: int = DEFAULT_FIELD_PRIME, rng=None):
+        if parties < 2:
+            raise ProtocolError("need at least 2 parties")
+        self.parties = parties
+        self.prime = prime
+        self._rng = rng or SystemRandomSource()
+        self.triples_dealt = 0
+
+    def deal(self) -> List[BeaverTriple]:
+        """One multiplication's worth of shares, one triple per party."""
+        a = self._rng.randbelow(self.prime)
+        b = self._rng.randbelow(self.prime)
+        c = a * b % self.prime
+        a_shares = additive_share(a, self.parties, self.prime, self._rng)
+        b_shares = additive_share(b, self.parties, self.prime, self._rng)
+        c_shares = additive_share(c, self.parties, self.prime, self._rng)
+        self.triples_dealt += 1
+        return [
+            BeaverTriple(a=a_shares[i], b=b_shares[i], c=c_shares[i])
+            for i in range(self.parties)
+        ]
+
+    def deal_bits(self) -> List[int]:
+        """Shares of a uniformly random bit (for comparison protocols)."""
+        bit = self._rng.randbelow(2)
+        return additive_share(bit, self.parties, self.prime, self._rng)

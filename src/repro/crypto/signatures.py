@@ -1,0 +1,78 @@
+"""Schnorr signatures over a Schnorr group (Fiat–Shamir transformed).
+
+Used to authenticate updates from data producers, authority-issued
+regulations, and ledger digests.  Standard construction:
+
+    k  random;  R = g^k;  e = H(R || pk || m);  s = k + e*x (mod q)
+    verify:  g^s == R * pk^e
+"""
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.common.serialization import canonical_bytes
+from repro.crypto.group import SchnorrGroup
+from repro.crypto.hashing import hash_to_int
+from repro.crypto.numbers import int_to_bytes
+
+
+@dataclass(frozen=True)
+class SchnorrSignature:
+    commitment: int  # R
+    response: int    # s
+
+    def to_dict(self) -> dict:
+        return {"R": self.commitment, "s": self.response}
+
+
+def _challenge(group: SchnorrGroup, commitment: int, pk: int, message: bytes) -> int:
+    payload = (
+        int_to_bytes(commitment) + b"|" + int_to_bytes(pk) + b"|" + message
+    )
+    return hash_to_int(payload, group.q, domain=b"schnorr")
+
+
+class SchnorrSigner:
+    """Holds a signing key; exposes the matching verifier."""
+
+    def __init__(self, group: Optional[SchnorrGroup] = None, rng=None):
+        self.group = group or SchnorrGroup.default()
+        self._x = self.group.random_exponent(rng)
+        self.public_key = self.group.power(self.group.g, self._x)
+
+    def sign(self, message: bytes, rng=None) -> SchnorrSignature:
+        k = self.group.random_exponent(rng)
+        commitment = self.group.power(self.group.g, k)
+        e = _challenge(self.group, commitment, self.public_key, message)
+        s = (k + e * self._x) % self.group.q
+        return SchnorrSignature(commitment=commitment, response=s)
+
+    def sign_obj(self, obj, rng=None) -> SchnorrSignature:
+        """Sign the canonical serialization of a structured value."""
+        return self.sign(canonical_bytes(obj), rng=rng)
+
+    def verifier(self) -> "SchnorrVerifier":
+        return SchnorrVerifier(self.group, self.public_key)
+
+
+class SchnorrVerifier:
+    """Verifies signatures for one public key."""
+
+    def __init__(self, group: SchnorrGroup, public_key: int):
+        self.group = group
+        self.public_key = public_key
+
+    def verify(self, message: bytes, signature: SchnorrSignature) -> bool:
+        if not self.group.is_member(signature.commitment):
+            return False
+        e = _challenge(self.group, signature.commitment, self.public_key, message)
+        lhs = self.group.power(self.group.g, signature.response)
+        rhs = (
+            signature.commitment
+            * self.group.power(self.public_key, e)
+            % self.group.p
+        )
+        return lhs == rhs
+
+    def verify_obj(self, obj, signature: SchnorrSignature) -> bool:
+        return self.verify(canonical_bytes(obj), signature)

@@ -1,0 +1,405 @@
+"""Sigma-protocol zero-knowledge proofs, Fiat–Shamir transformed.
+
+PReVer's RC1 asks the untrusted data manager to *prove* it executed a
+constraint correctly without revealing private inputs.  The paper names
+zk-SNARKs; we substitute classical sigma protocols (see DESIGN.md),
+which provide the same functionality with linear-size proofs:
+
+* :class:`DlogProof` — knowledge of x with y = g^x (Schnorr);
+* :class:`CommitmentEqualityProof` — two Pedersen commitments hide the
+  same value;
+* :class:`BitProof` — a commitment hides 0 or 1 (OR-composition);
+* :class:`RangeProof` — a commitment hides a value in [0, 2^bits)
+  via bit decomposition, which is exactly what upper/lower-bound
+  regulations (Separ, FLSA) need.
+
+All proofs are non-interactive: the challenge is a hash of the full
+transcript (Fiat–Shamir), domain-separated per protocol.
+"""
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.common.errors import IntegrityError
+from repro.crypto.commitments import PedersenCommitment, PedersenCommitter
+from repro.crypto.group import SchnorrGroup
+from repro.crypto.hashing import hash_to_int
+from repro.crypto.numbers import int_to_bytes, modinv
+
+
+def _fs_challenge(group: SchnorrGroup, domain: bytes, *elements: int) -> int:
+    payload = b"|".join(int_to_bytes(e % group.p) for e in elements)
+    return hash_to_int(payload, group.q, domain=domain)
+
+
+# ---------------------------------------------------------------------------
+# Knowledge of discrete log (Schnorr's protocol)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class DlogProof:
+    """Proof of knowledge of x such that y = base^x."""
+
+    commitment: int
+    response: int
+
+    def to_dict(self) -> dict:
+        return {"t": self.commitment, "s": self.response}
+
+
+def prove_dlog(
+    group: SchnorrGroup, base: int, secret: int, rng=None
+) -> Tuple[int, DlogProof]:
+    """Returns (y, proof) with y = base^secret."""
+    y = group.power(base, secret)
+    k = group.random_exponent(rng)
+    t = group.power(base, k)
+    e = _fs_challenge(group, b"zkp-dlog", base, y, t)
+    s = (k + e * secret) % group.q
+    return y, DlogProof(commitment=t, response=s)
+
+
+def verify_dlog(group: SchnorrGroup, base: int, y: int, proof: DlogProof) -> bool:
+    if not (group.is_member(y) and group.is_member(proof.commitment)):
+        return False
+    e = _fs_challenge(group, b"zkp-dlog", base, y, proof.commitment)
+    lhs = group.power(base, proof.response)
+    rhs = proof.commitment * group.power(y, e) % group.p
+    return lhs == rhs
+
+
+# ---------------------------------------------------------------------------
+# Equality of committed values
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CommitmentEqualityProof:
+    """Both commitments hide the same message (different randomness)."""
+
+    t1: int
+    t2: int
+    s_m: int
+    s_r1: int
+    s_r2: int
+
+
+def prove_commitment_equality(
+    committer: PedersenCommitter,
+    message: int,
+    r1: int,
+    r2: int,
+    rng=None,
+) -> CommitmentEqualityProof:
+    group = committer.group
+    k_m = group.random_exponent(rng)
+    k_r1 = group.random_exponent(rng)
+    k_r2 = group.random_exponent(rng)
+    t1 = group.power(committer.g, k_m) * group.power(committer.h, k_r1) % group.p
+    t2 = group.power(committer.g, k_m) * group.power(committer.h, k_r2) % group.p
+    c1 = committer.commit_with(message, r1).value
+    c2 = committer.commit_with(message, r2).value
+    e = _fs_challenge(group, b"zkp-eq", c1, c2, t1, t2)
+    return CommitmentEqualityProof(
+        t1=t1,
+        t2=t2,
+        s_m=(k_m + e * message) % group.q,
+        s_r1=(k_r1 + e * r1) % group.q,
+        s_r2=(k_r2 + e * r2) % group.q,
+    )
+
+
+def verify_commitment_equality(
+    committer: PedersenCommitter,
+    c1: PedersenCommitment,
+    c2: PedersenCommitment,
+    proof: CommitmentEqualityProof,
+) -> bool:
+    group = committer.group
+    e = _fs_challenge(group, b"zkp-eq", c1.value, c2.value, proof.t1, proof.t2)
+    lhs1 = (
+        group.power(committer.g, proof.s_m)
+        * group.power(committer.h, proof.s_r1)
+        % group.p
+    )
+    rhs1 = proof.t1 * group.power(c1.value, e) % group.p
+    lhs2 = (
+        group.power(committer.g, proof.s_m)
+        * group.power(committer.h, proof.s_r2)
+        % group.p
+    )
+    rhs2 = proof.t2 * group.power(c2.value, e) % group.p
+    return lhs1 == rhs1 and lhs2 == rhs2
+
+
+# ---------------------------------------------------------------------------
+# Bit proof: a commitment hides 0 or 1 (OR-composition of two Schnorr
+# proofs with simulated branches, per Cramer–Damgård–Schoenmakers)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class BitProof:
+    t0: int
+    t1: int
+    e0: int
+    e1: int
+    s0: int
+    s1: int
+
+
+def prove_bit(
+    committer: PedersenCommitter, bit: int, randomness: int, rng=None
+) -> BitProof:
+    """Prove Commit(bit, randomness) hides a value in {0, 1}."""
+    if bit not in (0, 1):
+        raise IntegrityError("prove_bit called with a non-bit value")
+    group = committer.group
+    c = committer.commit_with(bit, randomness).value
+    # For bit b, prove knowledge of r such that c / g^b = h^r (real
+    # branch); simulate the other branch.
+    # Statement 0: c       = h^r        (bit == 0)
+    # Statement 1: c / g   = h^r        (bit == 1)
+    y0 = c
+    y1 = c * modinv(group.power(committer.g, 1), group.p) % group.p
+    if bit == 0:
+        real_y, fake_y = y0, y1
+    else:
+        real_y, fake_y = y1, y0
+    # Simulate fake branch: pick e_fake, s_fake; t_fake = h^s / y^e.
+    e_fake = group.random_exponent(rng)
+    s_fake = group.random_exponent(rng)
+    t_fake = (
+        group.power(committer.h, s_fake)
+        * modinv(group.power(fake_y, e_fake), group.p)
+        % group.p
+    )
+    # Real branch commitment.
+    k = group.random_exponent(rng)
+    t_real = group.power(committer.h, k)
+    if bit == 0:
+        t0, t1 = t_real, t_fake
+    else:
+        t0, t1 = t_fake, t_real
+    e = _fs_challenge(group, b"zkp-bit", c, t0, t1)
+    e_real = (e - e_fake) % group.q
+    s_real = (k + e_real * randomness) % group.q
+    if bit == 0:
+        return BitProof(t0=t0, t1=t1, e0=e_real, e1=e_fake, s0=s_real, s1=s_fake)
+    return BitProof(t0=t0, t1=t1, e0=e_fake, e1=e_real, s0=s_fake, s1=s_real)
+
+
+def verify_bit(
+    committer: PedersenCommitter, commitment: PedersenCommitment, proof: BitProof
+) -> bool:
+    group = committer.group
+    c = commitment.value
+    e = _fs_challenge(group, b"zkp-bit", c, proof.t0, proof.t1)
+    if (proof.e0 + proof.e1) % group.q != e:
+        return False
+    y0 = c
+    y1 = c * modinv(committer.g, group.p) % group.p
+    ok0 = (
+        group.power(committer.h, proof.s0)
+        == proof.t0 * group.power(y0, proof.e0) % group.p
+    )
+    ok1 = (
+        group.power(committer.h, proof.s1)
+        == proof.t1 * group.power(y1, proof.e1) % group.p
+    )
+    return ok0 and ok1
+
+
+# ---------------------------------------------------------------------------
+# Range proof via bit decomposition
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RangeProof:
+    """Proves a commitment hides a value in [0, 2^bits).
+
+    Contains one bit-commitment and bit-proof per binary digit; the
+    verifier also checks that the weighted product of bit commitments
+    recombines to the value commitment (which ties the bits to the
+    committed value because commitment randomness was chosen to match).
+    """
+
+    bits: int
+    bit_commitments: List[PedersenCommitment]
+    bit_proofs: List[BitProof]
+
+
+def prove_range(
+    committer: PedersenCommitter, value: int, bits: int, rng=None
+) -> Tuple[PedersenCommitment, int, RangeProof]:
+    """Commit to ``value`` and prove 0 <= value < 2^bits.
+
+    Returns (commitment, randomness, proof).  The randomness of the
+    value commitment is the weighted sum of bit randomness, so the
+    recombination check is exact.
+    """
+    if not 0 <= value < (1 << bits):
+        raise IntegrityError("value outside the provable range")
+    group = committer.group
+    bit_commitments: List[PedersenCommitment] = []
+    bit_proofs: List[BitProof] = []
+    total_randomness = 0
+    for i in range(bits):
+        bit = (value >> i) & 1
+        r_i = group.random_exponent(rng)
+        bit_commitments.append(committer.commit_with(bit, r_i))
+        bit_proofs.append(prove_bit(committer, bit, r_i, rng=rng))
+        total_randomness = (total_randomness + (r_i << i)) % group.q
+    commitment = committer.commit_with(value, total_randomness)
+    proof = RangeProof(
+        bits=bits, bit_commitments=bit_commitments, bit_proofs=bit_proofs
+    )
+    return commitment, total_randomness, proof
+
+
+def verify_range(
+    committer: PedersenCommitter,
+    commitment: PedersenCommitment,
+    proof: RangeProof,
+) -> bool:
+    group = committer.group
+    if len(proof.bit_commitments) != proof.bits:
+        return False
+    if len(proof.bit_proofs) != proof.bits:
+        return False
+    for bit_commitment, bit_proof in zip(proof.bit_commitments, proof.bit_proofs):
+        if not verify_bit(committer, bit_commitment, bit_proof):
+            return False
+    # Recombine: prod_i C_i^(2^i) must equal the value commitment.
+    recombined = 1
+    for i, bit_commitment in enumerate(proof.bit_commitments):
+        recombined = (
+            recombined * group.power(bit_commitment.value, 1 << i) % group.p
+        )
+    return recombined == commitment.value
+
+
+def prove_upper_bound(
+    committer: PedersenCommitter,
+    value: int,
+    bound: int,
+    bits: int,
+    rng=None,
+) -> Tuple[PedersenCommitment, int, "BoundProof"]:
+    """Prove value <= bound by range-proving the slack (bound - value).
+
+    This is precisely the FLSA-style regulation check: a worker proves
+    their cumulative hours do not exceed the cap, without revealing the
+    hours.  Returns (value_commitment, value_randomness, proof).
+    """
+    if value > bound:
+        raise IntegrityError("cannot prove a false bound")
+    slack = bound - value
+    slack_commitment, slack_randomness, slack_proof = prove_range(
+        committer, slack, bits, rng=rng
+    )
+    value_commitment, value_randomness, value_proof = prove_range(
+        committer, value, bits, rng=rng
+    )
+    return (
+        value_commitment,
+        value_randomness,
+        BoundProof(
+            bound=bound,
+            slack_commitment=slack_commitment,
+            slack_proof=slack_proof,
+            value_proof=value_proof,
+            combined_randomness=(value_randomness + slack_randomness)
+            % committer.group.q,
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class BoundProof:
+    bound: int
+    slack_commitment: PedersenCommitment
+    slack_proof: RangeProof
+    value_proof: RangeProof
+    combined_randomness: int
+
+
+def prove_lower_bound(
+    committer: PedersenCommitter,
+    value: int,
+    bound: int,
+    bits: int,
+    rng=None,
+) -> Tuple[PedersenCommitment, int, "LowerBoundProof"]:
+    """Prove value >= bound by range-proving the excess (value - bound).
+
+    The lower-bound regulations Separ also supports (e.g. minimum
+    activity / minimum wage), in zero knowledge.
+    Returns (value_commitment, value_randomness, proof).
+    """
+    if value < bound:
+        raise IntegrityError("cannot prove a false lower bound")
+    excess = value - bound
+    excess_commitment, excess_randomness, excess_proof = prove_range(
+        committer, excess, bits, rng=rng
+    )
+    value_commitment, value_randomness, value_proof = prove_range(
+        committer, value, bits, rng=rng
+    )
+    return (
+        value_commitment,
+        value_randomness,
+        LowerBoundProof(
+            bound=bound,
+            excess_commitment=excess_commitment,
+            excess_proof=excess_proof,
+            value_proof=value_proof,
+            # value = bound + excess, so Commit(value) must equal
+            # Commit(bound, 0) * Commit(excess); randomness matches
+            # when r_value - r_excess is published.
+            randomness_difference=(value_randomness - excess_randomness)
+            % committer.group.q,
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class LowerBoundProof:
+    bound: int
+    excess_commitment: PedersenCommitment
+    excess_proof: RangeProof
+    value_proof: RangeProof
+    randomness_difference: int
+
+
+def verify_lower_bound(
+    committer: PedersenCommitter,
+    value_commitment: PedersenCommitment,
+    proof: LowerBoundProof,
+) -> bool:
+    """Check C_value == Commit(bound, diff) * C_excess plus both range
+    proofs — hence value = bound + excess with excess >= 0."""
+    if not verify_range(committer, value_commitment, proof.value_proof):
+        return False
+    if not verify_range(committer, proof.excess_commitment, proof.excess_proof):
+        return False
+    expected = committer.combine(
+        committer.commit_with(proof.bound, proof.randomness_difference),
+        proof.excess_commitment,
+    )
+    return expected.value == value_commitment.value
+
+
+def verify_upper_bound(
+    committer: PedersenCommitter,
+    value_commitment: PedersenCommitment,
+    proof: BoundProof,
+) -> bool:
+    """Check C_value * C_slack == Commit(bound, combined_randomness)
+    plus both range proofs — hence value in [0, 2^bits) and
+    value + slack == bound with slack >= 0, i.e. value <= bound."""
+    if not verify_range(committer, value_commitment, proof.value_proof):
+        return False
+    if not verify_range(committer, proof.slack_commitment, proof.slack_proof):
+        return False
+    combined = committer.combine(value_commitment, proof.slack_commitment)
+    expected = committer.commit_with(proof.bound, proof.combined_randomness)
+    return combined.value == expected.value

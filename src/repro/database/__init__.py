@@ -1,0 +1,48 @@
+"""Relational database substrate.
+
+PReVer is a framework *over* databases, so the reproduction needs a
+real (if small) relational engine to regulate: typed schemas, tables
+with primary keys and secondary indexes, an expression AST shared with
+the constraint language, aggregate queries with grouping, a transaction
+log, and an encrypted-column store for the RC1 outsourced setting.
+"""
+
+from repro.database.schema import Column, ColumnType, TableSchema
+from repro.database.expr import (
+    Expr,
+    Col,
+    Lit,
+    UpdateField,
+    BinOp,
+    Not,
+    FuncCall,
+    col,
+    lit,
+    update_field,
+)
+from repro.database.table import Table
+from repro.database.engine import Database
+from repro.database.log import TransactionLog, LogRecord
+from repro.database.encrypted import EncryptedTable, ColumnEncryption
+
+__all__ = [
+    "Column",
+    "ColumnType",
+    "TableSchema",
+    "Expr",
+    "Col",
+    "Lit",
+    "UpdateField",
+    "BinOp",
+    "Not",
+    "FuncCall",
+    "col",
+    "lit",
+    "update_field",
+    "Table",
+    "Database",
+    "TransactionLog",
+    "LogRecord",
+    "EncryptedTable",
+    "ColumnEncryption",
+]

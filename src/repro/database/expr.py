@@ -1,0 +1,343 @@
+"""Expression AST shared by queries and the constraint language.
+
+Constraints in PReVer are "Boolean functions computed over the database
+and an incoming update" (Section 3.2).  This module provides the value
+half of that language: column references, update-field references,
+literals, arithmetic/comparison/boolean operators, and a small function
+library.  Expressions evaluate against an *environment*: a row dict,
+an optional update dict (for ``UpdateField``), and optional extras
+(e.g. aggregate results bound by the constraint evaluator).
+
+The AST is deliberately analyzable — ``columns_used()`` and
+``linearize()`` let the privacy engines decide whether a constraint is
+linear (and hence Paillier/MPC-evaluable) without executing it.
+"""
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Optional, Tuple
+
+from repro.common.errors import PReVerError
+
+
+class ExprError(PReVerError):
+    pass
+
+
+class Expr:
+    """Base class; subclasses are immutable dataclasses."""
+
+    def evaluate(self, env: "Env") -> Any:
+        raise NotImplementedError
+
+    def columns_used(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def update_fields_used(self) -> FrozenSet[str]:
+        return frozenset()
+
+    # Operator sugar so constraints read naturally:
+    #   col("hours") + update_field("hours") <= lit(40)
+    def _binop(self, op: str, other) -> "BinOp":
+        return BinOp(op, self, _wrap(other))
+
+    def _rbinop(self, op: str, other) -> "BinOp":
+        return BinOp(op, _wrap(other), self)
+
+    def __add__(self, other):
+        return self._binop("+", other)
+
+    def __radd__(self, other):
+        return self._rbinop("+", other)
+
+    def __sub__(self, other):
+        return self._binop("-", other)
+
+    def __rsub__(self, other):
+        return self._rbinop("-", other)
+
+    def __mul__(self, other):
+        return self._binop("*", other)
+
+    def __rmul__(self, other):
+        return self._rbinop("*", other)
+
+    def __lt__(self, other):
+        return self._binop("<", other)
+
+    def __le__(self, other):
+        return self._binop("<=", other)
+
+    def __gt__(self, other):
+        return self._binop(">", other)
+
+    def __ge__(self, other):
+        return self._binop(">=", other)
+
+    def eq(self, other) -> "BinOp":
+        return self._binop("==", other)
+
+    def ne(self, other) -> "BinOp":
+        return self._binop("!=", other)
+
+    def and_(self, other) -> "BinOp":
+        return self._binop("and", other)
+
+    def or_(self, other) -> "BinOp":
+        return self._binop("or", other)
+
+    def is_in(self, values) -> "BinOp":
+        return BinOp("in", self, Lit(tuple(values)))
+
+
+def _wrap(value) -> Expr:
+    if isinstance(value, Expr):
+        return value
+    return Lit(value)
+
+
+@dataclass(frozen=True)
+class Env:
+    """Evaluation environment for one constraint check."""
+
+    row: Dict[str, Any]
+    update: Optional[Dict[str, Any]] = None
+    extras: Optional[Dict[str, Any]] = None
+
+    def lookup_column(self, name: str) -> Any:
+        if name in self.row:
+            return self.row[name]
+        if self.extras and name in self.extras:
+            return self.extras[name]
+        raise ExprError(f"unbound column {name!r}")
+
+    def lookup_update_field(self, name: str) -> Any:
+        if self.update is None:
+            raise ExprError("no update bound in this environment")
+        if name not in self.update:
+            raise ExprError(f"update has no field {name!r}")
+        return self.update[name]
+
+
+@dataclass(frozen=True)
+class Col(Expr):
+    """Reference to a database column (or a bound aggregate name)."""
+
+    name: str
+
+    def evaluate(self, env: Env) -> Any:
+        return env.lookup_column(self.name)
+
+    def columns_used(self) -> FrozenSet[str]:
+        return frozenset([self.name])
+
+    def __repr__(self):
+        return f"col({self.name!r})"
+
+
+@dataclass(frozen=True)
+class UpdateField(Expr):
+    """Reference to a field of the incoming update."""
+
+    name: str
+
+    def evaluate(self, env: Env) -> Any:
+        return env.lookup_update_field(self.name)
+
+    def update_fields_used(self) -> FrozenSet[str]:
+        return frozenset([self.name])
+
+    def __repr__(self):
+        return f"update_field({self.name!r})"
+
+
+@dataclass(frozen=True)
+class Lit(Expr):
+    """A constant."""
+
+    value: Any
+
+    def evaluate(self, env: Env) -> Any:
+        return self.value
+
+    def __repr__(self):
+        return f"lit({self.value!r})"
+
+
+_OPERATORS = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "in": lambda a, b: a in b,
+}
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+    def evaluate(self, env: Env) -> Any:
+        if self.op == "and":
+            return bool(self.left.evaluate(env)) and bool(self.right.evaluate(env))
+        if self.op == "or":
+            return bool(self.left.evaluate(env)) or bool(self.right.evaluate(env))
+        try:
+            fn = _OPERATORS[self.op]
+        except KeyError:
+            raise ExprError(f"unknown operator {self.op!r}") from None
+        left = self.left.evaluate(env)
+        right = self.right.evaluate(env)
+        if left is None or right is None:
+            # SQL-style: comparisons/arithmetic with NULL are NULL,
+            # which a boolean context treats as False.
+            return None
+        return fn(left, right)
+
+    def columns_used(self) -> FrozenSet[str]:
+        return self.left.columns_used() | self.right.columns_used()
+
+    def update_fields_used(self) -> FrozenSet[str]:
+        return self.left.update_fields_used() | self.right.update_fields_used()
+
+    def __repr__(self):
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Not(Expr):
+    operand: Expr
+
+    def evaluate(self, env: Env) -> Any:
+        value = self.operand.evaluate(env)
+        if value is None:
+            return None
+        return not value
+
+    def columns_used(self) -> FrozenSet[str]:
+        return self.operand.columns_used()
+
+    def update_fields_used(self) -> FrozenSet[str]:
+        return self.operand.update_fields_used()
+
+
+_FUNCTIONS = {
+    "abs": abs,
+    "min": min,
+    "max": max,
+    "len": len,
+}
+
+
+@dataclass(frozen=True)
+class FuncCall(Expr):
+    name: str
+    args: Tuple[Expr, ...]
+
+    def evaluate(self, env: Env) -> Any:
+        try:
+            fn = _FUNCTIONS[self.name]
+        except KeyError:
+            raise ExprError(f"unknown function {self.name!r}") from None
+        return fn(*(arg.evaluate(env) for arg in self.args))
+
+    def columns_used(self) -> FrozenSet[str]:
+        out: FrozenSet[str] = frozenset()
+        for arg in self.args:
+            out |= arg.columns_used()
+        return out
+
+    def update_fields_used(self) -> FrozenSet[str]:
+        out: FrozenSet[str] = frozenset()
+        for arg in self.args:
+            out |= arg.update_fields_used()
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Linearity analysis — the privacy engines only handle linear forms.
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class LinearForm:
+    """sum_i coeff_i * var_i + constant, over column/update variables.
+
+    Variables are tagged ("col", name) or ("upd", name).
+    """
+
+    coefficients: Tuple[Tuple[Tuple[str, str], float], ...]
+    constant: float
+
+    def as_dict(self) -> Dict[Tuple[str, str], float]:
+        return dict(self.coefficients)
+
+
+def linearize(expr: Expr) -> Optional[LinearForm]:
+    """Return the linear form of an arithmetic expression, or None if
+    it is not linear (product of two variables, unsupported function).
+    """
+    result = _linearize(expr)
+    if result is None:
+        return None
+    coeffs, constant = result
+    return LinearForm(
+        coefficients=tuple(sorted(coeffs.items())), constant=constant
+    )
+
+
+def _linearize(expr: Expr):
+    if isinstance(expr, Lit):
+        if isinstance(expr.value, (int, float)) and not isinstance(expr.value, bool):
+            return {}, float(expr.value)
+        return None
+    if isinstance(expr, Col):
+        return {("col", expr.name): 1.0}, 0.0
+    if isinstance(expr, UpdateField):
+        return {("upd", expr.name): 1.0}, 0.0
+    if isinstance(expr, BinOp):
+        left = _linearize(expr.left)
+        right = _linearize(expr.right)
+        if left is None or right is None:
+            return None
+        lc, lk = left
+        rc, rk = right
+        if expr.op == "+":
+            return _merge(lc, rc, 1.0), lk + rk
+        if expr.op == "-":
+            return _merge(lc, rc, -1.0), lk - rk
+        if expr.op == "*":
+            if lc and rc:
+                return None  # variable * variable: not linear
+            if lc:
+                return {k: v * rk for k, v in lc.items()}, lk * rk
+            return {k: v * lk for k, v in rc.items()}, lk * rk
+        return None
+    return None
+
+
+def _merge(a: Dict, b: Dict, sign: float) -> Dict:
+    out = dict(a)
+    for key, value in b.items():
+        out[key] = out.get(key, 0.0) + sign * value
+    return {k: v for k, v in out.items() if v != 0.0}
+
+
+# Public constructors ------------------------------------------------------
+
+def col(name: str) -> Col:
+    return Col(name)
+
+
+def lit(value: Any) -> Lit:
+    return Lit(value)
+
+
+def update_field(name: str) -> UpdateField:
+    return UpdateField(name)

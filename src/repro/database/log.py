@@ -1,0 +1,91 @@
+"""Transaction log: an ordered record of every committed mutation.
+
+The ledger layer (RC4) anchors these records into Merkle trees; the
+DP-Sync-style update-pattern analysis (RC1) reads arrival timestamps
+from here.
+"""
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.common.serialization import canonical_bytes
+
+
+class LogOp(enum.Enum):
+    INSERT = "insert"
+    UPDATE = "update"
+    DELETE = "delete"
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One committed mutation with before/after images."""
+
+    sequence: int
+    timestamp: float
+    table: str
+    op: LogOp
+    key: tuple
+    before: Optional[Dict[str, Any]]
+    after: Optional[Dict[str, Any]]
+    update_id: Optional[str] = None
+
+    def to_dict(self) -> dict:
+        return {
+            "sequence": self.sequence,
+            "timestamp": self.timestamp,
+            "table": self.table,
+            "op": self.op.value,
+            "key": list(self.key),
+            "before": self.before,
+            "after": self.after,
+            "update_id": self.update_id,
+        }
+
+    def payload_bytes(self) -> bytes:
+        return canonical_bytes(self.to_dict())
+
+
+class TransactionLog:
+    """Append-only sequence of :class:`LogRecord`."""
+
+    def __init__(self):
+        self._records: List[LogRecord] = []
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def append(
+        self,
+        timestamp: float,
+        table: str,
+        op: LogOp,
+        key: tuple,
+        before: Optional[Dict[str, Any]],
+        after: Optional[Dict[str, Any]],
+        update_id: Optional[str] = None,
+    ) -> LogRecord:
+        record = LogRecord(
+            sequence=len(self._records),
+            timestamp=timestamp,
+            table=table,
+            op=op,
+            key=key,
+            before=before,
+            after=after,
+            update_id=update_id,
+        )
+        self._records.append(record)
+        return record
+
+    def records(self, since: int = 0) -> Iterator[LogRecord]:
+        yield from self._records[since:]
+
+    def last(self) -> Optional[LogRecord]:
+        return self._records[-1] if self._records else None
+
+    def arrival_times(self) -> List[float]:
+        """Timestamps of all records — the update pattern an observer
+        of the outsourced store would see (DP-Sync's threat)."""
+        return [r.timestamp for r in self._records]

@@ -1,0 +1,81 @@
+"""Sorted (range) secondary indexes.
+
+Window regulations ("hours within the last 7 days") filter on a
+timestamp column; without an order-aware index every check scans the
+table.  :class:`RangeIndex` keeps a sorted list of (value, key) pairs
+maintained on every mutation, answering range lookups in
+O(log n + matches).
+"""
+
+import bisect
+from typing import Any, List, Optional, Tuple
+
+from repro.common.errors import PReVerError
+
+
+class RangeIndexError(PReVerError):
+    pass
+
+
+class RangeIndex:
+    """A sorted index over one column.  None values are not indexed."""
+
+    def __init__(self, column: str):
+        self.column = column
+        self._entries: List[Tuple[Any, Tuple]] = []  # (value, primary key)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def add(self, value: Any, key: Tuple) -> None:
+        if value is None:
+            return
+        bisect.insort(self._entries, (value, key))
+
+    def remove(self, value: Any, key: Tuple) -> None:
+        if value is None:
+            return
+        index = bisect.bisect_left(self._entries, (value, key))
+        if index < len(self._entries) and self._entries[index] == (value, key):
+            del self._entries[index]
+
+    def range_keys(
+        self,
+        low: Any = None,
+        high: Any = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> List[Tuple]:
+        """Primary keys of rows with column value in the interval."""
+        if low is None:
+            start = 0
+        elif include_low:
+            start = bisect.bisect_left(self._entries, (low,))
+        else:
+            start = bisect.bisect_right(self._entries, (low, _TOP))
+        if high is None:
+            stop = len(self._entries)
+        elif include_high:
+            stop = bisect.bisect_right(self._entries, (high, _TOP))
+        else:
+            stop = bisect.bisect_left(self._entries, (high,))
+        return [key for _, key in self._entries[start:stop]]
+
+    def min_value(self) -> Optional[Any]:
+        return self._entries[0][0] if self._entries else None
+
+    def max_value(self) -> Optional[Any]:
+        return self._entries[-1][0] if self._entries else None
+
+
+class _Top:
+    """Sorts after every tuple key (sentinel for inclusive bounds)."""
+
+    def __lt__(self, other):
+        return False
+
+    def __gt__(self, other):
+        return True
+
+
+_TOP = _Top()

@@ -1,0 +1,127 @@
+"""Table schemas: typed columns, primary keys, nullability.
+
+Schemas validate rows on every write, so constraint evaluation can
+assume well-typed data.
+"""
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import PReVerError
+
+
+class SchemaError(PReVerError):
+    pass
+
+
+class ColumnType(enum.Enum):
+    INT = "int"
+    FLOAT = "float"
+    TEXT = "text"
+    BOOL = "bool"
+    BYTES = "bytes"
+
+    def validate(self, value: Any) -> bool:
+        if value is None:
+            return True  # nullability is checked separately
+        expected = {
+            ColumnType.INT: int,
+            ColumnType.FLOAT: (int, float),
+            ColumnType.TEXT: str,
+            ColumnType.BOOL: bool,
+            ColumnType.BYTES: bytes,
+        }[self]
+        if self is ColumnType.INT and isinstance(value, bool):
+            return False  # bool is an int subclass; reject it for INT
+        return isinstance(value, expected)
+
+
+@dataclass(frozen=True)
+class Column:
+    name: str
+    type: ColumnType
+    nullable: bool = False
+
+    def check(self, value: Any) -> None:
+        if value is None and not self.nullable:
+            raise SchemaError(f"column {self.name!r} is not nullable")
+        if not self.type.validate(value):
+            raise SchemaError(
+                f"column {self.name!r} expects {self.type.value}, "
+                f"got {type(value).__name__}"
+            )
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """A named, ordered collection of columns with a primary key."""
+
+    name: str
+    columns: Tuple[Column, ...]
+    primary_key: Tuple[str, ...]
+    indexes: Tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self):
+        names = [c.name for c in self.columns]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate column names in {self.name!r}")
+        for key in self.primary_key:
+            if key not in names:
+                raise SchemaError(f"primary key column {key!r} missing")
+        for key in self.indexes:
+            if key not in names:
+                raise SchemaError(f"indexed column {key!r} missing")
+        if not self.primary_key:
+            raise SchemaError("a table needs at least one primary-key column")
+
+    @classmethod
+    def build(
+        cls,
+        name: str,
+        columns: Sequence[Tuple[str, ColumnType]],
+        primary_key: Sequence[str],
+        indexes: Sequence[str] = (),
+        nullable: Sequence[str] = (),
+    ) -> "TableSchema":
+        """Convenience constructor from (name, type) pairs."""
+        nullable_set = set(nullable)
+        cols = tuple(
+            Column(n, t, nullable=n in nullable_set) for n, t in columns
+        )
+        return cls(
+            name=name,
+            columns=cols,
+            primary_key=tuple(primary_key),
+            indexes=tuple(indexes),
+        )
+
+    @property
+    def column_names(self) -> List[str]:
+        return [c.name for c in self.columns]
+
+    def column(self, name: str) -> Column:
+        for c in self.columns:
+            if c.name == name:
+                return c
+        raise SchemaError(f"no column {name!r} in table {self.name!r}")
+
+    def validate_row(self, row: Dict[str, Any]) -> Dict[str, Any]:
+        """Check types/nullability; fill missing nullable columns with
+        None; reject unknown columns.  Returns a normalized copy."""
+        known = set(self.column_names)
+        unknown = set(row) - known
+        if unknown:
+            raise SchemaError(f"unknown columns {sorted(unknown)} for {self.name!r}")
+        normalized = {}
+        for column in self.columns:
+            value = row.get(column.name)
+            column.check(value)
+            normalized[column.name] = value
+        return normalized
+
+    def key_of(self, row: Dict[str, Any]) -> Tuple:
+        try:
+            return tuple(row[k] for k in self.primary_key)
+        except KeyError as exc:
+            raise SchemaError(f"row missing primary key column {exc}") from exc

@@ -1,0 +1,202 @@
+"""In-memory tables with primary keys and secondary hash indexes.
+
+Rows are plain dicts validated against the schema.  Mutations return
+copies of affected rows so callers can log before/after images; the
+table itself never hands out references to its internal storage.
+"""
+
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.common.errors import PReVerError
+from repro.database.expr import Env, Expr
+from repro.database.schema import TableSchema
+
+
+class TableError(PReVerError):
+    pass
+
+
+class DuplicateKeyError(TableError):
+    pass
+
+
+class MissingRowError(TableError):
+    pass
+
+
+class Table:
+    """A single table: primary-key dict plus secondary hash indexes."""
+
+    def __init__(self, schema: TableSchema):
+        self.schema = schema
+        self._rows: Dict[Tuple, Dict[str, Any]] = {}
+        self._indexes: Dict[str, Dict[Any, set]] = {
+            name: {} for name in schema.indexes
+        }
+        self._range_indexes: Dict[str, "RangeIndex"] = {}
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __contains__(self, key: Tuple) -> bool:
+        return key in self._rows
+
+    # -- mutations ----------------------------------------------------
+
+    def insert(self, row: Dict[str, Any]) -> Dict[str, Any]:
+        normalized = self.schema.validate_row(row)
+        key = self.schema.key_of(normalized)
+        if key in self._rows:
+            raise DuplicateKeyError(
+                f"duplicate key {key!r} in table {self.schema.name!r}"
+            )
+        self._rows[key] = normalized
+        self._index_add(key, normalized)
+        return dict(normalized)
+
+    def upsert(self, row: Dict[str, Any]) -> Dict[str, Any]:
+        normalized = self.schema.validate_row(row)
+        key = self.schema.key_of(normalized)
+        if key in self._rows:
+            self._index_remove(key, self._rows[key])
+        self._rows[key] = normalized
+        self._index_add(key, normalized)
+        return dict(normalized)
+
+    def update_row(
+        self, key: Tuple, changes: Dict[str, Any]
+    ) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+        """Apply ``changes`` to the row at ``key``; returns
+        (before_image, after_image)."""
+        if key not in self._rows:
+            raise MissingRowError(f"no row {key!r} in {self.schema.name!r}")
+        before = dict(self._rows[key])
+        merged = dict(before)
+        merged.update(changes)
+        normalized = self.schema.validate_row(merged)
+        new_key = self.schema.key_of(normalized)
+        if new_key != key and new_key in self._rows:
+            raise DuplicateKeyError(f"update collides with key {new_key!r}")
+        self._index_remove(key, before)
+        del self._rows[key]
+        self._rows[new_key] = normalized
+        self._index_add(new_key, normalized)
+        return before, dict(normalized)
+
+    def delete(self, key: Tuple) -> Dict[str, Any]:
+        if key not in self._rows:
+            raise MissingRowError(f"no row {key!r} in {self.schema.name!r}")
+        row = self._rows.pop(key)
+        self._index_remove(key, row)
+        return dict(row)
+
+    # -- reads --------------------------------------------------------
+
+    def get(self, key: Tuple) -> Optional[Dict[str, Any]]:
+        row = self._rows.get(key)
+        return dict(row) if row is not None else None
+
+    def scan(self, predicate: Optional[Expr] = None) -> Iterator[Dict[str, Any]]:
+        """Full scan, optionally filtered by an expression predicate."""
+        for row in self._rows.values():
+            if predicate is None or bool(predicate.evaluate(Env(row=row))):
+                yield dict(row)
+
+    def lookup(self, column: str, value: Any) -> List[Dict[str, Any]]:
+        """Equality lookup, via index when available."""
+        if column in self._indexes:
+            keys = self._indexes[column].get(value, set())
+            return [dict(self._rows[k]) for k in keys]
+        return [dict(r) for r in self._rows.values() if r.get(column) == value]
+
+    def aggregate(
+        self,
+        column: Optional[str],
+        func: str,
+        predicate: Optional[Expr] = None,
+    ) -> Any:
+        """COUNT/SUM/AVG/MIN/MAX over (optionally filtered) rows.
+
+        ``column`` may be None only for COUNT.
+        """
+        values = []
+        count = 0
+        for row in self._rows.values():
+            if predicate is not None and not bool(
+                predicate.evaluate(Env(row=row))
+            ):
+                continue
+            count += 1
+            if column is not None:
+                value = row.get(column)
+                if value is not None:
+                    values.append(value)
+        func = func.upper()
+        if func == "COUNT":
+            return count
+        if column is None:
+            raise TableError(f"{func} requires a column")
+        if func == "SUM":
+            return sum(values) if values else 0
+        if func == "AVG":
+            return sum(values) / len(values) if values else None
+        if func == "MIN":
+            return min(values) if values else None
+        if func == "MAX":
+            return max(values) if values else None
+        raise TableError(f"unknown aggregate {func!r}")
+
+    def rows(self) -> List[Dict[str, Any]]:
+        return [dict(r) for r in self._rows.values()]
+
+    # -- range indexes ---------------------------------------------------
+
+    def create_range_index(self, column: str) -> None:
+        """Add a sorted index over ``column`` (idempotent); existing
+        rows are indexed immediately."""
+        from repro.database.rindex import RangeIndex
+
+        self.schema.column(column)  # validates existence
+        if column in self._range_indexes:
+            return
+        index = RangeIndex(column)
+        for key, row in self._rows.items():
+            index.add(row.get(column), key)
+        self._range_indexes[column] = index
+
+    def has_range_index(self, column: str) -> bool:
+        return column in self._range_indexes
+
+    def range_lookup(
+        self,
+        column: str,
+        low: Any = None,
+        high: Any = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> List[Dict[str, Any]]:
+        """Rows with ``low <(=) column <(=) high`` via the sorted index."""
+        if column not in self._range_indexes:
+            raise TableError(f"no range index on {column!r}")
+        keys = self._range_indexes[column].range_keys(
+            low, high, include_low, include_high
+        )
+        return [dict(self._rows[k]) for k in keys]
+
+    # -- index maintenance ---------------------------------------------
+
+    def _index_add(self, key: Tuple, row: Dict[str, Any]) -> None:
+        for column, index in self._indexes.items():
+            index.setdefault(row.get(column), set()).add(key)
+        for column, range_index in self._range_indexes.items():
+            range_index.add(row.get(column), key)
+
+    def _index_remove(self, key: Tuple, row: Dict[str, Any]) -> None:
+        for column, index in self._indexes.items():
+            bucket = index.get(row.get(column))
+            if bucket is not None:
+                bucket.discard(key)
+                if not bucket:
+                    del index[row.get(column)]
+        for column, range_index in self._range_indexes.items():
+            range_index.remove(row.get(column), key)

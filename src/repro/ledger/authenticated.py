@@ -1,0 +1,187 @@
+"""Authenticated query results (RC4, the read path).
+
+The ledger anchors the *decision history*; clients also need to trust
+*query answers* from an untrusted manager ("verifiable database
+techniques", Section 4).  This module provides an authenticated view
+over a table:
+
+* the manager periodically publishes a **state commitment** — the
+  Merkle root over the table's rows sorted by primary key — and anchors
+  it on the ledger;
+* a query answer for key k comes with an **inclusion proof** against
+  the commitment;
+* a *negative* answer ("no such row") comes with an **absence proof**:
+  inclusion proofs for the two key-adjacent rows bracketing k, whose
+  adjacency in the sorted leaf order shows nothing lies between them.
+
+So a malicious manager can neither fabricate rows, return stale values
+(the commitment is anchored and auditable), nor silently suppress rows.
+"""
+
+import bisect
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.common.errors import IntegrityError
+from repro.common.serialization import canonical_bytes
+from repro.crypto.merkle import InclusionProof, MerkleTree, verify_inclusion
+from repro.database.table import Table
+from repro.ledger.central import CentralLedger
+
+
+def _key_bytes(key: Tuple) -> bytes:
+    return canonical_bytes(list(key))
+
+
+def _leaf_bytes(key: Tuple, row: Dict[str, Any]) -> bytes:
+    return canonical_bytes({"key": list(key), "row": row})
+
+
+@dataclass(frozen=True)
+class StateCommitment:
+    """Published commitment to one table snapshot."""
+
+    table: str
+    version: int
+    size: int
+    root: bytes
+
+    def to_dict(self) -> dict:
+        return {"table": self.table, "version": self.version,
+                "size": self.size, "root": self.root}
+
+
+@dataclass(frozen=True)
+class RowProof:
+    key: Tuple
+    row: Dict[str, Any]
+    proof: InclusionProof
+
+
+@dataclass(frozen=True)
+class AbsenceProof:
+    """The two sorted-order neighbours bracketing the missing key.
+
+    ``left`` is None when the key sorts before every row; ``right`` is
+    None when it sorts after every row; both present means the key
+    would fall strictly between two adjacent leaves.
+    """
+
+    missing_key: Tuple
+    left: Optional[RowProof]
+    right: Optional[RowProof]
+
+
+class AuthenticatedTableView:
+    """Manager-side: snapshots a table and serves proofs.
+
+    ``snapshot()`` must be called after each update batch; old
+    snapshots remain provable (clients verify against the commitment
+    version they hold).
+    """
+
+    def __init__(self, table: Table, ledger: Optional[CentralLedger] = None):
+        self.table = table
+        self.ledger = ledger or CentralLedger(name=f"{table.schema.name}-state")
+        self._versions: List[dict] = []
+
+    def snapshot(self) -> StateCommitment:
+        rows = {
+            self.table.schema.key_of(row): row for row in self.table.rows()
+        }
+        ordered_keys = sorted(rows, key=_key_bytes)
+        tree = MerkleTree([_leaf_bytes(k, rows[k]) for k in ordered_keys])
+        commitment = StateCommitment(
+            table=self.table.schema.name,
+            version=len(self._versions),
+            size=len(ordered_keys),
+            root=tree.root(),
+        )
+        self._versions.append(
+            {"keys": ordered_keys, "rows": rows, "tree": tree,
+             "commitment": commitment}
+        )
+        self.ledger.append(commitment.to_dict())
+        return commitment
+
+    def latest(self) -> StateCommitment:
+        if not self._versions:
+            raise IntegrityError("no snapshot published yet")
+        return self._versions[-1]["commitment"]
+
+    def _version(self, version: Optional[int]) -> dict:
+        if not self._versions:
+            raise IntegrityError("no snapshot published yet")
+        if version is None:
+            return self._versions[-1]
+        try:
+            return self._versions[version]
+        except IndexError:
+            raise IntegrityError(f"no snapshot version {version}") from None
+
+    def prove_row(self, key: Tuple, version: Optional[int] = None) -> RowProof:
+        state = self._version(version)
+        try:
+            index = state["keys"].index(key)
+        except ValueError:
+            raise IntegrityError(f"no row {key!r} in this snapshot") from None
+        return RowProof(
+            key=key,
+            row=state["rows"][key],
+            proof=state["tree"].inclusion_proof(index),
+        )
+
+    def prove_absent(self, key: Tuple, version: Optional[int] = None) -> AbsenceProof:
+        state = self._version(version)
+        if key in state["rows"]:
+            raise IntegrityError(f"{key!r} exists; absence is unprovable")
+        ordered = state["keys"]
+        position = bisect.bisect_left(
+            [_key_bytes(k) for k in ordered], _key_bytes(key)
+        )
+        left = None
+        right = None
+        if position > 0:
+            left = self.prove_row(ordered[position - 1], version)
+        if position < len(ordered):
+            right = self.prove_row(ordered[position], version)
+        return AbsenceProof(missing_key=key, left=left, right=right)
+
+
+# -- client-side verification (static; no view access required) -------------
+
+def verify_row(commitment: StateCommitment, proof: RowProof) -> bool:
+    if proof.proof.tree_size != commitment.size:
+        return False
+    return verify_inclusion(
+        commitment.root, _leaf_bytes(proof.key, proof.row), proof.proof
+    )
+
+
+def verify_absence(commitment: StateCommitment, proof: AbsenceProof) -> bool:
+    missing = _key_bytes(proof.missing_key)
+    if proof.left is None and proof.right is None:
+        return commitment.size == 0
+    left_index = -1
+    if proof.left is not None:
+        if not verify_row(commitment, proof.left):
+            return False
+        if _key_bytes(proof.left.key) >= missing:
+            return False
+        left_index = proof.left.proof.leaf_index
+    if proof.right is not None:
+        if not verify_row(commitment, proof.right):
+            return False
+        if _key_bytes(proof.right.key) <= missing:
+            return False
+        if proof.right.proof.leaf_index != left_index + 1:
+            return False  # not adjacent: something could hide between
+    else:
+        # Key sorts after every row: left must be the last leaf.
+        if left_index != commitment.size - 1:
+            return False
+    if proof.left is None:
+        # Key sorts before every row: right must be the first leaf.
+        if proof.right is None or proof.right.proof.leaf_index != 0:
+            return False
+    return True

@@ -1,0 +1,165 @@
+"""The centralized ledger database (QLDB/LedgerDB substitute).
+
+The ledger stores opaque entry payloads (PReVer appends update records
+and constraint-verification attestations).  Every append extends a
+Merkle tree; a *digest* (root + size) can be published out-of-band, and
+the ledger produces:
+
+* inclusion proofs — "entry i is in the history with digest D";
+* consistency proofs — "digest D2 extends digest D1 append-only".
+
+Tamper-evidence, not tamper-prevention: a malicious manager can rewrite
+its local journal, but any participant holding an old digest will catch
+it (see :mod:`repro.ledger.audit` and the tamper tests).
+"""
+
+from dataclasses import dataclass
+from typing import Any, List, Optional
+
+from repro.common.errors import IntegrityError
+from repro.common.serialization import (
+    canonical_bytes,
+    canonical_json,
+    from_canonical_json,
+)
+from repro.crypto.merkle import (
+    ConsistencyProof,
+    InclusionProof,
+    MerkleTree,
+    verify_consistency,
+    verify_inclusion,
+)
+
+
+@dataclass(frozen=True)
+class LedgerEntry:
+    """One journal entry: a sequence number plus an opaque payload."""
+
+    sequence: int
+    payload: Any
+
+    def leaf_bytes(self) -> bytes:
+        return canonical_bytes({"sequence": self.sequence, "payload": self.payload})
+
+
+@dataclass(frozen=True)
+class LedgerDigest:
+    """A published commitment to the first ``size`` entries."""
+
+    size: int
+    root: bytes
+
+    def to_dict(self) -> dict:
+        return {"size": self.size, "root": self.root}
+
+
+class CentralLedger:
+    """Append-only journal with Merkle anchoring."""
+
+    def __init__(self, name: str = "ledger"):
+        self.name = name
+        self._entries: List[LedgerEntry] = []
+        self._tree = MerkleTree()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def append(self, payload: Any) -> LedgerEntry:
+        entry = LedgerEntry(sequence=len(self._entries), payload=payload)
+        self._entries.append(entry)
+        self._tree.append(entry.leaf_bytes())
+        return entry
+
+    def entry(self, sequence: int) -> LedgerEntry:
+        try:
+            return self._entries[sequence]
+        except IndexError:
+            raise IntegrityError(f"no entry {sequence} in {self.name!r}") from None
+
+    def entries(self, since: int = 0) -> List[LedgerEntry]:
+        return list(self._entries[since:])
+
+    def digest(self, size: Optional[int] = None) -> LedgerDigest:
+        size = len(self._entries) if size is None else size
+        return LedgerDigest(size=size, root=self._tree.root(size))
+
+    def prove_inclusion(self, sequence: int, size: Optional[int] = None) -> InclusionProof:
+        return self._tree.inclusion_proof(sequence, size)
+
+    def prove_consistency(self, old_size: int, new_size: Optional[int] = None) -> ConsistencyProof:
+        return self._tree.consistency_proof(old_size, new_size)
+
+    # -- static verification (no ledger access needed) -------------------
+
+    @staticmethod
+    def verify_entry(
+        digest: LedgerDigest, entry: LedgerEntry, proof: InclusionProof
+    ) -> bool:
+        if proof.tree_size != digest.size:
+            return False
+        return verify_inclusion(digest.root, entry.leaf_bytes(), proof)
+
+    @staticmethod
+    def verify_extension(
+        old: LedgerDigest, new: LedgerDigest, proof: ConsistencyProof
+    ) -> bool:
+        if proof.old_size != old.size or proof.new_size != new.size:
+            return False
+        return verify_consistency(old.root, new.root, proof)
+
+    # -- persistence -------------------------------------------------------
+
+    def dump(self, path: str) -> None:
+        """Persist the journal as canonical JSON lines: a header with
+        the current digest, then one line per entry.  The digest lets
+        :meth:`load` detect a file tampered at rest."""
+        digest = self.digest()
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(canonical_json({
+                "ledger": self.name,
+                "size": digest.size,
+                "root": digest.root,
+            }) + "\n")
+            for entry in self._entries:
+                handle.write(canonical_json({
+                    "sequence": entry.sequence,
+                    "payload": entry.payload,
+                }) + "\n")
+
+    @classmethod
+    def load(cls, path: str) -> "CentralLedger":
+        """Rebuild a ledger from :meth:`dump` output, verifying every
+        entry against the stored digest (fail-closed on tampering)."""
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = [line.rstrip("\n") for line in handle if line.strip()]
+        if not lines:
+            raise IntegrityError("empty ledger file")
+        header = from_canonical_json(lines[0])
+        ledger = cls(name=header.get("ledger", "ledger"))
+        for index, line in enumerate(lines[1:]):
+            record = from_canonical_json(line)
+            if record.get("sequence") != index:
+                raise IntegrityError(
+                    f"ledger file out of order at entry {index}"
+                )
+            ledger.append(record["payload"])
+        digest = ledger.digest()
+        if digest.size != header["size"] or digest.root != header["root"]:
+            raise IntegrityError(
+                "ledger file digest mismatch: tampered or truncated"
+            )
+        return ledger
+
+    # -- adversarial hooks for the tamper tests ---------------------------
+
+    def tamper_rewrite(self, sequence: int, payload: Any) -> None:
+        """Simulate a malicious manager rewriting history in place.
+
+        Rebuilds the tree so the *current* digest looks internally
+        consistent; detection happens when checked against an honestly
+        retained earlier digest.
+        """
+        if not 0 <= sequence < len(self._entries):
+            raise IntegrityError("tamper target out of range")
+        self._entries[sequence] = LedgerEntry(sequence=sequence, payload=payload)
+        self._tree = MerkleTree([e.leaf_bytes() for e in self._entries])

@@ -1,0 +1,50 @@
+"""The PReVer data model (Section 3 of the paper).
+
+Four participant roles (data producers, data owners, data managers,
+authorities), updates with provenance, constraints vs. regulations as
+Boolean functions over (database, update), privacy labels on each of
+{data, updates, constraints}, and the threat-model menu.
+"""
+
+from repro.model.participants import (
+    Role,
+    Participant,
+    DataProducer,
+    DataOwner,
+    DataManager,
+    Authority,
+)
+from repro.model.update import Update, UpdateOperation, UpdateStatus
+from repro.model.constraints import (
+    Constraint,
+    ConstraintKind,
+    AggregateSpec,
+    WindowSpec,
+    upper_bound_regulation,
+    lower_bound_regulation,
+)
+from repro.model.policy import Visibility, PrivacyPolicy
+from repro.model.threat import ThreatModel, AdversaryClass, CollusionStructure
+
+__all__ = [
+    "Role",
+    "Participant",
+    "DataProducer",
+    "DataOwner",
+    "DataManager",
+    "Authority",
+    "Update",
+    "UpdateOperation",
+    "UpdateStatus",
+    "Constraint",
+    "ConstraintKind",
+    "AggregateSpec",
+    "WindowSpec",
+    "upper_bound_regulation",
+    "lower_bound_regulation",
+    "Visibility",
+    "PrivacyPolicy",
+    "ThreatModel",
+    "AdversaryClass",
+    "CollusionStructure",
+]

@@ -1,0 +1,431 @@
+"""A declarative constraint language.
+
+Section 3.2: "Given the large body of work for expressing and
+evaluating database constraints based on data-driven declarative query
+languages ..., these languages are thus a natural choice for expressing
+regulations.  Temporal logic extensions may additionally be relevant
+... e.g., workers cannot work more than 40 hours a week."
+
+This module provides that surface: a small SQL-flavoured language that
+compiles to :class:`~repro.model.constraints.Constraint` objects, so
+authorities can publish regulations as text.
+
+Grammar (case-insensitive keywords)::
+
+    constraint  :=  CHECK boolexpr [ON table]
+                 |  agg [WHERE boolexpr] [PER col ("," col)*]
+                        [WITHIN duration OF col] cmp number [ON table]
+    agg         :=  SUM "(" col ")" | COUNT "(" ("*" | col) ")"
+    boolexpr    :=  orexpr
+    orexpr      :=  andexpr (OR andexpr)*
+    andexpr     :=  notexpr (AND notexpr)*
+    notexpr     :=  NOT notexpr | cmpexpr
+    cmpexpr     :=  addexpr [cmpop addexpr | IN "(" literal, ... ")"]
+    addexpr     :=  mulexpr (("+"|"-") mulexpr)*
+    mulexpr     :=  unary (("*"|"/") unary)*
+    unary       :=  "-" unary | primary
+    primary     :=  number | string | NEW "." ident | ident
+                 |  "(" boolexpr ")" | TRUE | FALSE
+    duration    :=  number ("s"|"m"|"h"|"d"|"w")
+
+``NEW.field`` references the incoming update (SQL trigger style);
+a bare identifier references a database column.  Examples::
+
+    CHECK NEW.hours > 0 ON tasks
+    SUM(hours) PER worker WITHIN 7d OF completed_at <= 40 ON tasks
+    COUNT(*) PER org <= 3 ON emissions
+    CHECK status IN ('gold', 'platinum') AND NEW.co2 <= 100
+"""
+
+import re
+from typing import Any, List, Optional, Tuple
+
+from repro.common.errors import PReVerError
+from repro.database.expr import BinOp, Col, Expr, Lit, Not, UpdateField
+from repro.model.constraints import (
+    AggregateSpec,
+    Comparison,
+    Constraint,
+    ConstraintKind,
+    WindowSpec,
+)
+
+
+class ConstraintSyntaxError(PReVerError):
+    """The constraint text did not parse."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<duration>\d+(?:\.\d+)?[smhdw]\b)
+  | (?P<number>\d+(?:\.\d+)?)
+  | (?P<string>'[^']*')
+  | (?P<op><=|>=|!=|<>|=|<|>|\+|-|\*|/|\(|\)|,|\.)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "CHECK", "ON", "WHERE", "PER", "WITHIN", "OF", "SUM", "COUNT",
+    "AND", "OR", "NOT", "NEW", "IN", "TRUE", "FALSE",
+}
+
+_DURATION_UNITS = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0,
+                   "w": 7 * 86400.0}
+
+_COMPARISONS = {
+    "<=": Comparison.LE,
+    ">=": Comparison.GE,
+    "<": Comparison.LT,
+    ">": Comparison.GT,
+    "=": Comparison.EQ,
+}
+
+
+class _Token:
+    __slots__ = ("kind", "value")
+
+    def __init__(self, kind: str, value: Any):
+        self.kind = kind
+        self.value = value
+
+    def __repr__(self):  # pragma: no cover - debug aid
+        return f"{self.kind}:{self.value!r}"
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise ConstraintSyntaxError(
+                f"unexpected character {text[position]!r} at {position}"
+            )
+        position = match.end()
+        if match.lastgroup == "ws":
+            continue
+        value = match.group()
+        if match.lastgroup == "duration":
+            unit = value[-1]
+            tokens.append(
+                _Token("duration", float(value[:-1]) * _DURATION_UNITS[unit])
+            )
+        elif match.lastgroup == "number":
+            number = float(value)
+            tokens.append(_Token("number",
+                                 int(number) if number.is_integer() else number))
+        elif match.lastgroup == "string":
+            tokens.append(_Token("string", value[1:-1]))
+        elif match.lastgroup == "op":
+            op = "!=" if value == "<>" else value
+            tokens.append(_Token("op", op))
+        else:
+            upper = value.upper()
+            if upper in _KEYWORDS:
+                tokens.append(_Token("kw", upper))
+            else:
+                tokens.append(_Token("ident", value))
+    tokens.append(_Token("eof", None))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[_Token]):
+        self._tokens = tokens
+        self._index = 0
+
+    # -- cursor helpers -------------------------------------------------
+
+    def _peek(self) -> _Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> _Token:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def _accept(self, kind: str, value=None) -> Optional[_Token]:
+        token = self._peek()
+        if token.kind != kind:
+            return None
+        if value is not None and token.value != value:
+            return None
+        return self._advance()
+
+    def _expect(self, kind: str, value=None) -> _Token:
+        token = self._accept(kind, value)
+        if token is None:
+            raise ConstraintSyntaxError(
+                f"expected {value or kind}, found {self._peek()!r}"
+            )
+        return token
+
+    # -- constraint level --------------------------------------------------
+
+    def parse_constraint(self, name: str, kind: ConstraintKind) -> Constraint:
+        if self._accept("kw", "CHECK"):
+            predicate = self.parse_boolexpr()
+            table = self._parse_on_clause()
+            self._expect("eof")
+            return Constraint(
+                name=name, kind=kind, predicate=predicate,
+                tables=(table,) if table else (),
+            )
+        return self._parse_aggregate_constraint(name, kind)
+
+    def _parse_aggregate_constraint(self, name, kind) -> Constraint:
+        func_token = self._accept("kw", "SUM") or self._accept("kw", "COUNT")
+        if func_token is None:
+            raise ConstraintSyntaxError(
+                "a constraint starts with CHECK, SUM or COUNT"
+            )
+        func = func_token.value
+        self._expect("op", "(")
+        if func == "COUNT" and self._accept("op", "*"):
+            column = None
+        else:
+            column = self._expect("ident").value
+        self._expect("op", ")")
+        filter_expr = None
+        if self._accept("kw", "WHERE"):
+            filter_expr = self.parse_boolexpr()
+        match_columns: List[str] = []
+        if self._accept("kw", "PER"):
+            match_columns.append(self._expect("ident").value)
+            while self._accept("op", ","):
+                match_columns.append(self._expect("ident").value)
+        window = None
+        if self._accept("kw", "WITHIN"):
+            duration = self._expect("duration").value
+            self._expect("kw", "OF")
+            time_column = self._expect("ident").value
+            window = WindowSpec(time_column=time_column, length=duration)
+        comparison = self._parse_comparison_op()
+        bound_token = self._accept("number")
+        if bound_token is None:
+            raise ConstraintSyntaxError("aggregate bound must be a number")
+        table = self._parse_on_clause()
+        self._expect("eof")
+        return Constraint(
+            name=name,
+            kind=kind,
+            aggregate=AggregateSpec(
+                func=func,
+                column=column,
+                filter=filter_expr,
+                match_columns=tuple(match_columns),
+                window=window,
+            ),
+            comparison=comparison,
+            bound=float(bound_token.value),
+            tables=(table,) if table else (),
+        )
+
+    def _parse_comparison_op(self) -> Comparison:
+        token = self._accept("op")
+        if token is None or token.value not in _COMPARISONS:
+            raise ConstraintSyntaxError(
+                f"expected a comparison operator, found {self._peek()!r}"
+            )
+        return _COMPARISONS[token.value]
+
+    def _parse_on_clause(self) -> Optional[str]:
+        if self._accept("kw", "ON"):
+            return self._expect("ident").value
+        return None
+
+    # -- expression level ------------------------------------------------------
+
+    def parse_boolexpr(self) -> Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expr:
+        left = self._parse_and()
+        while self._accept("kw", "OR"):
+            left = BinOp("or", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> Expr:
+        left = self._parse_not()
+        while self._accept("kw", "AND"):
+            left = BinOp("and", left, self._parse_not())
+        return left
+
+    def _parse_not(self) -> Expr:
+        if self._accept("kw", "NOT"):
+            return Not(self._parse_not())
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> Expr:
+        left = self._parse_add()
+        if self._accept("kw", "IN"):
+            self._expect("op", "(")
+            values = [self._parse_literal()]
+            while self._accept("op", ","):
+                values.append(self._parse_literal())
+            self._expect("op", ")")
+            return BinOp("in", left, Lit(tuple(values)))
+        token = self._peek()
+        if token.kind == "op" and token.value in ("<=", ">=", "<", ">", "=", "!="):
+            self._advance()
+            op = "==" if token.value == "=" else token.value
+            return BinOp(op, left, self._parse_add())
+        return left
+
+    def _parse_add(self) -> Expr:
+        left = self._parse_mul()
+        while True:
+            token = self._peek()
+            if token.kind == "op" and token.value in ("+", "-"):
+                self._advance()
+                left = BinOp(token.value, left, self._parse_mul())
+            else:
+                return left
+
+    def _parse_mul(self) -> Expr:
+        left = self._parse_unary()
+        while True:
+            token = self._peek()
+            if token.kind == "op" and token.value in ("*", "/"):
+                self._advance()
+                left = BinOp(token.value, left, self._parse_unary())
+            else:
+                return left
+
+    def _parse_unary(self) -> Expr:
+        if self._accept("op", "-"):
+            return BinOp("-", Lit(0), self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expr:
+        token = self._peek()
+        if token.kind == "number" or token.kind == "string":
+            self._advance()
+            return Lit(token.value)
+        if token.kind == "kw" and token.value in ("TRUE", "FALSE"):
+            self._advance()
+            return Lit(token.value == "TRUE")
+        if token.kind == "kw" and token.value == "NEW":
+            self._advance()
+            self._expect("op", ".")
+            return UpdateField(self._expect("ident").value)
+        if token.kind == "ident":
+            self._advance()
+            return Col(token.value)
+        if self._accept("op", "("):
+            inner = self.parse_boolexpr()
+            self._expect("op", ")")
+            return inner
+        raise ConstraintSyntaxError(f"unexpected token {token!r}")
+
+    def _parse_literal(self) -> Any:
+        token = self._advance()
+        if token.kind in ("number", "string"):
+            return token.value
+        raise ConstraintSyntaxError(
+            f"IN lists take number/string literals, found {token!r}"
+        )
+
+
+def parse_constraint(
+    text: str,
+    name: str = "unnamed",
+    kind: ConstraintKind = ConstraintKind.INTERNAL,
+) -> Constraint:
+    """Compile constraint text into a :class:`Constraint`.
+
+    >>> c = parse_constraint(
+    ...     "SUM(hours) PER worker WITHIN 7d OF completed_at <= 40 ON tasks",
+    ...     name="flsa", kind=ConstraintKind.REGULATION)
+    >>> c.is_aggregate and c.is_linear()
+    True
+    """
+    return _Parser(_tokenize(text)).parse_constraint(name, kind)
+
+
+def parse_regulation(text: str, name: str = "regulation") -> Constraint:
+    """Shorthand for external-authority regulations."""
+    return parse_constraint(text, name=name, kind=ConstraintKind.REGULATION)
+
+
+# ---------------------------------------------------------------------------
+# Unparsing — so authorities can publish constraint objects as text and
+# round-trip them (parse(unparse(c)) is semantically c; property-tested).
+# ---------------------------------------------------------------------------
+
+_COMPARISON_TEXT = {
+    Comparison.LE: "<=",
+    Comparison.GE: ">=",
+    Comparison.LT: "<",
+    Comparison.GT: ">",
+    Comparison.EQ: "=",
+}
+
+
+def expr_to_text(expr: Expr) -> str:
+    """Render an expression in the DSL's syntax (fully parenthesized,
+    so precedence never changes meaning on re-parse)."""
+    if isinstance(expr, Lit):
+        value = expr.value
+        if isinstance(value, bool):
+            return "TRUE" if value else "FALSE"
+        if isinstance(value, str):
+            return f"'{value}'"
+        if isinstance(value, (int, float)):
+            if value < 0:
+                return f"(0 - {abs(value)})"
+            return str(value)
+        if isinstance(value, tuple):
+            raise ConstraintSyntaxError(
+                "tuple literals only appear inside IN; unparse via BinOp"
+            )
+        raise ConstraintSyntaxError(f"cannot unparse literal {value!r}")
+    if isinstance(expr, Col):
+        return expr.name
+    if isinstance(expr, UpdateField):
+        return f"NEW.{expr.name}"
+    if isinstance(expr, Not):
+        return f"NOT ({expr_to_text(expr.operand)})"
+    if isinstance(expr, BinOp):
+        if expr.op == "in":
+            items = ", ".join(
+                f"'{v}'" if isinstance(v, str) else str(v)
+                for v in expr.right.value
+            )
+            return f"({expr_to_text(expr.left)} IN ({items}))"
+        op = {"and": "AND", "or": "OR", "==": "="}.get(expr.op, expr.op)
+        return f"({expr_to_text(expr.left)} {op} {expr_to_text(expr.right)})"
+    raise ConstraintSyntaxError(f"cannot unparse {type(expr).__name__}")
+
+
+def constraint_to_text(constraint: Constraint) -> str:
+    """Render a constraint in the DSL (inverse of parse_constraint for
+    the DSL-expressible subset)."""
+    table = f" ON {constraint.tables[0]}" if constraint.tables else ""
+    if constraint.predicate is not None:
+        return f"CHECK {expr_to_text(constraint.predicate)}{table}"
+    spec = constraint.aggregate
+    func = spec.func.upper()
+    column = spec.column if spec.column is not None else "*"
+    parts = [f"{func}({column})"]
+    if spec.filter is not None:
+        parts.append(f"WHERE {expr_to_text(spec.filter)}")
+    if spec.match_columns:
+        parts.append("PER " + ", ".join(spec.match_columns))
+    if spec.window is not None:
+        seconds = spec.window.length
+        for unit, size in (("w", 604800.0), ("d", 86400.0), ("h", 3600.0),
+                           ("m", 60.0), ("s", 1.0)):
+            if seconds % size == 0:
+                duration = f"{int(seconds // size)}{unit}"
+                break
+        else:  # pragma: no cover - seconds is always divisible by 1.0
+            duration = f"{seconds}s"
+        parts.append(f"WITHIN {duration} OF {spec.window.time_column}")
+    bound = constraint.bound
+    bound_text = str(int(bound)) if float(bound).is_integer() else str(bound)
+    parts.append(f"{_COMPARISON_TEXT[constraint.comparison]} {bound_text}")
+    return " ".join(parts) + table

@@ -1,0 +1,106 @@
+"""Participant roles (Section 3.1).
+
+A single entity may hold several roles — e.g. a data owner that stores
+locally also subsumes the data manager role — so ``Participant``
+carries a *set* of roles.  Producers and authorities hold Schnorr
+signing keys; everything a producer submits and every regulation an
+authority publishes is signed.
+"""
+
+import enum
+from typing import Optional, Set
+
+from repro.common.ids import make_id
+from repro.crypto.group import SchnorrGroup
+from repro.crypto.signatures import SchnorrSigner, SchnorrVerifier
+
+
+class Role(enum.Enum):
+    DATA_PRODUCER = "data_producer"
+    DATA_OWNER = "data_owner"
+    DATA_MANAGER = "data_manager"
+    AUTHORITY = "authority"
+
+
+class Participant:
+    """Base participant with identity and optional signing key."""
+
+    def __init__(
+        self,
+        name: str,
+        roles: Set[Role],
+        group: Optional[SchnorrGroup] = None,
+        with_keys: bool = True,
+    ):
+        self.name = name
+        self.participant_id = make_id("pcpt")
+        self.roles = set(roles)
+        self._signer = SchnorrSigner(group or SchnorrGroup.default()) if with_keys else None
+
+    def has_role(self, role: Role) -> bool:
+        return role in self.roles
+
+    @property
+    def public_key(self) -> Optional[int]:
+        return self._signer.public_key if self._signer else None
+
+    def sign(self, payload: bytes):
+        if self._signer is None:
+            raise ValueError(f"participant {self.name!r} has no signing key")
+        return self._signer.sign(payload)
+
+    def sign_obj(self, obj):
+        if self._signer is None:
+            raise ValueError(f"participant {self.name!r} has no signing key")
+        return self._signer.sign_obj(obj)
+
+    def verifier(self) -> SchnorrVerifier:
+        if self._signer is None:
+            raise ValueError(f"participant {self.name!r} has no signing key")
+        return self._signer.verifier()
+
+    def __repr__(self):
+        roles = ",".join(sorted(r.value for r in self.roles))
+        return f"<{type(self).__name__} {self.name} [{roles}]>"
+
+
+class DataProducer(Participant):
+    """Produces updates — a client, worker, sensor, or satellite."""
+
+    def __init__(self, name: str, **kwargs):
+        super().__init__(name, {Role.DATA_PRODUCER}, **kwargs)
+
+
+class DataOwner(Participant):
+    """Owns data; may store locally (subsuming the manager role) or
+    outsource to a third-party manager."""
+
+    def __init__(self, name: str, manages_own_data: bool = False, **kwargs):
+        roles = {Role.DATA_OWNER}
+        if manages_own_data:
+            roles.add(Role.DATA_MANAGER)
+        super().__init__(name, roles, **kwargs)
+
+
+class DataManager(Participant):
+    """Stores and manages data on behalf of owners.  In the outsourced
+    setting the manager is untrusted: every engine in ``repro.core``
+    records what the manager was allowed to observe so tests can check
+    the privacy contract."""
+
+    def __init__(self, name: str, trusted: bool = False, **kwargs):
+        super().__init__(name, {Role.DATA_MANAGER}, **kwargs)
+        self.trusted = trusted
+        self.observed: list = []  # transcript of everything shown to us
+
+    def observe(self, item) -> None:
+        """Record a manager-visible value (ciphertext, share, serial)."""
+        self.observed.append(item)
+
+
+class Authority(Participant):
+    """Defines constraints (internal) or regulations (external)."""
+
+    def __init__(self, name: str, external: bool = True, **kwargs):
+        super().__init__(name, {Role.AUTHORITY}, **kwargs)
+        self.external = external

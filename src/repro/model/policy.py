@@ -1,0 +1,67 @@
+"""Privacy labels (Sections 1–3).
+
+Each of {data, updates, constraints} is independently private or
+public; an instantiation of PReVer is characterized by this triple plus
+whether the database is single or federated and whether the solution is
+centralized or decentralized.  :class:`PrivacyPolicy` captures the
+triple; ``repro.core`` picks engines that satisfy it and tests assert
+the choice matrix matches Figure 1's applications.
+"""
+
+import enum
+from dataclasses import dataclass
+
+
+class Visibility(enum.Enum):
+    PRIVATE = "private"
+    PUBLIC = "public"
+
+
+@dataclass(frozen=True)
+class PrivacyPolicy:
+    """Who may see what, from the data manager's perspective."""
+
+    data: Visibility
+    updates: Visibility
+    constraints: Visibility
+
+    @property
+    def manager_may_see_data(self) -> bool:
+        return self.data is Visibility.PUBLIC
+
+    @property
+    def manager_may_see_updates(self) -> bool:
+        return self.updates is Visibility.PUBLIC
+
+    @property
+    def manager_may_see_constraints(self) -> bool:
+        return self.constraints is Visibility.PUBLIC
+
+    def describe(self) -> str:
+        return (
+            f"data={self.data.value}, updates={self.updates.value}, "
+            f"constraints={self.constraints.value}"
+        )
+
+
+# The four Figure-1 applications as policy constants.
+
+SUSTAINABILITY_POLICY = PrivacyPolicy(
+    data=Visibility.PRIVATE, updates=Visibility.PRIVATE, constraints=Visibility.PUBLIC
+)
+"""Environmental sustainability: private data+updates, public metrics."""
+
+CONFERENCE_POLICY = PrivacyPolicy(
+    data=Visibility.PUBLIC, updates=Visibility.PRIVATE, constraints=Visibility.PUBLIC
+)
+"""In-person conference: public attendee list, private vaccination records."""
+
+CROWDWORKING_POLICY = PrivacyPolicy(
+    data=Visibility.PRIVATE, updates=Visibility.PRIVATE, constraints=Visibility.PUBLIC
+)
+"""Multi-platform crowdworking (Separ): private data/updates, public FLSA."""
+
+SUPPLY_CHAIN_POLICY = PrivacyPolicy(
+    data=Visibility.PRIVATE, updates=Visibility.PRIVATE, constraints=Visibility.PRIVATE
+)
+"""Supply chain: everything private (Figure 1(d))."""

@@ -1,0 +1,149 @@
+"""Threat models (Section 3.3).
+
+The paper enumerates the usual adversary classes — honest,
+honest-but-curious, covert, malicious — and notes participants may or
+may not collude.  A :class:`ThreatModel` names the class per role plus
+a collusion structure; engines declare which models they tolerate and
+the framework refuses configurations an engine cannot defend
+(fail-closed, rather than silently under-protecting).
+"""
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Set
+
+from repro.common.errors import PReVerError
+from repro.model.participants import Role
+
+
+class AdversaryClass(enum.Enum):
+    HONEST = "honest"
+    HONEST_BUT_CURIOUS = "honest_but_curious"
+    COVERT = "covert"
+    MALICIOUS = "malicious"
+
+    @property
+    def strength(self) -> int:
+        return {
+            AdversaryClass.HONEST: 0,
+            AdversaryClass.HONEST_BUT_CURIOUS: 1,
+            AdversaryClass.COVERT: 2,
+            AdversaryClass.MALICIOUS: 3,
+        }[self]
+
+    def at_most(self, other: "AdversaryClass") -> bool:
+        return self.strength <= other.strength
+
+
+class CollusionStructure:
+    """Which sets of participants may pool their views.
+
+    Stored as a family of maximal colluding coalitions (by participant
+    name).  ``may_collude(a, b)`` is true iff some coalition contains
+    both.
+    """
+
+    def __init__(self, coalitions: Iterable[Iterable[str]] = ()):
+        self._coalitions: Set[FrozenSet[str]] = {
+            frozenset(c) for c in coalitions if len(set(c)) > 1
+        }
+
+    @classmethod
+    def none(cls) -> "CollusionStructure":
+        return cls()
+
+    @classmethod
+    def all_pairs(cls, names: Iterable[str]) -> "CollusionStructure":
+        return cls([set(names)])
+
+    def may_collude(self, a: str, b: str) -> bool:
+        return any(a in c and b in c for c in self._coalitions)
+
+    def coalition_views(self, views: Dict[str, list]) -> Dict[FrozenSet[str], list]:
+        """Pool per-participant observation transcripts per coalition —
+        used by the leakage tests to check that even a coalition's
+        combined view stays within the privacy contract."""
+        pooled = {}
+        for coalition in self._coalitions:
+            combined: list = []
+            for name in coalition:
+                combined.extend(views.get(name, []))
+            pooled[coalition] = combined
+        return pooled
+
+    @property
+    def is_collusion_free(self) -> bool:
+        return not self._coalitions
+
+
+@dataclass(frozen=True)
+class ThreatModel:
+    """Adversary class per role + collusion structure."""
+
+    per_role: Dict[Role, AdversaryClass]
+    collusion: CollusionStructure = field(default_factory=CollusionStructure.none)
+
+    @classmethod
+    def honest_but_curious_manager(cls) -> "ThreatModel":
+        """The canonical outsourced-database model (RC1/RC3)."""
+        return cls(
+            per_role={
+                Role.DATA_MANAGER: AdversaryClass.HONEST_BUT_CURIOUS,
+                Role.DATA_PRODUCER: AdversaryClass.HONEST,
+                Role.DATA_OWNER: AdversaryClass.HONEST,
+                Role.AUTHORITY: AdversaryClass.HONEST,
+            }
+        )
+
+    @classmethod
+    def covert_colluding_platforms(cls, platform_names: Iterable[str]) -> "ThreatModel":
+        """Separ's general model: covert platforms that may collude."""
+        return cls(
+            per_role={
+                Role.DATA_MANAGER: AdversaryClass.COVERT,
+                Role.DATA_PRODUCER: AdversaryClass.COVERT,
+                Role.DATA_OWNER: AdversaryClass.HONEST,
+                Role.AUTHORITY: AdversaryClass.HONEST,
+            },
+            collusion=CollusionStructure.all_pairs(platform_names),
+        )
+
+    @classmethod
+    def byzantine_managers(cls) -> "ThreatModel":
+        """Federated integrity setting (RC4): malicious managers."""
+        return cls(
+            per_role={
+                Role.DATA_MANAGER: AdversaryClass.MALICIOUS,
+                Role.DATA_PRODUCER: AdversaryClass.HONEST,
+                Role.DATA_OWNER: AdversaryClass.HONEST,
+                Role.AUTHORITY: AdversaryClass.HONEST,
+            }
+        )
+
+    def adversary_of(self, role: Role) -> AdversaryClass:
+        return self.per_role.get(role, AdversaryClass.HONEST)
+
+
+class ThreatModelMismatch(PReVerError):
+    """An engine was asked to run under a stronger adversary than it
+    defends against."""
+
+
+def require_tolerates(
+    engine_name: str,
+    tolerated: Dict[Role, AdversaryClass],
+    model: ThreatModel,
+    tolerates_collusion: bool = False,
+) -> None:
+    """Fail-closed check used by every engine at configuration time."""
+    for role, actual in model.per_role.items():
+        limit = tolerated.get(role, AdversaryClass.HONEST)
+        if not actual.at_most(limit):
+            raise ThreatModelMismatch(
+                f"{engine_name} tolerates {limit.value} {role.value}, "
+                f"but the threat model declares {actual.value}"
+            )
+    if not model.collusion.is_collusion_free and not tolerates_collusion:
+        raise ThreatModelMismatch(
+            f"{engine_name} does not tolerate colluding participants"
+        )

@@ -1,0 +1,101 @@
+"""Updates (Section 3.2).
+
+An update involves at least a data producer and a data manager and may
+originate from a collaboration of several producers/managers (e.g. a
+crowdworking task completion involves a worker, a requester, and a
+platform).  Updates are signed by their initiating producer and carry a
+privacy label.
+"""
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.common.ids import make_id
+from repro.common.serialization import canonical_bytes
+from repro.model.policy import Visibility
+
+
+class UpdateOperation(enum.Enum):
+    INSERT = "insert"
+    MODIFY = "modify"
+    DELETE = "delete"
+
+
+class UpdateStatus(enum.Enum):
+    PENDING = "pending"
+    VERIFIED = "verified"
+    APPLIED = "applied"
+    REJECTED = "rejected"
+
+
+@dataclass
+class Update:
+    """One incoming update.
+
+    ``payload`` holds the new field values; ``key`` identifies the
+    target row for MODIFY/DELETE.  ``producers`` and ``managers`` list
+    the collaborating participants' names (provenance).
+    """
+
+    table: str
+    operation: UpdateOperation
+    payload: Dict[str, Any]
+    key: Optional[Tuple] = None
+    visibility: Visibility = Visibility.PRIVATE
+    producers: List[str] = field(default_factory=list)
+    managers: List[str] = field(default_factory=list)
+    update_id: str = field(default_factory=lambda: make_id("upd"))
+    status: UpdateStatus = UpdateStatus.PENDING
+    rejection_reason: Optional[str] = None
+    signature: Optional[object] = None
+    signer_public_key: Optional[int] = None
+
+    def body_bytes(self) -> bytes:
+        """Canonical bytes of the signed portion (everything except the
+        mutable status fields and the signature itself)."""
+        return canonical_bytes(
+            {
+                "table": self.table,
+                "operation": self.operation.value,
+                "payload": self.payload,
+                "key": list(self.key) if self.key is not None else None,
+                "visibility": self.visibility.value,
+                "producers": self.producers,
+                "managers": self.managers,
+                "update_id": self.update_id,
+            }
+        )
+
+    def sign_with(self, producer) -> "Update":
+        """Producer signs the update body; returns self for chaining.
+
+        The producer is added to the provenance list *before* signing
+        so the signature covers it.
+        """
+        if producer.name not in self.producers:
+            self.producers.append(producer.name)
+        self.signature = producer.sign(self.body_bytes())
+        self.signer_public_key = producer.public_key
+        return self
+
+    def mark_verified(self) -> None:
+        self.status = UpdateStatus.VERIFIED
+
+    def mark_applied(self) -> None:
+        self.status = UpdateStatus.APPLIED
+
+    def mark_rejected(self, reason: str) -> None:
+        self.status = UpdateStatus.REJECTED
+        self.rejection_reason = reason
+
+    def to_dict(self) -> dict:
+        return {
+            "table": self.table,
+            "operation": self.operation.value,
+            "payload": self.payload,
+            "key": list(self.key) if self.key is not None else None,
+            "visibility": self.visibility.value,
+            "update_id": self.update_id,
+            "status": self.status.value,
+        }

@@ -1,0 +1,227 @@
+"""The discrete-event message-passing simulator.
+
+Nodes register with the network and implement ``on_message``.  The
+network keeps a priority queue of pending deliveries; ``run`` drains it
+(optionally up to a time horizon).  Latency is drawn from a seeded
+:class:`LatencyModel`, loss is Bernoulli per message, and partitions
+block delivery between groups.  Timers let protocol code schedule its
+own callbacks (view-change timeouts, batching ticks).
+"""
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.common.clock import SimClock
+from repro.common.errors import ProtocolError
+from repro.common.metrics import MetricsRegistry
+from repro.common.randomness import deterministic_rng
+
+
+@dataclass(frozen=True)
+class Message:
+    """One network message."""
+
+    src: str
+    dst: str
+    kind: str
+    body: Dict[str, Any] = field(default_factory=dict)
+
+
+class LatencyModel:
+    """Base + jitter latency in simulated seconds."""
+
+    def __init__(self, base: float = 0.001, jitter: float = 0.0005, seed: int = 7):
+        self.base = base
+        self.jitter = jitter
+        self._rng = deterministic_rng(seed)
+
+    def sample(self) -> float:
+        if self.jitter <= 0:
+            return self.base
+        # Uniform jitter in [0, jitter), quantized for determinism.
+        return self.base + self._rng.randbelow(10_000) / 10_000 * self.jitter
+
+
+class Node:
+    """Base class for protocol participants."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.network: Optional["SimNetwork"] = None
+
+    def attach(self, network: "SimNetwork") -> None:
+        self.network = network
+
+    def send(self, dst: str, kind: str, body: Optional[Dict[str, Any]] = None) -> None:
+        self.network.send(Message(self.name, dst, kind, body or {}))
+
+    def broadcast(self, kind: str, body: Optional[Dict[str, Any]] = None,
+                  include_self: bool = False) -> None:
+        self.network.broadcast(self.name, kind, body or {}, include_self)
+
+    def set_timer(self, delay: float, callback: Callable[[], None]) -> int:
+        return self.network.set_timer(delay, callback)
+
+    def cancel_timer(self, timer_id: int) -> None:
+        self.network.cancel_timer(timer_id)
+
+    def now(self) -> float:
+        return self.network.clock.now()
+
+    def on_message(self, message: Message) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
+class SimNetwork:
+    """The event loop plus the node registry."""
+
+    def __init__(
+        self,
+        latency: Optional[LatencyModel] = None,
+        loss_rate: float = 0.0,
+        seed: int = 11,
+        metrics: Optional[MetricsRegistry] = None,
+        per_message_cost: float = 0.0,
+    ):
+        self.clock = SimClock()
+        self.latency = latency or LatencyModel()
+        self.loss_rate = loss_rate
+        self.metrics = metrics or MetricsRegistry()
+        # Seconds of node compute consumed per handled message.  Zero
+        # models infinitely fast nodes (protocol-logic experiments);
+        # a positive value caps per-node throughput, which is what
+        # makes the sharding-scalability shape (E10) visible.
+        self.per_message_cost = per_message_cost
+        self._rng = deterministic_rng(seed)
+        self._nodes: Dict[str, Node] = {}
+        self._queue: List[Tuple[float, int, Any]] = []
+        self._sequence = itertools.count()
+        self._partitions: List[Set[str]] = []
+        self._cancelled_timers: Set[int] = set()
+        self._timer_ids = itertools.count(1)
+        self._node_busy_until: Dict[str, float] = {}
+
+    # -- registry --------------------------------------------------------
+
+    def add_node(self, node: Node) -> None:
+        if node.name in self._nodes:
+            raise ProtocolError(f"duplicate node name {node.name!r}")
+        self._nodes[node.name] = node
+        node.attach(self)
+
+    def node(self, name: str) -> Node:
+        return self._nodes[name]
+
+    def node_names(self) -> List[str]:
+        return sorted(self._nodes)
+
+    # -- faults ----------------------------------------------------------
+
+    def partition(self, *groups: Set[str]) -> None:
+        """Install a partition: messages may only flow within a group."""
+        self._partitions = [set(g) for g in groups]
+
+    def heal_partition(self) -> None:
+        self._partitions = []
+
+    def _blocked(self, src: str, dst: str) -> bool:
+        if not self._partitions:
+            return False
+        for group in self._partitions:
+            if src in group:
+                return dst not in group
+        return False  # src in no group: unrestricted
+
+    # -- sending -----------------------------------------------------------
+
+    def send(self, message: Message) -> None:
+        self.metrics.counter("net.messages").add()
+        self.metrics.counter("net.bytes").add(_approx_size(message))
+        if self._blocked(message.src, message.dst):
+            self.metrics.counter("net.partition_drops").add()
+            return
+        if self.loss_rate > 0 and self._rng.randbelow(10_000) < self.loss_rate * 10_000:
+            self.metrics.counter("net.losses").add()
+            return
+        deliver_at = self.clock.now() + self.latency.sample()
+        heapq.heappush(
+            self._queue, (deliver_at, next(self._sequence), ("msg", message))
+        )
+
+    def broadcast(
+        self, src: str, kind: str, body: Dict[str, Any], include_self: bool
+    ) -> None:
+        for name in self._nodes:
+            if name == src and not include_self:
+                continue
+            self.send(Message(src, name, kind, body))
+
+    def set_timer(self, delay: float, callback: Callable[[], None]) -> int:
+        timer_id = next(self._timer_ids)
+        fire_at = self.clock.now() + delay
+        heapq.heappush(
+            self._queue, (fire_at, next(self._sequence), ("timer", timer_id, callback))
+        )
+        return timer_id
+
+    def cancel_timer(self, timer_id: int) -> None:
+        self._cancelled_timers.add(timer_id)
+
+    # -- event loop ---------------------------------------------------------
+
+    def run(self, until: Optional[float] = None, max_events: int = 1_000_000) -> int:
+        """Drain the event queue; returns the number of events processed.
+
+        Stops when the queue is empty, simulated time passes ``until``,
+        or ``max_events`` is hit (runaway-protocol guard).
+        """
+        processed = 0
+        while self._queue and processed < max_events:
+            at, _, event = self._queue[0]
+            if until is not None and at > until:
+                break
+            heapq.heappop(self._queue)
+            if event[0] == "timer" and event[1] in self._cancelled_timers:
+                # Discard without advancing the clock: a cancelled timer
+                # has no observable effect, so it must not stretch the
+                # measured simulation duration.
+                self._cancelled_timers.discard(event[1])
+                continue
+            if event[0] == "msg" and self.per_message_cost > 0:
+                # Capacity model: a busy destination defers delivery.
+                busy_until = self._node_busy_until.get(event[1].dst, 0.0)
+                if busy_until > at:
+                    heapq.heappush(
+                        self._queue,
+                        (busy_until, next(self._sequence), event),
+                    )
+                    continue
+            self.clock.advance_to(at)
+            if event[0] == "msg":
+                message = event[1]
+                node = self._nodes.get(message.dst)
+                if node is not None:
+                    if self.per_message_cost > 0:
+                        self._node_busy_until[message.dst] = (
+                            at + self.per_message_cost
+                        )
+                    node.on_message(message)
+            else:
+                _, timer_id, callback = event
+                callback()
+            processed += 1
+        if until is not None and (not self._queue or self._queue[0][0] > until):
+            self.clock.advance_to(max(self.clock.now(), until))
+        return processed
+
+    def pending(self) -> int:
+        return len(self._queue)
+
+
+def _approx_size(message: Message) -> int:
+    """Rough wire size used for the bytes counter."""
+    return 64 + sum(
+        len(str(k)) + len(str(v)) for k, v in message.body.items()
+    )

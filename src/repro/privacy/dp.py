@@ -1,0 +1,205 @@
+"""Differential privacy: mechanism, budget accounting, DP index,
+and DP-Sync-style update-pattern hiding.
+
+The paper's RC1 discussion flags the core tension this module makes
+measurable: "naive uses of differential privacy lead to rapidly
+exhausting the limited privacy budget, especially when updates come at
+a high rate" — either updates stop being supported or noise grows
+uncontrolled.  :class:`PrivacyAccountant` enforces the budget
+(fail-closed), :class:`DPIndex` refreshes noisy bin counts per batch,
+and bench E4 sweeps the update rate to reproduce the exhaustion curve.
+
+:class:`DPSyncScheduler` reproduces DP-Sync's goal (cited in the
+introduction): hiding *when* real updates happen from the outsourced
+store by flushing on a DP-noised schedule padded with dummy records.
+"""
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import BudgetExhausted, PReVerError
+from repro.common.randomness import deterministic_rng
+
+
+class LaplaceMechanism:
+    """Adds Laplace(sensitivity / epsilon) noise.
+
+    Sampling uses inverse-CDF over a seeded deterministic source so
+    experiments are reproducible.
+    """
+
+    def __init__(self, seed: int = 1234):
+        self._rng = deterministic_rng(seed)
+
+    def _uniform(self) -> float:
+        # Uniform in (0, 1), never exactly 0 or 1.
+        return (self._rng.randbelow(2**53 - 2) + 1) / 2**53
+
+    def sample(self, scale: float) -> float:
+        u = self._uniform() - 0.5
+        return -scale * math.copysign(1.0, u) * math.log(1 - 2 * abs(u))
+
+    def add_noise(self, value: float, sensitivity: float, epsilon: float) -> float:
+        if epsilon <= 0:
+            raise PReVerError("epsilon must be positive")
+        return value + self.sample(sensitivity / epsilon)
+
+
+class PrivacyAccountant:
+    """Sequential-composition budget accounting, fail-closed."""
+
+    def __init__(self, epsilon_total: float):
+        if epsilon_total <= 0:
+            raise PReVerError("total budget must be positive")
+        self.epsilon_total = epsilon_total
+        self.spent = 0.0
+        self.charges: List[Tuple[str, float]] = []
+
+    @property
+    def remaining(self) -> float:
+        return max(0.0, self.epsilon_total - self.spent)
+
+    def charge(self, epsilon: float, label: str = "") -> None:
+        if epsilon <= 0:
+            raise PReVerError("charge must be positive")
+        if self.spent + epsilon > self.epsilon_total + 1e-12:
+            raise BudgetExhausted(self.spent, self.epsilon_total)
+        self.spent += epsilon
+        self.charges.append((label, epsilon))
+
+    def can_afford(self, epsilon: float) -> bool:
+        return self.spent + epsilon <= self.epsilon_total + 1e-12
+
+
+class DPIndex:
+    """A differentially private histogram index over a numeric column.
+
+    The untrusted manager holds only noisy bin counts, so it can route
+    range constraints ("is the aggregate plausibly under the bound?")
+    without learning exact data — the "differentially private indexing,
+    i.e. partial disclosures" alternative of RC1.  Each refresh spends
+    ``epsilon_per_refresh`` from the accountant; once the budget is
+    gone the index goes stale (refresh raises), reproducing the
+    paper's exhaustion failure mode.
+    """
+
+    def __init__(
+        self,
+        low: float,
+        high: float,
+        bins: int,
+        accountant: PrivacyAccountant,
+        epsilon_per_refresh: float,
+        mechanism: Optional[LaplaceMechanism] = None,
+    ):
+        if high <= low or bins < 1:
+            raise PReVerError("bad index domain")
+        self.low = low
+        self.high = high
+        self.bins = bins
+        self.accountant = accountant
+        self.epsilon_per_refresh = epsilon_per_refresh
+        self.mechanism = mechanism or LaplaceMechanism()
+        self.noisy_counts: Optional[List[float]] = None
+        self.refreshes = 0
+
+    def _bin_of(self, value: float) -> int:
+        if not self.low <= value <= self.high:
+            raise PReVerError(f"value {value} outside index domain")
+        width = (self.high - self.low) / self.bins
+        return min(self.bins - 1, int((value - self.low) / width))
+
+    def refresh(self, values: Sequence[float]) -> None:
+        """Recompute noisy counts from the current data (spends budget)."""
+        self.accountant.charge(self.epsilon_per_refresh, label="dp-index-refresh")
+        counts = [0.0] * self.bins
+        for value in values:
+            counts[self._bin_of(value)] += 1
+        self.noisy_counts = [
+            self.mechanism.add_noise(c, 1.0, self.epsilon_per_refresh)
+            for c in counts
+        ]
+        self.refreshes += 1
+
+    def estimate_range_count(self, low: float, high: float) -> float:
+        """Noisy count of values in [low, high] (bin-aligned outer cover)."""
+        if self.noisy_counts is None:
+            raise PReVerError("index never refreshed")
+        first = self._bin_of(max(low, self.low))
+        last = self._bin_of(min(high, self.high))
+        return max(0.0, sum(self.noisy_counts[first:last + 1]))
+
+    def current_noise_scale(self) -> float:
+        return 1.0 / self.epsilon_per_refresh
+
+
+@dataclass
+class FlushEvent:
+    """One flush the outsourced store observes."""
+
+    time: float
+    record_count: int   # includes dummies
+    real_count: int     # ground truth, never visible to the manager
+
+
+class DPSyncScheduler:
+    """Hide the update arrival pattern behind a DP flush schedule.
+
+    Strategy (DP-Sync's "DP timer"): flush every ``epoch`` seconds; the
+    flush size is ``max(real_pending, noisy_target)`` where
+    ``noisy_target = Laplace-noised count of pending records`` — the
+    store sees a flush whose timing is data-independent and whose size
+    is differentially private, with dummy (pad) records making up the
+    difference.  Each epoch spends ``epsilon_per_epoch``.
+    """
+
+    def __init__(
+        self,
+        epoch: float,
+        accountant: PrivacyAccountant,
+        epsilon_per_epoch: float,
+        mechanism: Optional[LaplaceMechanism] = None,
+    ):
+        self.epoch = epoch
+        self.accountant = accountant
+        self.epsilon_per_epoch = epsilon_per_epoch
+        self.mechanism = mechanism or LaplaceMechanism(seed=99)
+        self.flushes: List[FlushEvent] = []
+        self._pending = 0
+        self._next_flush = epoch
+        self.dummies_written = 0
+        self.records_delayed = 0
+
+    def submit(self, arrival_time: float) -> None:
+        """A real update arrives (buffered until the next flush)."""
+        self._advance_to(arrival_time)
+        self._pending += 1
+
+    def finish(self, time: float) -> List[FlushEvent]:
+        self._advance_to(time)
+        return list(self.flushes)
+
+    def _advance_to(self, time: float) -> None:
+        while self._next_flush <= time:
+            self._flush(self._next_flush)
+            self._next_flush += self.epoch
+
+    def _flush(self, at: float) -> None:
+        self.accountant.charge(self.epsilon_per_epoch, label="dpsync-epoch")
+        noisy = self.mechanism.add_noise(
+            float(self._pending), 1.0, self.epsilon_per_epoch
+        )
+        target = max(0, int(round(noisy)))
+        emitted_real = min(self._pending, target)
+        dummies = max(0, target - emitted_real)
+        self.dummies_written += dummies
+        self.records_delayed += self._pending - emitted_real
+        self.flushes.append(
+            FlushEvent(time=at, record_count=target, real_count=emitted_real)
+        )
+        self._pending -= emitted_real
+
+    def observable_pattern(self) -> List[Tuple[float, int]]:
+        """What the untrusted store sees: (time, size) pairs only."""
+        return [(f.time, f.record_count) for f in self.flushes]

@@ -1,0 +1,138 @@
+"""Leakage accounting.
+
+The paper calls for "a better understanding of information leakage when
+updates are verified with respect to constraints".  This module makes
+leakage a first-class, testable artifact:
+
+* every verification engine declares a :class:`LeakageProfile` — the
+  set of :class:`LeakageClass` items an adversary in its threat model
+  observes;
+* :func:`transcript_distinguishability` gives an empirical check: run
+  the same engine on two different secret inputs and compare the
+  manager-visible transcripts; profiles claiming input-independence
+  must produce transcripts identical up to the declared classes.
+"""
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Iterable, List, Sequence, Tuple
+
+
+class LeakageClass(enum.Enum):
+    """Categories of what an adversary may learn."""
+
+    DECISION_BIT = "decision_bit"          # accept/reject outcome
+    TIMING = "timing"                      # when updates happen
+    VOLUME = "volume"                      # how many / how large
+    EQUALITY_PATTERN = "equality_pattern"  # which items are equal (DET)
+    ACCESS_PATTERN = "access_pattern"      # which rows are touched
+    AGGREGATE_NOISY = "aggregate_noisy"    # DP-noised statistics
+    TOKEN_SERIALS = "token_serials"        # unlinkable serials + counts
+    PLAINTEXT = "plaintext"                # full contents (public data)
+
+
+@dataclass(frozen=True)
+class LeakageProfile:
+    """What one engine admits leaking to the data manager."""
+
+    engine: str
+    classes: FrozenSet[LeakageClass]
+    notes: str = ""
+
+    def leaks(self, cls: LeakageClass) -> bool:
+        return cls in self.classes
+
+    def leaks_plaintext(self) -> bool:
+        return LeakageClass.PLAINTEXT in self.classes
+
+    def is_subset_of(self, other: "LeakageProfile") -> bool:
+        return self.classes <= other.classes
+
+
+def profile(engine: str, *classes: LeakageClass, notes: str = "") -> LeakageProfile:
+    return LeakageProfile(engine=engine, classes=frozenset(classes), notes=notes)
+
+
+# Reference profiles for the engines in repro.core.verifiers; the test
+# suite checks each engine's recorded transcript against its profile.
+
+PLAINTEXT_PROFILE = profile(
+    "plaintext",
+    LeakageClass.PLAINTEXT,
+    LeakageClass.DECISION_BIT,
+    LeakageClass.TIMING,
+    notes="non-private baseline",
+)
+
+PAILLIER_PROFILE = profile(
+    "paillier",
+    LeakageClass.DECISION_BIT,
+    LeakageClass.TIMING,
+    LeakageClass.VOLUME,
+    LeakageClass.ACCESS_PATTERN,
+    notes="manager sees ciphertexts and which rows are touched",
+)
+
+MPC_PROFILE = profile(
+    "mpc",
+    LeakageClass.DECISION_BIT,
+    LeakageClass.TIMING,
+    LeakageClass.VOLUME,
+    notes="each platform sees shares plus the joint decision",
+)
+
+TOKEN_PROFILE = profile(
+    "token",
+    LeakageClass.DECISION_BIT,
+    LeakageClass.TIMING,
+    LeakageClass.TOKEN_SERIALS,
+    LeakageClass.VOLUME,
+    notes="platforms see unlinkable serials and per-pseudonym counts",
+)
+
+ENCLAVE_PROFILE = profile(
+    "enclave",
+    LeakageClass.DECISION_BIT,
+    LeakageClass.TIMING,
+    LeakageClass.ACCESS_PATTERN,
+    notes="host sees ecall timing and paging, never contents",
+)
+
+DP_INDEX_PROFILE = profile(
+    "dp-index",
+    LeakageClass.DECISION_BIT,
+    LeakageClass.TIMING,
+    LeakageClass.AGGREGATE_NOISY,
+    notes="manager holds noisy histograms (epsilon-bounded)",
+)
+
+
+def transcript_shape(transcript: Sequence[Any]) -> List[Tuple[str, int]]:
+    """Reduce a manager-visible transcript to (type-name, size) pairs —
+    the shape an adversary could compare across runs."""
+    shape = []
+    for item in transcript:
+        if isinstance(item, (bytes, str)):
+            shape.append((type(item).__name__, len(item)))
+        elif isinstance(item, int):
+            shape.append(("int", item.bit_length()))
+        elif isinstance(item, dict):
+            shape.append(("dict", len(item)))
+        elif isinstance(item, (list, tuple)):
+            shape.append((type(item).__name__, len(item)))
+        else:
+            shape.append((type(item).__name__, 0))
+    return shape
+
+
+def transcript_distinguishability(
+    transcript_a: Sequence[Any], transcript_b: Sequence[Any]
+) -> bool:
+    """True if the two transcripts differ in *shape* — i.e. an adversary
+    could distinguish the secret inputs from structure alone.
+
+    Engines whose profile excludes PLAINTEXT must produce
+    shape-indistinguishable transcripts for same-length workloads; the
+    leakage tests enforce this.
+    """
+    return transcript_shape(transcript_a) != transcript_shape(transcript_b)

@@ -1,0 +1,287 @@
+"""Semi-honest secure multi-party computation over additive shares.
+
+RC2's decentralized path: federated platforms jointly verify a
+regulation (e.g. total hours <= 40) without revealing their private
+per-platform values.  The protocol stack:
+
+* values live as additive shares over a prime field
+  (:class:`SharedValue`); addition and public-scalar operations are
+  local, multiplication consumes one Beaver triple and one opening
+  round;
+* private inputs enter bit-decomposed (:class:`SharedBits` — the owner
+  knows its plaintext, so it shares each bit directly);
+* shared bitwise ripple-carry adders sum the parties' inputs;
+* a bitwise comparison circuit against a public bound produces a
+  single shared decision bit, and *only that bit is opened* — the
+  accept/reject decision is the protocol's entire output, matching
+  PReVer's allowed leakage.
+
+Cost accounting: every opening is a broadcast round (n*(n-1)
+messages); the context counts rounds, messages, and triples so bench
+E6 can reproduce the paper's "MPC does not scale" shape.
+"""
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.common.errors import PrivacyError, ProtocolError
+from repro.common.metrics import MetricsRegistry
+from repro.crypto.sharing import (
+    DEFAULT_FIELD_PRIME,
+    BeaverTripleDealer,
+    additive_reconstruct,
+    additive_share,
+)
+
+
+@dataclass(frozen=True)
+class SharedValue:
+    """One field element, additively shared among all parties."""
+
+    shares: tuple  # one share per party
+
+    @property
+    def parties(self) -> int:
+        return len(self.shares)
+
+
+@dataclass(frozen=True)
+class SharedBits:
+    """A non-negative integer as little-endian shared bits."""
+
+    bits: tuple  # tuple of SharedValue, LSB first
+
+    @property
+    def width(self) -> int:
+        return len(self.bits)
+
+
+class MPCContext:
+    """Protocol orchestrator for one party group.
+
+    The simulator executes all parties in one process but routes every
+    value through the sharing discipline: nothing is ever reconstructed
+    except through :meth:`open`, and the metrics registry records each
+    communication round — so both the privacy contract and the cost
+    model are faithful to a real deployment.
+    """
+
+    def __init__(
+        self,
+        parties: int,
+        prime: int = DEFAULT_FIELD_PRIME,
+        dealer: Optional[BeaverTripleDealer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        rng=None,
+    ):
+        if parties < 2:
+            raise ProtocolError("MPC needs at least 2 parties")
+        self.parties = parties
+        self.prime = prime
+        self.dealer = dealer or BeaverTripleDealer(parties, prime, rng=rng)
+        self.metrics = metrics or MetricsRegistry()
+        self._rng = rng
+        self.opened_values: List[int] = []  # the protocol's public output
+
+    # -- input/output -----------------------------------------------------
+
+    def share(self, value: int) -> SharedValue:
+        """An input owner shares a private value (no communication
+        round counted beyond the share distribution)."""
+        self.metrics.counter("mpc.messages").add(self.parties - 1)
+        return SharedValue(
+            tuple(additive_share(value % self.prime, self.parties,
+                                 self.prime, self._rng))
+        )
+
+    def share_public(self, value: int) -> SharedValue:
+        """A public constant as a degenerate sharing (party 0 holds it)."""
+        shares = [0] * self.parties
+        shares[0] = value % self.prime
+        return SharedValue(tuple(shares))
+
+    def share_bits(self, value: int, width: int) -> SharedBits:
+        if value < 0 or value >= (1 << width):
+            raise ProtocolError(f"value does not fit in {width} bits")
+        return SharedBits(
+            tuple(self.share((value >> i) & 1) for i in range(width))
+        )
+
+    def open(self, value: SharedValue) -> int:
+        """Reconstruct publicly — one broadcast round."""
+        self.metrics.counter("mpc.rounds").add()
+        self.metrics.counter("mpc.messages").add(self.parties * (self.parties - 1))
+        result = additive_reconstruct(value.shares, self.prime)
+        self.opened_values.append(result)
+        return result
+
+    # -- linear operations (local, free) --------------------------------------
+
+    def add(self, a: SharedValue, b: SharedValue) -> SharedValue:
+        return SharedValue(
+            tuple((x + y) % self.prime for x, y in zip(a.shares, b.shares))
+        )
+
+    def sub(self, a: SharedValue, b: SharedValue) -> SharedValue:
+        return SharedValue(
+            tuple((x - y) % self.prime for x, y in zip(a.shares, b.shares))
+        )
+
+    def add_const(self, a: SharedValue, constant: int) -> SharedValue:
+        shares = list(a.shares)
+        shares[0] = (shares[0] + constant) % self.prime
+        return SharedValue(tuple(shares))
+
+    def mul_const(self, a: SharedValue, constant: int) -> SharedValue:
+        return SharedValue(
+            tuple(x * constant % self.prime for x in a.shares)
+        )
+
+    # -- multiplication (one triple + one opening round) ------------------------
+
+    def mul(self, a: SharedValue, b: SharedValue) -> SharedValue:
+        triples = self.dealer.deal()
+        self.metrics.counter("mpc.triples").add()
+        a_shares = [t.a for t in triples]
+        b_shares = [t.b for t in triples]
+        c_shares = [t.c for t in triples]
+        # Open d = a - ta and e = b - tb (one combined round in practice).
+        d = self._open_internal(
+            [(x - y) % self.prime for x, y in zip(a.shares, a_shares)]
+        )
+        e = self._open_internal(
+            [(x - y) % self.prime for x, y in zip(b.shares, b_shares)]
+        )
+        out = []
+        for i in range(self.parties):
+            term = (
+                c_shares[i]
+                + d * b_shares[i]
+                + e * a_shares[i]
+            ) % self.prime
+            if i == 0:
+                term = (term + d * e) % self.prime
+            out.append(term)
+        return SharedValue(tuple(out))
+
+    def _open_internal(self, shares: Sequence[int]) -> int:
+        """Opening of a *masked* value inside a protocol — public by
+        design of the protocol (reveals nothing about inputs)."""
+        self.metrics.counter("mpc.rounds").add()
+        self.metrics.counter("mpc.messages").add(self.parties * (self.parties - 1))
+        return additive_reconstruct(shares, self.prime)
+
+    # -- boolean algebra over shared bits (arithmetic encoding) ------------------
+
+    def bit_and(self, a: SharedValue, b: SharedValue) -> SharedValue:
+        return self.mul(a, b)
+
+    def bit_xor(self, a: SharedValue, b: SharedValue) -> SharedValue:
+        # a + b - 2ab
+        product = self.mul(a, b)
+        return self.sub(self.add(a, b), self.mul_const(product, 2))
+
+    def bit_or(self, a: SharedValue, b: SharedValue) -> SharedValue:
+        product = self.mul(a, b)
+        return self.sub(self.add(a, b), product)
+
+    def bit_not(self, a: SharedValue) -> SharedValue:
+        return self.sub(self.share_public(1), a)
+
+    # -- adder and comparison circuits --------------------------------------------
+
+    def add_bits(self, a: SharedBits, b: SharedBits) -> SharedBits:
+        """Ripple-carry addition of two bit-shared numbers.
+
+        Output has one extra bit.  Per bit position: sum = a ^ b ^ c,
+        carry = ab | c(a ^ b) — three multiplications.
+        """
+        if a.width != b.width:
+            raise ProtocolError("adder operands must have equal width")
+        carry = self.share_public(0)
+        out_bits = []
+        for bit_a, bit_b in zip(a.bits, b.bits):
+            axb = self.bit_xor(bit_a, bit_b)
+            out_bits.append(self.bit_xor(axb, carry))
+            and_ab = self.bit_and(bit_a, bit_b)
+            and_axb_c = self.bit_and(axb, carry)
+            carry = self.bit_or(and_ab, and_axb_c)
+        out_bits.append(carry)
+        return SharedBits(tuple(out_bits))
+
+    def sum_bits(self, values: Sequence[SharedBits]) -> SharedBits:
+        """Sum several bit-shared numbers (widths are equalized)."""
+        if not values:
+            raise ProtocolError("nothing to sum")
+        acc = values[0]
+        for value in values[1:]:
+            width = max(acc.width, value.width)
+            acc = self.add_bits(self._extend(acc, width), self._extend(value, width))
+        return acc
+
+    def _extend(self, value: SharedBits, width: int) -> SharedBits:
+        if value.width >= width:
+            return value
+        zeros = tuple(
+            self.share_public(0) for _ in range(width - value.width)
+        )
+        return SharedBits(value.bits + zeros)
+
+    def greater_than_public(self, value: SharedBits, bound: int) -> SharedValue:
+        """Shared indicator bit of (value > bound), bound public.
+
+        MSB-to-LSB scan: gt = OR_i (prefix-equal_{>i} AND v_i AND
+        NOT b_i).  Because the bound's bits are public, equality and
+        the v_i AND NOT b_i terms are linear; only the prefix products
+        and the final accumulation need multiplications.
+        """
+        width = value.width
+        if bound >= (1 << width):
+            return self.share_public(0)
+        if bound < 0:
+            return self.share_public(1)
+        gt = self.share_public(0)
+        prefix_equal = self.share_public(1)
+        for i in reversed(range(width)):
+            v_i = value.bits[i]
+            b_i = (bound >> i) & 1
+            if b_i == 1:
+                eq_i = v_i                       # equal iff v_i == 1
+                win_i = self.share_public(0)      # v_i > b_i impossible
+            else:
+                eq_i = self.bit_not(v_i)          # equal iff v_i == 0
+                win_i = v_i                       # v_i = 1 wins
+            term = self.bit_and(prefix_equal, win_i)
+            gt = self.bit_or(gt, term)
+            prefix_equal = self.bit_and(prefix_equal, eq_i)
+        return gt
+
+    def leq_public(self, value: SharedBits, bound: int) -> SharedValue:
+        return self.bit_not(self.greater_than_public(value, bound))
+
+    # -- the RC2 verification protocol ---------------------------------------------
+
+    def verify_sum_upper_bound(
+        self, private_inputs: Sequence[int], bound: int, width: int
+    ) -> bool:
+        """The end-to-end federated regulation check.
+
+        Each entry of ``private_inputs`` belongs to a different party.
+        The parties jointly compute sum(inputs) <= bound revealing only
+        the boolean outcome.  ``width`` bounds each individual input.
+        """
+        if len(private_inputs) != self.parties:
+            raise ProtocolError("one input per party expected")
+        shared = [self.share_bits(v, width) for v in private_inputs]
+        total = self.sum_bits(shared)
+        decision = self.leq_public(total, bound)
+        return bool(self.open(decision))
+
+    # -- privacy introspection ----------------------------------------------------
+
+    def public_transcript(self) -> List[int]:
+        """Every value that was publicly opened — the complete public
+        view of the protocol.  Tests assert this contains only the
+        decision bit (plus uniformly-masked Beaver openings, which are
+        recorded separately and are independent of the inputs)."""
+        return list(self.opened_values)

@@ -1,0 +1,200 @@
+"""Path ORAM — hiding the access pattern from the storage server.
+
+The RC1 engines admit ACCESS_PATTERN leakage: the honest-but-curious
+manager sees *which rows* each update touches, which over time reveals
+group membership and activity frequencies even when every value is
+encrypted.  Path ORAM (Stefanov et al.) closes this channel:
+
+* blocks live in a binary tree of buckets (Z slots each) on the
+  server; a client-side position map assigns each block a random leaf,
+  with the invariant that a block is always somewhere on the path from
+  the root to its leaf (or in the client stash);
+* every access — read or write, any block — (1) remaps the block to a
+  fresh uniform leaf, (2) reads one full root-to-leaf path into the
+  stash, (3) serves the block, (4) writes the path back, greedily
+  pushing stash blocks as deep as their leaf assignments allow.
+
+The server's entire view is a sequence of uniformly random path
+indices, independent of the logical access sequence — asserted by the
+tests via the recorded server transcript.  Bandwidth is O(log N)
+blocks per access; bench E15 measures the overhead against direct
+access.
+"""
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.common.errors import PReVerError
+from repro.common.randomness import SystemRandomSource
+
+
+class ORAMError(PReVerError):
+    pass
+
+
+@dataclass
+class _Block:
+    block_id: int
+    data: Any
+
+
+class _ORAMServer:
+    """The untrusted storage: a flat array of tree buckets.
+
+    In a deployment each slot holds a fixed-size ciphertext; the
+    simulator stores the (client-encrypted) payloads opaquely and logs
+    every path index it is asked for — its complete view.
+    """
+
+    def __init__(self, levels: int, bucket_size: int):
+        self.levels = levels
+        self.bucket_size = bucket_size
+        self._buckets: List[List[_Block]] = [
+            [] for _ in range((1 << levels) - 1)
+        ]
+        self.access_log: List[Tuple[str, int]] = []
+
+    def read_path(self, leaf: int) -> List[_Block]:
+        self.access_log.append(("read", leaf))
+        blocks: List[_Block] = []
+        for bucket_index in self._path_indices(leaf):
+            blocks.extend(self._buckets[bucket_index])
+            self._buckets[bucket_index] = []
+        return blocks
+
+    def write_path(self, leaf: int, per_bucket: List[List[_Block]]) -> None:
+        self.access_log.append(("write", leaf))
+        for bucket_index, blocks in zip(self._path_indices(leaf), per_bucket):
+            if len(blocks) > self.bucket_size:
+                raise ORAMError("bucket overflow on write-back")
+            self._buckets[bucket_index] = list(blocks)
+
+    def _path_indices(self, leaf: int) -> List[int]:
+        """Bucket indices from root (level 0) to the leaf bucket."""
+        indices = []
+        node = leaf + (1 << (self.levels - 1)) - 1  # leaf's tree index
+        for _ in range(self.levels):
+            indices.append(node)
+            node = (node - 1) // 2
+        return list(reversed(indices))
+
+
+class PathORAM:
+    """Client-side Path ORAM over an untrusted :class:`_ORAMServer`."""
+
+    def __init__(self, capacity: int, bucket_size: int = 4, rng=None):
+        if capacity < 1:
+            raise ORAMError("capacity must be positive")
+        self._rng = rng or SystemRandomSource()
+        levels = 1
+        while (1 << (levels - 1)) < capacity:
+            levels += 1
+        self.levels = levels
+        self.leaves = 1 << (levels - 1)
+        self.capacity = capacity
+        self.server = _ORAMServer(levels, bucket_size)
+        self.bucket_size = bucket_size
+        self._position: Dict[int, int] = {}
+        self._stash: Dict[int, _Block] = {}
+        self.accesses = 0
+
+    # -- public API ----------------------------------------------------
+
+    def read(self, block_id: int) -> Optional[Any]:
+        return self._access(block_id, None, is_write=False)
+
+    def write(self, block_id: int, data: Any) -> None:
+        self._access(block_id, data, is_write=True)
+
+    @property
+    def stash_size(self) -> int:
+        return len(self._stash)
+
+    # -- the Path ORAM access procedure -----------------------------------
+
+    def _access(self, block_id: int, new_data: Any, is_write: bool):
+        if not 0 <= block_id < self.capacity:
+            raise ORAMError("block id out of range")
+        self.accesses += 1
+        old_leaf = self._position.get(block_id)
+        if old_leaf is None:
+            old_leaf = self._rng.randbelow(self.leaves)
+        # Remap before touching the server (the fresh leaf is secret).
+        new_leaf = self._rng.randbelow(self.leaves)
+        self._position[block_id] = new_leaf
+
+        # Read the old path into the stash.
+        for block in self.server.read_path(old_leaf):
+            self._stash[block.block_id] = block
+
+        target = self._stash.get(block_id)
+        result = target.data if target is not None else None
+        if is_write:
+            self._stash[block_id] = _Block(block_id, new_data)
+
+        # Write the path back, placing stash blocks as deep as allowed.
+        self._write_back(old_leaf)
+        return result
+
+    def _write_back(self, leaf: int) -> None:
+        per_bucket: List[List[_Block]] = [[] for _ in range(self.levels)]
+        # Deepest buckets first so blocks sink as far as possible.
+        for level in reversed(range(self.levels)):
+            for block_id in list(self._stash):
+                if len(per_bucket[level]) >= self.bucket_size:
+                    break
+                block_leaf = self._position.get(block_id)
+                if block_leaf is None:
+                    continue
+                if self._paths_intersect_at(leaf, block_leaf, level):
+                    per_bucket[level].append(self._stash.pop(block_id))
+        self.server.write_path(leaf, per_bucket)
+
+    def _paths_intersect_at(self, leaf_a: int, leaf_b: int, level: int) -> bool:
+        """Whether both leaves' root paths share the bucket at ``level``
+        (level 0 = root, always shared)."""
+        shift = (self.levels - 1) - level
+        return (leaf_a >> shift) == (leaf_b >> shift)
+
+    # -- analysis hooks -------------------------------------------------------
+
+    def server_view(self) -> List[Tuple[str, int]]:
+        return list(self.server.access_log)
+
+    def leaf_access_histogram(self) -> Dict[int, int]:
+        histogram: Dict[int, int] = {}
+        for _, leaf in self.server.access_log:
+            histogram[leaf] = histogram.get(leaf, 0) + 1
+        return histogram
+
+
+class ObliviousKV:
+    """A tiny key-value store with oblivious access — the shape a
+    PReVer data manager would host for an access-pattern-sensitive
+    owner.  Keys are mapped to ORAM block ids client-side."""
+
+    def __init__(self, capacity: int = 64, rng=None):
+        self._oram = PathORAM(capacity, rng=rng)
+        self._key_to_block: Dict[str, int] = {}
+        self._next_block = 0
+
+    def put(self, key: str, value: Any) -> None:
+        block = self._key_to_block.get(key)
+        if block is None:
+            if self._next_block >= self._oram.capacity:
+                raise ORAMError("store is full")
+            block = self._next_block
+            self._next_block += 1
+            self._key_to_block[key] = block
+        self._oram.write(block, value)
+
+    def get(self, key: str) -> Optional[Any]:
+        block = self._key_to_block.get(key)
+        if block is None:
+            # Dummy access so misses are indistinguishable from hits.
+            self._oram.read(self._oram.accesses % self._oram.capacity)
+            return None
+        return self._oram.read(block)
+
+    def server_view(self):
+        return self._oram.server_view()

@@ -1,0 +1,257 @@
+"""Private information retrieval, extended with private writes (RC3).
+
+Two constructions with the classic trade-off bench E7 measures:
+
+* :class:`TwoServerXorPIR` — information-theoretic PIR with two
+  non-colluding servers.  The client sends a random subset vector to
+  server A and the same vector with the target bit flipped to server
+  B; XOR of the two answers is the target record.  O(n) communication
+  of *bits*, negligible computation.
+* :class:`PaillierPIR` — single-server computational PIR: the client
+  sends an encrypted selection vector; the server returns
+  ``sum_j Enc(b_j) * record_j``, an encryption of the selected record.
+  O(n) ciphertexts of computation per query — expensive, which is the
+  point of comparison.
+
+Both support **private writes**, the extension Research Challenge 3
+calls for: the client submits a vector of masks/ciphertexts that
+modifies position i without revealing i (XOR-delta on both servers for
+the IT scheme; homomorphic addition of an encrypted delta vector for
+the Paillier scheme).  The server-side transcripts are recorded so the
+leakage tests can assert index-obliviousness.
+"""
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.common.errors import PReVerError, PrivacyError
+from repro.common.randomness import SystemRandomSource
+from repro.crypto.paillier import (
+    PaillierCiphertext,
+    PaillierKeyPair,
+    generate_paillier_keypair,
+)
+
+
+class PIRError(PReVerError):
+    pass
+
+
+class _XorServer:
+    """One of the two non-colluding servers.
+
+    Holds the public replica (RC3: the data itself is public) plus a
+    pending write buffer.  Write shares accumulate in the buffer; at
+    epoch end the two servers' buffers are XOR-combined (each alone is
+    uniformly random) and applied to both replicas — so neither server
+    can attribute a changed position to a particular write, only to the
+    epoch's batch (Riposte-style batching).  Records every query it
+    sees (its complete view) for the leakage analysis.
+    """
+
+    def __init__(self, name: str, records: List[bytes], record_size: int):
+        self.name = name
+        self.record_size = record_size
+        self._records = list(records)
+        self._pending = [bytes(record_size)] * len(records)
+        self.query_log: List[Tuple[str, Tuple[int, ...]]] = []
+
+    def answer(self, selector: Sequence[int]) -> bytes:
+        if len(selector) != len(self._records):
+            raise PIRError("selector length mismatch")
+        self.query_log.append(("read", tuple(selector)))
+        out = bytes(self.record_size)
+        for bit, record in zip(selector, self._records):
+            if bit:
+                out = bytes(a ^ b for a, b in zip(out, record))
+        return out
+
+    def buffer_write(self, deltas: Sequence[bytes]) -> None:
+        if len(deltas) != len(self._records):
+            raise PIRError("delta vector length mismatch")
+        self.query_log.append(("write", tuple(len(d) for d in deltas)))
+        self._pending = [
+            bytes(a ^ b for a, b in zip(pending, delta))
+            for pending, delta in zip(self._pending, deltas)
+        ]
+
+    def take_pending(self) -> List[bytes]:
+        pending = self._pending
+        self._pending = [bytes(self.record_size)] * len(self._records)
+        return pending
+
+    def apply_merged(self, merged: Sequence[bytes]) -> None:
+        self._records = [
+            bytes(a ^ b for a, b in zip(record, delta))
+            for record, delta in zip(self._records, merged)
+        ]
+
+    def raw_records(self) -> List[bytes]:
+        return list(self._records)
+
+
+class TwoServerXorPIR:
+    """Client-side protocol object for two-server XOR PIR."""
+
+    def __init__(self, records: Sequence[bytes], record_size: int = 32, rng=None):
+        padded = [self._pad(r, record_size) for r in records]
+        self.n = len(padded)
+        self.record_size = record_size
+        self._rng = rng or SystemRandomSource()
+        self.server_a = _XorServer("A", padded, record_size)
+        self.server_b = _XorServer("B", padded, record_size)
+
+    @staticmethod
+    def _pad(record: bytes, size: int) -> bytes:
+        if len(record) > size:
+            raise PIRError(f"record longer than {size} bytes")
+        return record + bytes(size - len(record))
+
+    def read(self, index: int) -> bytes:
+        """Retrieve record ``index`` without either server learning it."""
+        if not 0 <= index < self.n:
+            raise PIRError("index out of range")
+        selector_a = [self._rng.randbelow(2) for _ in range(self.n)]
+        selector_b = list(selector_a)
+        selector_b[index] ^= 1
+        answer_a = self.server_a.answer(selector_a)
+        answer_b = self.server_b.answer(selector_b)
+        return bytes(a ^ b for a, b in zip(answer_a, answer_b))
+
+    def write(self, index: int, new_value: bytes) -> None:
+        """Submit a private write for record ``index``.
+
+        The client computes delta = old XOR new (reading the old value
+        privately first), splits the one-hot delta vector into two
+        random XOR-shares, and sends one share to each server's pending
+        buffer.  Each server's view is a vector of uniformly random
+        byte strings — independent of both the index and the data.
+        Writes take effect at the next :meth:`merge_epoch`.
+        """
+        old = self.read(index)
+        new_padded = self._pad(new_value, self.record_size)
+        delta = bytes(a ^ b for a, b in zip(old, new_padded))
+        share_a: List[bytes] = []
+        share_b: List[bytes] = []
+        for position in range(self.n):
+            mask = bytes(
+                self._rng.randbelow(256) for _ in range(self.record_size)
+            )
+            share_a.append(mask)
+            if position == index:
+                share_b.append(bytes(m ^ d for m, d in zip(mask, delta)))
+            else:
+                share_b.append(mask)
+        self.server_a.buffer_write(share_a)
+        self.server_b.buffer_write(share_b)
+
+    def merge_epoch(self) -> int:
+        """End the write epoch: servers exchange pending buffers, XOR
+        them into the plaintext batch delta, and apply it to both
+        replicas.  Returns the number of changed records.  Position
+        leakage after the merge is batch-level only (the RC3 residual
+        leak the paper acknowledges for public data).
+        """
+        pending_a = self.server_a.take_pending()
+        pending_b = self.server_b.take_pending()
+        merged = [
+            bytes(x ^ y for x, y in zip(a, b))
+            for a, b in zip(pending_a, pending_b)
+        ]
+        self.server_a.apply_merged(merged)
+        self.server_b.apply_merged(merged)
+        return sum(1 for delta in merged if any(delta))
+
+    def verify_servers_consistent(self) -> bool:
+        """Debug/test helper: replicas must be identical after merges."""
+        return self.server_a.raw_records() == self.server_b.raw_records()
+
+
+class PaillierPIR:
+    """Single-server computational PIR over integer records.
+
+    Records are non-negative integers < n (the Paillier modulus).  The
+    server never sees plaintext selectors; its entire view per query is
+    a vector of ciphertexts.
+    """
+
+    def __init__(
+        self,
+        records: Sequence[int],
+        keypair: Optional[PaillierKeyPair] = None,
+        key_bits: int = 256,
+    ):
+        self._records = list(records)
+        self.keypair = keypair or generate_paillier_keypair(key_bits)
+        public = self.keypair.public_key
+        for record in self._records:
+            if not 0 <= record < public.n:
+                raise PIRError("record out of plaintext range")
+        self.server_ops = 0            # ciphertext operations performed
+        self.query_log: List[str] = []  # server-visible transcript kinds
+
+    @property
+    def n(self) -> int:
+        return len(self._records)
+
+    # -- client side -----------------------------------------------------
+
+    def _selection_vector(self, index: int) -> List[PaillierCiphertext]:
+        public = self.keypair.public_key
+        return [
+            public.encrypt(1 if j == index else 0) for j in range(self.n)
+        ]
+
+    def read(self, index: int) -> int:
+        if not 0 <= index < self.n:
+            raise PIRError("index out of range")
+        query = self._selection_vector(index)
+        answer = self._server_answer(query)
+        return self.keypair.private_key.decrypt(answer)
+
+    def write_add(self, index: int, delta: int) -> None:
+        """Privately add ``delta`` to record ``index``.
+
+        The client sends Enc(delta * [j == index]) for every j; the
+        server homomorphically folds the whole vector into its
+        encrypted record column.  Requires the server to store records
+        encrypted; for the benchmarkable simulator the server keeps an
+        encrypted shadow column and the client can re-materialize.
+        """
+        public = self.keypair.public_key
+        vector = [
+            public.encrypt_signed(delta if j == index else 0)
+            for j in range(self.n)
+        ]
+        self._server_apply_write(vector)
+
+    # -- server side ---------------------------------------------------------
+
+    def _server_answer(self, query: List[PaillierCiphertext]) -> PaillierCiphertext:
+        if len(query) != self.n:
+            raise PIRError("query length mismatch")
+        self.query_log.append("read")
+        result: Optional[PaillierCiphertext] = None
+        for ciphertext, record in zip(query, self._records):
+            term = ciphertext * record
+            self.server_ops += 1
+            result = term if result is None else result + term
+        if result is None:
+            raise PIRError("empty database")
+        return result
+
+    def _server_apply_write(self, vector: List[PaillierCiphertext]) -> None:
+        if len(vector) != self.n:
+            raise PIRError("write vector length mismatch")
+        self.query_log.append("write")
+        # The simulator's server cooperates with the owner: it cannot
+        # decrypt, so it forwards the folded deltas to the owner-side
+        # key holder for re-materialization.  Here we model that round
+        # trip directly.
+        private = self.keypair.private_key
+        for position, ciphertext in enumerate(vector):
+            self.server_ops += 1
+            delta = private.decrypt_signed(ciphertext)
+            self._records[position] = self._records[position] + delta
+
+    def records_snapshot(self) -> List[int]:
+        return list(self._records)

@@ -1,0 +1,122 @@
+"""Private set intersection — toward "general distributed constraints".
+
+Section 5 lists as Separ future work the support of "general
+distributed constraints, e.g., any SQL expressed constraints, including
+GROUP BY, JOIN and aggregate expressions".  The JOIN-shaped regulations
+PReVer's applications need are membership joins across platforms:
+
+    "a worker may not be registered on more than K platforms",
+    "an item flagged by one enterprise may not be shipped by another".
+
+These reduce to private set-intersection *cardinality* across the
+federated databases, which this module provides with the classic
+OPRF-style construction, simplified for the semi-honest setting:
+
+* a session key ``k`` is additively contributed by every party (so no
+  single party knows it — here dealt by a coordinator from per-party
+  seeds);
+* each party uploads ``PRF(k, element)`` for its private elements;
+* equal elements collide, distinct elements look random — the
+  coordinator learns the intersection *pattern* (which pseudo-elements
+  are shared, and by how many parties) but no element values.
+
+The leakage is exactly the intersection cardinality pattern, declared
+in :data:`PSI_PROFILE` and asserted by the tests.
+"""
+
+import hashlib
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.common.errors import ProtocolError
+from repro.crypto.hashing import prf
+from repro.privacy import leakage as lk
+
+PSI_PROFILE = lk.profile(
+    "psi",
+    lk.LeakageClass.DECISION_BIT,
+    lk.LeakageClass.VOLUME,
+    lk.LeakageClass.EQUALITY_PATTERN,
+    notes="coordinator sees PRF outputs: set sizes + intersection pattern",
+)
+
+
+class PSIParty:
+    """One platform's side of the protocol."""
+
+    def __init__(self, name: str, elements: Iterable[str]):
+        self.name = name
+        self._elements: Set[str] = set(elements)
+        self._key_contribution = hashlib.sha256(
+            b"seed:" + name.encode()
+        ).digest()
+
+    @property
+    def set_size(self) -> int:
+        return len(self._elements)
+
+    def key_contribution(self) -> bytes:
+        return self._key_contribution
+
+    def masked_elements(self, session_key: bytes) -> List[bytes]:
+        """PRF-masked elements, sorted (order leaks nothing)."""
+        return sorted(
+            prf(session_key, element.encode()) for element in self._elements
+        )
+
+
+class PSICoordinator:
+    """Runs one intersection-cardinality session.
+
+    The coordinator may be any of the parties or a third party; its
+    view is the PSI_PROFILE leakage only.
+    """
+
+    def __init__(self, parties: Sequence[PSIParty]):
+        if len(parties) < 2:
+            raise ProtocolError("PSI needs at least two parties")
+        self.parties = list(parties)
+        self.session_key = self._derive_session_key()
+        self.transcript: List[Tuple[str, int]] = []
+
+    def _derive_session_key(self) -> bytes:
+        digest = hashlib.sha256()
+        for party in self.parties:
+            digest.update(party.key_contribution())
+        return digest.digest()
+
+    def membership_counts(self) -> Dict[bytes, int]:
+        """How many parties hold each (masked) element."""
+        counts: Dict[bytes, int] = {}
+        for party in self.parties:
+            masked = party.masked_elements(self.session_key)
+            self.transcript.append((party.name, len(masked)))
+            for item in masked:
+                counts[item] = counts.get(item, 0) + 1
+        return counts
+
+    def intersection_cardinality(self) -> int:
+        """|elements held by *all* parties| — the n-way JOIN count."""
+        counts = self.membership_counts()
+        return sum(1 for c in counts.values() if c == len(self.parties))
+
+    def max_multiplicity(self) -> int:
+        """The largest number of parties sharing any one element."""
+        counts = self.membership_counts()
+        return max(counts.values(), default=0)
+
+
+def check_max_membership(
+    parties: Sequence[PSIParty], limit: int
+) -> bool:
+    """The JOIN-shaped regulation: no element (worker pseudonym,
+    flagged item, ...) may appear on more than ``limit`` platforms.
+    Returns the verification decision; the only values revealed to the
+    coordinator are PRF outputs."""
+    coordinator = PSICoordinator(parties)
+    return coordinator.max_multiplicity() <= limit
+
+
+def check_no_overlap(parties: Sequence[PSIParty]) -> bool:
+    """Exclusivity regulation: the private sets must be disjoint."""
+    coordinator = PSICoordinator(parties)
+    return coordinator.max_multiplicity() <= 1

@@ -1,0 +1,107 @@
+"""A blockchain-replicated spend registry.
+
+Section 5: Separ "relies on the permissioned blockchain system SharPer
+to guarantee integrity of the global system state (i.e., the tokens
+spent)".  The in-memory :class:`~repro.privacy.tokens.SpendRegistry`
+detects double spends against a local set; this registry instead
+derives the spent-token state *from the ordered blockchain*, which is
+what makes mutually distrustful platforms agree:
+
+* a platform submits a spend as a transaction;
+* consensus (PBFT) orders all submitted spends;
+* validation is deterministic over the ordered log: the **first**
+  transaction carrying a serial wins, every later one aborts — so two
+  platforms racing to deposit the same token resolve identically on
+  every replica, with no coordinator.
+
+``settle()`` drives consensus and returns the per-transaction
+outcomes; tests race the same token from two platforms and check
+exactly one wins.
+"""
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.chain.blockchain import PermissionedBlockchain
+from repro.crypto.rsa import RSAPublicKey
+from repro.privacy.tokens import Token, TokenError
+
+
+class ReplicatedSpendRegistry:
+    """Spent-token state as a deterministic fold over an ordered chain."""
+
+    def __init__(self, authority_key: RSAPublicKey,
+                 chain: Optional[PermissionedBlockchain] = None,
+                 block_size: int = 8):
+        self.authority_key = authority_key
+        self.chain = chain or PermissionedBlockchain(
+            channel="token-spends", block_size=block_size
+        )
+        self._pending: Dict[str, Token] = {}  # tx_id -> token (local cache)
+        self._validated: Dict[str, bool] = {}  # tx_id -> accepted?
+        self._spent_serials: Set[str] = set()
+        self._applied_height = 0
+        self._applied_tx_in_block = 0
+
+    # -- submission (any platform) ----------------------------------------
+
+    def submit_spend(self, token: Token, platform: str) -> str:
+        """Validate the signature locally, then submit for ordering.
+
+        Signature checks are deterministic and need no shared state, so
+        they happen before consensus; serial uniqueness can only be
+        decided *after* ordering.  Returns the transaction id.
+        """
+        if not self.authority_key.verify(token.message(), token.signature):
+            raise TokenError("invalid token signature")
+        tx = self.chain.submit_public({
+            "serial": token.serial,
+            "period": token.period,
+            "pseudonym": token.pseudonym,
+            "platform": platform,
+        })
+        self._pending[tx.tx_id] = token
+        return tx.tx_id
+
+    # -- deterministic validation over the ordered log -----------------------
+
+    def settle(self) -> Dict[str, bool]:
+        """Run consensus, fold newly committed blocks into the spent
+        set, and return {tx_id: accepted} for every settled spend."""
+        self.chain.process()
+        self.chain.flush()
+        outcomes: Dict[str, bool] = {}
+        while self._applied_height < self.chain.height:
+            block = self.chain.block(self._applied_height)
+            transactions = block.transactions[self._applied_tx_in_block:]
+            for tx in transactions:
+                serial = tx.payload["serial"]
+                accepted = serial not in self._spent_serials
+                if accepted:
+                    self._spent_serials.add(serial)
+                self._validated[tx.tx_id] = accepted
+                outcomes[tx.tx_id] = accepted
+            self._applied_height += 1
+            self._applied_tx_in_block = 0
+        return outcomes
+
+    # -- queries ---------------------------------------------------------------
+
+    def is_spent(self, serial: str) -> bool:
+        return serial in self._spent_serials
+
+    def outcome(self, tx_id: str) -> Optional[bool]:
+        """None until settled; then the consensus-decided outcome."""
+        return self._validated.get(tx_id)
+
+    def total_spent(self) -> int:
+        return len(self._spent_serials)
+
+    def replay_from_chain(self) -> Set[str]:
+        """Any participant can rebuild the spent set from scratch —
+        the verifiability property RC4 demands.  Returns the set; the
+        caller compares it to a replica's state to detect divergence."""
+        spent: Set[str] = set()
+        for height in range(self.chain.height):
+            for tx in self.chain.block(height).transactions:
+                spent.add(tx.payload["serial"])
+        return spent

@@ -1,0 +1,161 @@
+"""Distributed token issuance — Separ's future work, implemented.
+
+Section 5: "Separ requires a centralized trusted third party authority
+to issue tokens.  This is a serious shortcoming, as a general
+distributed approach should be used."  This module removes the single
+trusted issuer with an n-of-n *multiplicatively shared* RSA signing
+key:
+
+* a one-time dealer generates the RSA key and splits the private
+  exponent additively, ``d = d_1 + ... + d_n  (mod phi(N))``, then
+  destroys it;
+* each share-signer independently enforces the per-participant budget
+  and, if satisfied, returns the partial signature ``m^{d_i} mod N``;
+* the client multiplies the partials: since the exponents sum to d
+  modulo phi(N), the product is exactly the ordinary RSA signature
+  ``m^d`` — verifiable under the unchanged public key, so wallets,
+  registries and verifiers need no changes.
+
+Security gain over the centralized authority: a coalition of up to
+n-1 compromised signers can neither forge tokens (the missing share's
+exponent is information-theoretically hidden) nor over-issue (every
+honest signer checks the budget before contributing its partial).
+Liveness is the flip side — all n signers must be online — which is
+the n-of-n/k-of-n trade-off the benches quantify; a k-of-n variant
+(Shoup threshold RSA) is the natural next step and is documented as
+out of scope in DESIGN.md.
+"""
+
+import math
+from typing import Dict, List, Optional
+
+from repro.common.errors import PReVerError
+from repro.common.randomness import SystemRandomSource
+from repro.crypto.blind import BlindedToken
+from repro.crypto.numbers import generate_prime, modinv
+from repro.crypto.rsa import PUBLIC_EXPONENT, RSAPublicKey
+from repro.privacy.tokens import IssuerUnavailable, TokenError
+
+
+class ShareSigner:
+    """One member of the distributed authority.
+
+    Holds a share of the signing exponent plus its own copy of the
+    issuance ledger; refuses partials beyond the budget.
+    """
+
+    def __init__(self, index: int, n: int, d_share: int,
+                 budget_per_period: int):
+        self.index = index
+        self._n = n
+        self._d_share = d_share
+        self.budget_per_period = budget_per_period
+        self._issued: Dict[tuple, int] = {}
+        self.online = True
+        self.partials_issued = 0
+
+    def issued_count(self, participant: str, period: int) -> int:
+        return self._issued.get((participant, period), 0)
+
+    def partial_sign(self, participant: str, period: int,
+                     blinded: BlindedToken) -> int:
+        if not self.online:
+            raise IssuerUnavailable(f"share signer {self.index} is offline")
+        already = self.issued_count(participant, period)
+        if already + 1 > self.budget_per_period:
+            raise TokenError(
+                f"signer {self.index}: {participant!r} exceeded the "
+                f"period-{period} budget"
+            )
+        self._issued[(participant, period)] = already + 1
+        self.partials_issued += 1
+        return pow(blinded.blinded, self._d_share, self._n)
+
+
+class DistributedTokenAuthority:
+    """Drop-in replacement for :class:`~repro.privacy.tokens.TokenAuthority`
+    with no single trusted signer.
+
+    Exposes the same ``public_key`` / ``issue`` / ``issued_count``
+    surface, so :class:`~repro.privacy.tokens.TokenWallet` works
+    unchanged.
+    """
+
+    def __init__(self, signers: int, budget_per_period: int,
+                 rsa_bits: int = 512, rng=None):
+        if signers < 2:
+            raise PReVerError("a distributed authority needs >= 2 signers")
+        self.budget_per_period = budget_per_period
+        rng = rng or SystemRandomSource()
+        n, phi, d = self._generate_key(rsa_bits, rng)
+        self.public_key = RSAPublicKey(n=n, e=PUBLIC_EXPONENT)
+        shares = [rng.randbelow(phi) for _ in range(signers - 1)]
+        shares.append((d - sum(shares)) % phi)
+        # The dealer's view (phi, d) is discarded here; only shares
+        # survive in the signer objects.
+        self.signers = [
+            ShareSigner(i, n, share, budget_per_period)
+            for i, share in enumerate(shares)
+        ]
+
+    @staticmethod
+    def _generate_key(bits: int, rng):
+        half = bits // 2
+        while True:
+            p = generate_prime(half, rng=rng)
+            q = generate_prime(half, rng=rng)
+            if p == q:
+                continue
+            phi = (p - 1) * (q - 1)
+            if math.gcd(PUBLIC_EXPONENT, phi) != 1:
+                continue
+            return p * q, phi, modinv(PUBLIC_EXPONENT, phi)
+
+    def issued_count(self, participant: str, period: int) -> int:
+        """The consensus issuance count (max over signers — honest
+        signers agree; a lagging count means a signer refused)."""
+        return max(
+            signer.issued_count(participant, period) for signer in self.signers
+        )
+
+    def issue(self, participant: str, period: int,
+              blinded_tokens: List[BlindedToken]) -> List[int]:
+        """Collect partials from every signer and combine.
+
+        Any signer refusing (budget or offline) aborts the whole
+        issuance — a partial signature set is useless by construction.
+        The batch is screened upfront so a mid-batch refusal cannot
+        strand already-issued tokens.
+        """
+        already = self.issued_count(participant, period)
+        if already + len(blinded_tokens) > self.budget_per_period:
+            raise TokenError(
+                f"{participant!r} exceeded the period-{period} budget "
+                f"({already} + {len(blinded_tokens)} > "
+                f"{self.budget_per_period})"
+            )
+        signatures = []
+        for token in blinded_tokens:
+            partials = [
+                signer.partial_sign(participant, period, token)
+                for signer in self.signers
+            ]
+            combined = 1
+            for partial in partials:
+                combined = combined * partial % self.public_key.n
+            signatures.append(combined)
+        return signatures
+
+    def take_offline(self, index: int) -> None:
+        self.signers[index].online = False
+
+    def compromise_view(self, indices: List[int]) -> dict:
+        """What a coalition of compromised signers knows: their shares
+        and their issuance ledgers — never the full exponent."""
+        return {
+            "shares_held": len(indices),
+            "shares_needed": len(self.signers),
+            "issuance_ledgers": [
+                dict(self.signers[i]._issued) for i in indices
+            ],
+        }

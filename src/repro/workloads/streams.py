@@ -1,0 +1,66 @@
+"""Update-arrival generators for the dynamic-data experiments.
+
+The DP-budget exhaustion bench (E4) and the DP-Sync pattern-hiding
+analysis need realistic arrival processes:
+
+* :func:`poisson_arrivals` — memoryless arrivals at a given rate;
+* :func:`bursty_arrivals` — an on/off process (bursts of activity
+  separated by silences), the pattern DP-Sync exists to hide.
+"""
+
+import math
+from typing import Iterator, List
+
+from repro.common.randomness import deterministic_rng
+
+
+def poisson_arrivals(rate: float, duration: float, seed: int = 5) -> List[float]:
+    """Arrival timestamps of a Poisson process over [0, duration)."""
+    if rate <= 0:
+        return []
+    rng = deterministic_rng(seed)
+    arrivals: List[float] = []
+    t = 0.0
+    while True:
+        u = (rng.randbelow(2**53 - 2) + 1) / 2**53
+        t += -math.log(u) / rate
+        if t >= duration:
+            break
+        arrivals.append(t)
+    return arrivals
+
+
+def bursty_arrivals(
+    burst_rate: float,
+    burst_length: float,
+    silence_length: float,
+    duration: float,
+    seed: int = 6,
+) -> List[float]:
+    """On/off arrivals: Poisson at ``burst_rate`` during bursts,
+    nothing during silences."""
+    rng_seed = seed
+    arrivals: List[float] = []
+    window_start = 0.0
+    while window_start < duration:
+        burst_end = min(window_start + burst_length, duration)
+        for t in poisson_arrivals(burst_rate, burst_end - window_start,
+                                  seed=rng_seed):
+            arrivals.append(window_start + t)
+        rng_seed += 1
+        window_start = burst_end + silence_length
+    return arrivals
+
+
+def interarrival_histogram(arrivals: List[float], bins: int = 10) -> List[int]:
+    """Histogram of inter-arrival gaps — the timing signature an
+    adversary extracts from an unprotected update stream."""
+    if len(arrivals) < 2:
+        return [0] * bins
+    gaps = [b - a for a, b in zip(arrivals, arrivals[1:])]
+    top = max(gaps) or 1.0
+    histogram = [0] * bins
+    for gap in gaps:
+        index = min(bins - 1, int(gap / top * bins))
+        histogram[index] += 1
+    return histogram

@@ -1,0 +1,215 @@
+"""A simplified TPC-C for the constraint-layer comparison (bench E12).
+
+Implements the two transactions that make up ~88% of the standard mix —
+NEW-ORDER (45%) and PAYMENT (43%) — over the warehouse / district /
+customer / item / stock tables, scaled down for a Python simulator.
+The consistency conditions TPC-C mandates (W_YTD = sum of D_YTD;
+stock never negative) are expressed as PReVer constraints so the bench
+can run the same workload with and without the regulated-update layer.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.randomness import deterministic_rng
+from repro.database.engine import Database
+from repro.database.schema import ColumnType, TableSchema
+
+WAREHOUSE = TableSchema.build(
+    "warehouse",
+    [("w_id", ColumnType.INT), ("w_ytd", ColumnType.INT)],
+    primary_key=["w_id"],
+)
+DISTRICT = TableSchema.build(
+    "district",
+    [
+        ("d_id", ColumnType.INT),
+        ("d_w_id", ColumnType.INT),
+        ("d_ytd", ColumnType.INT),
+        ("d_next_o_id", ColumnType.INT),
+    ],
+    primary_key=["d_w_id", "d_id"],
+)
+CUSTOMER = TableSchema.build(
+    "customer",
+    [
+        ("c_id", ColumnType.INT),
+        ("c_d_id", ColumnType.INT),
+        ("c_w_id", ColumnType.INT),
+        ("c_balance", ColumnType.INT),
+        ("c_ytd_payment", ColumnType.INT),
+    ],
+    primary_key=["c_w_id", "c_d_id", "c_id"],
+)
+ITEM = TableSchema.build(
+    "item",
+    [("i_id", ColumnType.INT), ("i_price", ColumnType.INT)],
+    primary_key=["i_id"],
+)
+STOCK = TableSchema.build(
+    "stock",
+    [
+        ("s_i_id", ColumnType.INT),
+        ("s_w_id", ColumnType.INT),
+        ("s_quantity", ColumnType.INT),
+    ],
+    primary_key=["s_w_id", "s_i_id"],
+)
+ORDERS = TableSchema.build(
+    "orders",
+    [
+        ("o_id", ColumnType.INT),
+        ("o_d_id", ColumnType.INT),
+        ("o_w_id", ColumnType.INT),
+        ("o_c_id", ColumnType.INT),
+        ("o_ol_cnt", ColumnType.INT),
+        ("o_total", ColumnType.INT),
+    ],
+    primary_key=["o_w_id", "o_d_id", "o_id"],
+)
+
+
+@dataclass
+class TxStats:
+    new_orders: int = 0
+    payments: int = 0
+    rollbacks: int = 0
+
+
+class TPCCWorkload:
+    """Loader + transaction driver over a :class:`Database`."""
+
+    def __init__(
+        self,
+        warehouses: int = 2,
+        districts_per_warehouse: int = 3,
+        customers_per_district: int = 20,
+        items: int = 100,
+        seed: int = 21,
+    ):
+        self.warehouses = warehouses
+        self.districts = districts_per_warehouse
+        self.customers = customers_per_district
+        self.items = items
+        self._rng = deterministic_rng(seed)
+        self.stats = TxStats()
+
+    def load(self, database: Database) -> None:
+        for schema in (WAREHOUSE, DISTRICT, CUSTOMER, ITEM, STOCK, ORDERS):
+            database.create_table(schema)
+        for w in range(1, self.warehouses + 1):
+            database.insert("warehouse", {"w_id": w, "w_ytd": 0})
+            for d in range(1, self.districts + 1):
+                database.insert(
+                    "district",
+                    {"d_id": d, "d_w_id": w, "d_ytd": 0, "d_next_o_id": 1},
+                )
+                for c in range(1, self.customers + 1):
+                    database.insert(
+                        "customer",
+                        {
+                            "c_id": c,
+                            "c_d_id": d,
+                            "c_w_id": w,
+                            "c_balance": 0,
+                            "c_ytd_payment": 0,
+                        },
+                    )
+            for i in range(1, self.items + 1):
+                database.insert(
+                    "stock",
+                    {"s_i_id": i, "s_w_id": w,
+                     "s_quantity": 50 + self._rng.randbelow(50)},
+                )
+        for i in range(1, self.items + 1):
+            database.insert("item", {"i_id": i, "i_price": 1 + self._rng.randbelow(100)})
+
+    # -- transactions ------------------------------------------------------
+
+    def _pick(self) -> Tuple[int, int, int]:
+        w = 1 + self._rng.randbelow(self.warehouses)
+        d = 1 + self._rng.randbelow(self.districts)
+        c = 1 + self._rng.randbelow(self.customers)
+        return w, d, c
+
+    def new_order(self, database: Database) -> bool:
+        """NEW-ORDER: allocate an order id, decrement stock for 5-15
+        order lines, insert the order.  Rolls back (returns False) if
+        any line would drive stock negative — the TPC-C constraint the
+        regulated run expresses as a PReVer predicate."""
+        w, d, c = self._pick()
+        district = database.table("district").get((w, d))
+        o_id = district["d_next_o_id"]
+        line_count = 5 + self._rng.randbelow(11)
+        demanded: Dict[int, int] = {}
+        total = 0
+        for _ in range(line_count):
+            i_id = 1 + self._rng.randbelow(self.items)
+            quantity = 1 + self._rng.randbelow(10)
+            demanded[i_id] = demanded.get(i_id, 0) + quantity
+            total += database.table("item").get((i_id,))["i_price"] * quantity
+        for i_id, quantity in demanded.items():
+            stock = database.table("stock").get((w, i_id))
+            if stock["s_quantity"] < quantity:
+                self.stats.rollbacks += 1
+                return False
+        for i_id, quantity in demanded.items():
+            stock = database.table("stock").get((w, i_id))
+            database.update(
+                "stock", (w, i_id),
+                {"s_quantity": stock["s_quantity"] - quantity},
+            )
+        database.update("district", (w, d), {"d_next_o_id": o_id + 1})
+        database.insert(
+            "orders",
+            {"o_id": o_id, "o_d_id": d, "o_w_id": w, "o_c_id": c,
+             "o_ol_cnt": line_count, "o_total": total},
+        )
+        self.stats.new_orders += 1
+        return True
+
+    def payment(self, database: Database) -> bool:
+        """PAYMENT: add to warehouse/district YTD and customer balance."""
+        w, d, c = self._pick()
+        amount = 1 + self._rng.randbelow(5000)
+        warehouse = database.table("warehouse").get((w,))
+        database.update("warehouse", (w,), {"w_ytd": warehouse["w_ytd"] + amount})
+        district = database.table("district").get((w, d))
+        database.update("district", (w, d), {"d_ytd": district["d_ytd"] + amount})
+        customer = database.table("customer").get((w, d, c))
+        database.update(
+            "customer", (w, d, c),
+            {
+                "c_balance": customer["c_balance"] - amount,
+                "c_ytd_payment": customer["c_ytd_payment"] + amount,
+            },
+        )
+        self.stats.payments += 1
+        return True
+
+    def run_mix(self, database: Database, transactions: int = 1000) -> TxStats:
+        """The NEW-ORDER/PAYMENT mix (51/49 once scaled to two txs)."""
+        for _ in range(transactions):
+            if self._rng.randbelow(100) < 51:
+                self.new_order(database)
+            else:
+                self.payment(database)
+        return self.stats
+
+    # -- TPC-C consistency conditions (checked by tests/benches) -------------
+
+    @staticmethod
+    def check_consistency(database: Database) -> bool:
+        """W_YTD == SUM(D_YTD) per warehouse; stock non-negative."""
+        for warehouse in database.table("warehouse").rows():
+            w = warehouse["w_id"]
+            district_sum = sum(
+                d["d_ytd"]
+                for d in database.table("district").rows()
+                if d["d_w_id"] == w
+            )
+            if warehouse["w_ytd"] != district_sum:
+                return False
+        return all(
+            s["s_quantity"] >= 0 for s in database.table("stock").rows()
+        )

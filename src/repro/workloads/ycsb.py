@@ -1,0 +1,141 @@
+"""YCSB core workloads A–F.
+
+Standard mixes over a keyed record table:
+
+====  =========================  ==========================
+name  mix                        example (per YCSB paper)
+====  =========================  ==========================
+A     50% read / 50% update      session store
+B     95% read / 5% update       photo tagging
+C     100% read                  user profile cache
+D     95% read / 5% insert       user status updates (latest)
+E     95% scan / 5% insert       threaded conversations
+F     50% read / 50% RMW         user database
+====  =========================  ==========================
+
+Key selection is Zipfian (the YCSB default) via a seeded sampler.
+The generator emits abstract operations; executors in the benches run
+them against a plaintext :class:`~repro.database.Database` or a
+privacy-enabled PReVer pipeline so the private-vs-plaintext comparison
+is apples-to-apples.
+"""
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.common.randomness import deterministic_rng
+
+WORKLOAD_MIXES: Dict[str, Dict[str, float]] = {
+    "A": {"read": 0.5, "update": 0.5},
+    "B": {"read": 0.95, "update": 0.05},
+    "C": {"read": 1.0},
+    "D": {"read": 0.95, "insert": 0.05},
+    "E": {"scan": 0.95, "insert": 0.05},
+    "F": {"read": 0.5, "rmw": 0.5},
+}
+
+
+class YCSBOperation(enum.Enum):
+    READ = "read"
+    UPDATE = "update"
+    INSERT = "insert"
+    SCAN = "scan"
+    RMW = "rmw"
+
+
+@dataclass(frozen=True)
+class YCSBOp:
+    op: YCSBOperation
+    key: int
+    value: Optional[int] = None
+    scan_length: int = 0
+
+
+class ZipfianSampler:
+    """Zipfian(θ) over [0, n) with the standard rejection-free inverse
+    method (Gray et al.), matching YCSB's generator."""
+
+    def __init__(self, n: int, theta: float = 0.99, seed: int = 7):
+        if n < 1:
+            raise ValueError("need at least one item")
+        self.n = n
+        self.theta = theta
+        self._rng = deterministic_rng(seed)
+        self.zetan = sum(1.0 / (i ** theta) for i in range(1, n + 1))
+        self.zeta2 = 1.0 + 2.0 ** -theta
+        self.alpha = 1.0 / (1.0 - theta)
+        self.eta = (1 - (2.0 / n) ** (1 - theta)) / (1 - self.zeta2 / self.zetan)
+
+    def sample(self) -> int:
+        u = (self._rng.randbelow(2**53) + 0.5) / 2**53
+        uz = u * self.zetan
+        if uz < 1.0:
+            return 0
+        if uz < self.zeta2:
+            return 1
+        return int(self.n * (self.eta * u - self.eta + 1) ** self.alpha)
+
+
+class YCSBWorkload:
+    """Generates an operation stream for one workload letter."""
+
+    def __init__(
+        self,
+        workload: str = "A",
+        record_count: int = 1000,
+        operation_count: int = 10_000,
+        zipf_theta: float = 0.99,
+        max_scan_length: int = 20,
+        seed: int = 7,
+    ):
+        workload = workload.upper()
+        if workload not in WORKLOAD_MIXES:
+            raise ValueError(f"unknown YCSB workload {workload!r}")
+        self.workload = workload
+        self.mix = WORKLOAD_MIXES[workload]
+        self.record_count = record_count
+        self.operation_count = operation_count
+        self.max_scan_length = max_scan_length
+        self._rng = deterministic_rng(seed)
+        self._zipf = ZipfianSampler(record_count, zipf_theta, seed=seed + 1)
+        self._next_insert_key = record_count
+
+    def initial_records(self) -> Iterator[Tuple[int, int]]:
+        """(key, value) pairs for the load phase."""
+        for key in range(self.record_count):
+            yield key, self._rng.randbelow(1_000_000)
+
+    def operations(self) -> Iterator[YCSBOp]:
+        thresholds: List[Tuple[float, str]] = []
+        cumulative = 0.0
+        for name, fraction in self.mix.items():
+            cumulative += fraction
+            thresholds.append((cumulative, name))
+        for _ in range(self.operation_count):
+            u = (self._rng.randbelow(10**9) + 0.5) / 10**9
+            for threshold, name in thresholds:
+                if u <= threshold:
+                    yield self._make_op(name)
+                    break
+
+    def _make_op(self, name: str) -> YCSBOp:
+        if name == "insert":
+            key = self._next_insert_key
+            self._next_insert_key += 1
+            return YCSBOp(YCSBOperation.INSERT, key,
+                          value=self._rng.randbelow(1_000_000))
+        key = min(self._zipf.sample(), self.record_count - 1)
+        if name == "read":
+            return YCSBOp(YCSBOperation.READ, key)
+        if name == "update":
+            return YCSBOp(YCSBOperation.UPDATE, key,
+                          value=self._rng.randbelow(1_000_000))
+        if name == "scan":
+            return YCSBOp(YCSBOperation.SCAN, key,
+                          scan_length=1 + self._rng.randbelow(self.max_scan_length))
+        if name == "rmw":
+            return YCSBOp(YCSBOperation.RMW, key,
+                          value=self._rng.randbelow(1_000_000))
+        raise ValueError(name)

@@ -1,0 +1,64 @@
+"""Shared fixtures.
+
+Expensive key material (Paillier, RSA) is generated once per session;
+the schemes are key-agnostic so sharing keys across tests loses no
+coverage and keeps the suite fast.
+"""
+
+import pytest
+
+from repro.crypto.commitments import PedersenCommitter
+from repro.crypto.group import SchnorrGroup
+from repro.crypto.paillier import generate_paillier_keypair
+from repro.crypto.rsa import generate_rsa_keypair
+
+
+@pytest.fixture(scope="session")
+def group():
+    return SchnorrGroup.default()
+
+
+@pytest.fixture(scope="session")
+def paillier():
+    return generate_paillier_keypair(256)
+
+
+@pytest.fixture(scope="session")
+def rsa_keys():
+    return generate_rsa_keypair(512)
+
+
+@pytest.fixture(scope="session")
+def committer(group):
+    return PedersenCommitter(group)
+
+
+@pytest.fixture()
+def work_schema():
+    from repro.database.schema import ColumnType, TableSchema
+
+    return TableSchema.build(
+        "tasks",
+        [
+            ("task_id", ColumnType.TEXT),
+            ("worker", ColumnType.TEXT),
+            ("hours", ColumnType.INT),
+            ("completed_at", ColumnType.FLOAT),
+        ],
+        primary_key=["task_id"],
+        indexes=["worker"],
+        nullable=["completed_at"],
+    )
+
+
+def make_work_db(name, schema):
+    from repro.database.engine import Database
+
+    database = Database(name)
+    database.create_table(schema)
+    return database
+
+
+@pytest.fixture()
+def work_db(work_schema):
+    return make_work_db("manager", work_schema)

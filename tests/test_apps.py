@@ -1,0 +1,143 @@
+"""The four Figure-1 applications."""
+
+import pytest
+
+from repro.apps.conference import ConferenceRegistration
+from repro.apps.crowdworking import CrowdworkingScenario
+from repro.apps.supplychain import SLA, SupplyChainNetwork
+from repro.apps.sustainability import CERT_TIERS, SustainabilityCertification
+from repro.common.errors import ConstraintViolation, PrivacyError
+
+
+# -- Figure 1(a): sustainability -----------------------------------------------
+
+def test_sustainability_certification_flow():
+    cert = SustainabilityCertification("acme", tier="gold")
+    assert cert.report("energy", 150).accepted
+    assert cert.report("waste", 100).accepted      # 250 == cap
+    assert not cert.report("transport", 1).accepted
+    assert cert.certified()
+    assert cert.reported_total() == 250
+
+
+def test_sustainability_tiers():
+    platinum = SustainabilityCertification("green-co", tier="platinum")
+    assert platinum.cap == CERT_TIERS["platinum"]
+    assert not platinum.report("energy", 101).accepted
+    with pytest.raises(ValueError):
+        SustainabilityCertification("x", tier="bronze")
+
+
+def test_sustainability_authority_sees_no_statistics():
+    cert = SustainabilityCertification("acme", tier="silver")
+    cert.report("energy", 333)
+    view = cert.authority_view()
+    ciphertexts = [v for k, v in view if k == "ciphertext"]
+    assert ciphertexts and all(c != 333 for c in ciphertexts)
+
+
+def test_sustainability_rejections_leave_database_clean():
+    cert = SustainabilityCertification("acme", tier="platinum")
+    cert.report("energy", 90)
+    cert.report("energy", 90)  # rejected: 180 > 100
+    assert cert.reported_total() == 90
+
+
+# -- Figure 1(b): conference ------------------------------------------------------
+
+@pytest.fixture()
+def conference():
+    return ConferenceRegistration(
+        {"alice": True, "bob": False, "carol": True}
+    )
+
+
+def test_conference_vaccinated_admitted(conference):
+    assert conference.register_in_person("alice").accepted
+    assert conference.register_in_person("carol").accepted
+    assert conference.in_person_count() == 2
+
+
+def test_conference_unvaccinated_denied_in_person(conference):
+    assert not conference.register_in_person("bob").accepted
+    conference.register_online("bob")
+    modes = {r["name"]: r["mode"] for r in conference.attendee_list()}
+    assert modes == {"bob": "online"}
+
+
+def test_conference_attendee_list_is_public_but_health_queries_private(conference):
+    conference.register_in_person("alice")
+    # The health-registry servers saw only random selector vectors.
+    pir = conference.verifier.pir
+    for kind, selector in pir.server_a.query_log:
+        assert kind in ("read", "write")
+    # And the venue's public list is readable by anyone.
+    assert conference.attendee_list()[0]["name"] == "alice"
+
+
+# -- Figure 1(c): crowdworking ------------------------------------------------------
+
+def test_crowdworking_regulation_bites_and_holds():
+    scenario = CrowdworkingScenario(workers=4, seed=11)
+    summary = scenario.run_week(tasks_per_worker=15, max_task_hours=6)
+    assert summary.tasks_attempted == 60
+    assert summary.cap_rejections > 0
+    assert scenario.no_worker_exceeded_cap()
+    assert all(h <= 40 for h in summary.hours_by_worker.values())
+
+
+def test_crowdworking_multi_week():
+    scenario = CrowdworkingScenario(workers=2, seed=12)
+    first = scenario.run_week(tasks_per_worker=12)
+    second = scenario.run_week(tasks_per_worker=12)
+    assert first.week == 0 and second.week == 1
+    assert scenario.no_worker_exceeded_cap()
+
+
+# -- Figure 1(d): supply chain ---------------------------------------------------------
+
+@pytest.fixture()
+def supply_chain():
+    network = SupplyChainNetwork(["supplier", "manufacturer", "retailer"])
+    network.agree_sla(SLA("supplier", "manufacturer", 100, window=60.0))
+    network.agree_sla(SLA("manufacturer", "retailer", 50, window=60.0))
+    return network
+
+
+def test_supply_chain_sla_enforced(supply_chain):
+    assert supply_chain.ship("supplier", "manufacturer", 70)
+    assert not supply_chain.ship("supplier", "manufacturer", 40)
+    assert supply_chain.ship("supplier", "manufacturer", 30)
+    assert len(supply_chain.rejections) == 1
+
+
+def test_supply_chain_window_rolls(supply_chain):
+    supply_chain.ship("supplier", "manufacturer", 100)
+    supply_chain.advance(61.0)
+    assert supply_chain.ship("supplier", "manufacturer", 100)
+
+
+def test_supply_chain_no_sla_no_flow(supply_chain):
+    with pytest.raises(ConstraintViolation):
+        supply_chain.ship("supplier", "retailer", 1)
+
+
+def test_supply_chain_confidentiality(supply_chain):
+    supply_chain.ship("supplier", "manufacturer", 10)
+    supply_chain.internal_update("manufacturer", {"process": "trade-secret"})
+    # The retailer cannot read the supplier->manufacturer flow.
+    with pytest.raises(PrivacyError):
+        supply_chain.flow_history("retailer", "supplier", "manufacturer")
+    # Internal updates never leave the enterprise.
+    assert "trade-secret" not in str(
+        supply_chain.network.collaboration("supplier->manufacturer").ledger.entries()
+    )
+
+
+def test_supply_chain_integrity_audit(supply_chain):
+    supply_chain.ship("supplier", "manufacturer", 10)
+    assert supply_chain.verify_integrity("supplier")
+    supply_chain.network.collaboration(
+        "supplier->manufacturer"
+    ).ledger.tamper_rewrite(0, {"units": 9999, "at": 0.0})
+    assert not supply_chain.verify_integrity("supplier")

@@ -1,0 +1,146 @@
+"""Authenticated query results: membership, absence, staleness, forgery."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import IntegrityError
+from repro.database.schema import ColumnType, TableSchema
+from repro.database.table import Table
+from repro.ledger.authenticated import (
+    AbsenceProof,
+    AuthenticatedTableView,
+    RowProof,
+    verify_absence,
+    verify_row,
+)
+from repro.ledger.audit import LedgerAuditor
+
+
+def make_table(rows):
+    table = Table(TableSchema.build(
+        "accounts",
+        [("account_id", ColumnType.INT), ("balance", ColumnType.INT)],
+        primary_key=["account_id"],
+    ))
+    for account_id, balance in rows:
+        table.insert({"account_id": account_id, "balance": balance})
+    return table
+
+
+@pytest.fixture()
+def view():
+    return AuthenticatedTableView(make_table([(1, 100), (3, 300), (7, 700)]))
+
+
+def test_membership_proof_verifies(view):
+    commitment = view.snapshot()
+    proof = view.prove_row((3,))
+    assert proof.row["balance"] == 300
+    assert verify_row(commitment, proof)
+
+
+def test_forged_value_rejected(view):
+    commitment = view.snapshot()
+    proof = view.prove_row((3,))
+    forged = RowProof(key=proof.key,
+                      row={"account_id": 3, "balance": 999},
+                      proof=proof.proof)
+    assert not verify_row(commitment, forged)
+
+
+def test_proof_does_not_transfer_between_versions(view):
+    first = view.snapshot()
+    proof = view.prove_row((3,), version=0)
+    view.table.update_row((3,), {"balance": 301})
+    second = view.snapshot()
+    # The old proof verifies against the old commitment only.
+    assert verify_row(first, proof)
+    assert not verify_row(second, proof)
+    fresh = view.prove_row((3,), version=1)
+    assert verify_row(second, fresh)
+    assert fresh.row["balance"] == 301
+
+
+def test_absence_between_two_rows(view):
+    commitment = view.snapshot()
+    proof = view.prove_absent((5,))
+    assert verify_absence(commitment, proof)
+    assert proof.left.key == (3,) and proof.right.key == (7,)
+
+
+def test_absence_before_first_and_after_last(view):
+    commitment = view.snapshot()
+    assert verify_absence(commitment, view.prove_absent((0,)))
+    assert verify_absence(commitment, view.prove_absent((99,)))
+
+
+def test_absence_on_empty_table():
+    view = AuthenticatedTableView(make_table([]))
+    commitment = view.snapshot()
+    proof = view.prove_absent((1,))
+    assert proof.left is None and proof.right is None
+    assert verify_absence(commitment, proof)
+
+
+def test_absence_unprovable_for_existing_row(view):
+    view.snapshot()
+    with pytest.raises(IntegrityError):
+        view.prove_absent((3,))
+
+
+def test_suppression_attack_rejected(view):
+    """A manager hiding row 3 by presenting rows 1 and 7 as
+    'neighbours' fails: their leaves are not adjacent."""
+    commitment = view.snapshot()
+    left = view.prove_row((1,))
+    right = view.prove_row((7,))
+    forged = AbsenceProof(missing_key=(3,), left=left, right=right)
+    assert not verify_absence(commitment, forged)
+
+
+def test_absence_with_wrong_side_neighbours_rejected(view):
+    commitment = view.snapshot()
+    # Neighbours that don't actually bracket the key.
+    left = view.prove_row((3,))
+    right = view.prove_row((7,))
+    forged = AbsenceProof(missing_key=(2,), left=left, right=right)
+    assert not verify_absence(commitment, forged)
+
+
+def test_truncation_after_last_rejected(view):
+    """Claiming 'key 5 is past the end' while rows beyond exist."""
+    commitment = view.snapshot()
+    left = view.prove_row((3,))  # not the last leaf
+    forged = AbsenceProof(missing_key=(5,), left=left, right=None)
+    assert not verify_absence(commitment, forged)
+
+
+def test_commitments_are_ledger_anchored_and_auditable(view):
+    view.snapshot()
+    view.table.insert({"account_id": 9, "balance": 900})
+    view.snapshot()
+    assert len(view.ledger) == 2
+    assert LedgerAuditor().audit(view.ledger).ok
+
+
+def test_proof_before_snapshot_rejected(view):
+    with pytest.raises(IntegrityError):
+        view.prove_row((1,))
+    with pytest.raises(IntegrityError):
+        view.latest()
+
+
+@given(keys=st.sets(st.integers(0, 60), min_size=1, max_size=20),
+       probe=st.integers(0, 60))
+@settings(max_examples=40, deadline=None)
+def test_every_probe_is_provable_one_way_or_the_other(keys, probe):
+    view = AuthenticatedTableView(
+        make_table([(k, k * 10) for k in sorted(keys)])
+    )
+    commitment = view.snapshot()
+    if probe in keys:
+        proof = view.prove_row((probe,))
+        assert verify_row(commitment, proof)
+        assert proof.row["balance"] == probe * 10
+    else:
+        assert verify_absence(commitment, view.prove_absent((probe,)))

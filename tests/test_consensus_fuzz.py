@@ -1,0 +1,108 @@
+"""Randomized-schedule fuzzing of the consensus protocols.
+
+Hypothesis varies network seeds (message interleavings), crash
+patterns, and command mixes; the invariants must hold on every
+schedule:
+
+* agreement — no two nodes decide differently for any slot;
+* validity — decided values were actually submitted (or protocol
+  no-ops);
+* durability — once decided, a slot never changes.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.consensus.paxos import PaxosCluster
+from repro.consensus.pbft import PBFTCluster
+from repro.net.simnet import LatencyModel, SimNetwork
+
+
+def agreement_holds(nodes) -> bool:
+    decided_slots = {}
+    for node in nodes:
+        for slot, value in node.log._decisions.items():
+            if slot in decided_slots and str(decided_slots[slot]) != str(value):
+                return False
+            decided_slots[slot] = value
+    return True
+
+
+@given(seed=st.integers(0, 10_000),
+       commands=st.integers(1, 12),
+       crash=st.sampled_from([None, 3, 4]))
+@settings(max_examples=25, deadline=None)
+def test_paxos_agreement_under_random_schedules(seed, commands, crash):
+    network = SimNetwork(
+        latency=LatencyModel(base=0.001, jitter=0.002, seed=seed),
+        seed=seed,
+    )
+    cluster = PaxosCluster(n=5, network=network)
+    if crash is not None:
+        cluster.crash(crash)
+    for i in range(commands):
+        cluster.submit({"op": i})
+    cluster.run()
+    assert agreement_holds(cluster.nodes)
+    # With at most one crash, everything must decide.
+    assert len(cluster.committed()) == commands
+    # Validity: decided values were submitted.
+    submitted = {str({"op": i}) for i in range(commands)}
+    for value in cluster.committed():
+        assert str(value) in submitted
+
+
+@given(seed=st.integers(0, 10_000),
+       commands=st.integers(1, 8),
+       silent=st.sampled_from([None, 1, 2, 3]))
+@settings(max_examples=20, deadline=None)
+def test_pbft_agreement_under_random_schedules(seed, commands, silent):
+    network = SimNetwork(
+        latency=LatencyModel(base=0.001, jitter=0.002, seed=seed),
+        seed=seed,
+    )
+    cluster = PBFTCluster(f=1, network=network, view_timeout=60.0)
+    if silent is not None:
+        cluster.nodes[silent].silence()
+    for i in range(commands):
+        cluster.submit({"tx": i})
+    cluster.run()
+    assert agreement_holds(cluster.nodes)
+    assert len(cluster.committed()) == commands
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=15, deadline=None)
+def test_pbft_equivocation_never_violates_agreement(seed):
+    network = SimNetwork(
+        latency=LatencyModel(base=0.001, jitter=0.003, seed=seed),
+        seed=seed,
+    )
+    cluster = PBFTCluster(f=1, network=network, view_timeout=0.5)
+    cluster.nodes[0].equivocate = True
+    cluster.submit({"tx": "target"})
+    cluster.run()
+    assert agreement_holds(cluster.nodes[1:])  # honest replicas
+
+
+@given(seed=st.integers(0, 10_000),
+       failover_at=st.integers(0, 4))
+@settings(max_examples=15, deadline=None)
+def test_paxos_decisions_survive_leader_changes(seed, failover_at):
+    network = SimNetwork(
+        latency=LatencyModel(base=0.001, jitter=0.002, seed=seed),
+        seed=seed,
+    )
+    cluster = PaxosCluster(n=5, network=network)
+    for i in range(failover_at + 1):
+        cluster.submit({"op": i})
+    cluster.run()
+    before = dict(cluster.nodes[1].log._decisions)
+    cluster.elect(1)
+    cluster.submit({"op": "post-failover"})
+    cluster.run()
+    after = cluster.nodes[1].log._decisions
+    # Durability: nothing decided before the failover changed.
+    for slot, value in before.items():
+        assert str(after[slot]) == str(value)
+    assert agreement_holds(cluster.nodes)

@@ -1,0 +1,123 @@
+"""The binary-tree continual-observation counter (paper ref [33])."""
+
+import statistics
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import BudgetExhausted, PReVerError
+from repro.privacy.continual import BinaryTreeCounter, NaiveContinualCounter
+from repro.privacy.dp import LaplaceMechanism, PrivacyAccountant
+
+
+def test_counter_tracks_the_stream():
+    counter = BinaryTreeCounter(horizon=64, epsilon=50.0)
+    for _ in range(40):
+        counter.add(1.0)
+    assert counter.true_count() == 40
+    # Generous epsilon: the release is close to the truth.
+    assert abs(counter.release() - 40) < 5
+
+
+def test_counter_handles_fractional_and_negative_increments():
+    counter = BinaryTreeCounter(horizon=16, epsilon=100.0, sensitivity=2.0)
+    for value in [1.5, -0.5, 2.0, -1.0]:
+        counter.add(value)
+    assert counter.true_count() == pytest.approx(2.0)
+    assert abs(counter.release() - 2.0) < 3
+
+
+def test_single_budget_charge_for_unlimited_releases():
+    """The headline property: releases are free after construction."""
+    accountant = PrivacyAccountant(1.0)
+    counter = BinaryTreeCounter(horizon=1024, epsilon=1.0,
+                                accountant=accountant)
+    assert accountant.remaining == pytest.approx(0.0)
+    for i in range(100):
+        counter.add(1.0)
+        counter.release()  # no further charges, no exception
+    assert counter.steps_consumed == 100
+
+
+def test_naive_counter_budget_dies():
+    accountant = PrivacyAccountant(1.0)
+    naive = NaiveContinualCounter(epsilon=1.0, expected_releases=10,
+                                  accountant=accountant)
+    for _ in range(10):
+        naive.add(1.0)
+        naive.release()
+    with pytest.raises(BudgetExhausted):
+        naive.release()
+
+
+def test_tree_error_beats_naive_at_many_releases():
+    """With the same total epsilon and many releases, the tree
+    mechanism's error is far smaller than the naive split."""
+    releases = 256
+    epsilon = 2.0
+    tree = BinaryTreeCounter(horizon=releases, epsilon=epsilon,
+                             mechanism=LaplaceMechanism(seed=1))
+    naive = NaiveContinualCounter(epsilon=epsilon,
+                                  expected_releases=releases,
+                                  mechanism=LaplaceMechanism(seed=2))
+    tree_errors = []
+    naive_errors = []
+    for i in range(releases):
+        tree.add(1.0)
+        naive.add(1.0)
+        tree_errors.append(abs(tree.release() - tree.true_count()))
+        naive_errors.append(abs(naive.release() - naive.true_count()))
+    assert statistics.fmean(tree_errors) < statistics.fmean(naive_errors) / 3
+
+
+def test_horizon_enforced():
+    counter = BinaryTreeCounter(horizon=4, epsilon=1.0)
+    for _ in range(4):
+        counter.add()
+    with pytest.raises(PReVerError):
+        counter.add()
+
+
+def test_sensitivity_enforced():
+    counter = BinaryTreeCounter(horizon=4, epsilon=1.0, sensitivity=1.0)
+    with pytest.raises(PReVerError):
+        counter.add(5.0)
+
+
+def test_parameter_validation():
+    with pytest.raises(PReVerError):
+        BinaryTreeCounter(horizon=0, epsilon=1.0)
+    with pytest.raises(PReVerError):
+        BinaryTreeCounter(horizon=4, epsilon=0)
+
+
+def test_error_bound_is_honest():
+    """The stated 95% bound should hold on most trials."""
+    violations = 0
+    trials = 30
+    for seed in range(trials):
+        counter = BinaryTreeCounter(horizon=128, epsilon=1.0,
+                                    mechanism=LaplaceMechanism(seed=seed))
+        for _ in range(100):
+            counter.add(1.0)
+        error = abs(counter.release() - counter.true_count())
+        if error > counter.error_bound(0.95):
+            violations += 1
+    assert violations <= trials * 0.2
+
+
+@given(steps=st.integers(1, 64))
+@settings(max_examples=20)
+def test_release_decomposition_is_exact_without_noise(steps):
+    """With zero-noise injection the release equals the true count —
+    validating the dyadic prefix decomposition itself."""
+
+    class NoNoise:
+        def sample(self, scale):
+            return 0.0
+
+    counter = BinaryTreeCounter(horizon=64, epsilon=1.0,
+                                mechanism=NoNoise())
+    for i in range(steps):
+        counter.add(1.0)
+    assert counter.release() == steps

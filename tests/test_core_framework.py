@@ -1,0 +1,180 @@
+"""The Figure-2 pipeline: authorities, signed updates, apply, anchor."""
+
+import pytest
+
+from repro.common.errors import IntegrityError, PReVerError
+from repro.core.framework import PReVer
+from repro.database.engine import Database
+from repro.database.expr import lit, update_field
+from repro.database.schema import ColumnType, TableSchema
+from repro.ledger.audit import LedgerAuditor
+from repro.model.constraints import (
+    Constraint,
+    ConstraintKind,
+    upper_bound_regulation,
+)
+from repro.model.participants import Authority, DataProducer
+from repro.model.update import Update, UpdateOperation, UpdateStatus
+
+
+def make_db(name="db"):
+    db = Database(name)
+    db.create_table(
+        TableSchema.build(
+            "events",
+            [("id", ColumnType.INT), ("who", ColumnType.TEXT),
+             ("amount", ColumnType.INT)],
+            primary_key=["id"],
+        )
+    )
+    return db
+
+
+def make_update(i, who="w", amount=10, operation=UpdateOperation.INSERT,
+                key=None):
+    payload = {"id": i, "who": who, "amount": amount}
+    if operation is not UpdateOperation.INSERT:
+        payload = {"amount": amount}
+    return Update(table="events", operation=operation, payload=payload, key=key)
+
+
+def test_pipeline_accept_apply_anchor():
+    framework = PReVer([make_db()])
+    framework.register_constraint(
+        Constraint(name="positive", kind=ConstraintKind.INTERNAL,
+                   predicate=update_field("amount") > lit(0))
+    )
+    result = framework.submit(make_update(1, amount=5))
+    assert result.accepted and result.applied
+    assert result.update.status is UpdateStatus.APPLIED
+    assert result.ledger_sequence == 0
+    assert framework.databases[0].table("events").get((1,)) is not None
+    assert set(result.stage_timings) == {"authenticate", "verify", "apply",
+                                         "anchor"}
+
+
+def test_pipeline_reject_does_not_apply_but_still_anchors():
+    framework = PReVer([make_db()])
+    framework.register_constraint(
+        Constraint(name="positive", kind=ConstraintKind.INTERNAL,
+                   predicate=update_field("amount") > lit(0))
+    )
+    result = framework.submit(make_update(1, amount=-1))
+    assert not result.accepted
+    assert framework.databases[0].table("events").get((1,)) is None
+    # Rejections are part of the audit trail.
+    assert len(framework.ledger) == 1
+    assert framework.decision_history()[0]["status"] == "rejected"
+
+
+def test_modify_and_delete_operations():
+    framework = PReVer([make_db()])
+    framework.submit(make_update(1, amount=5))
+    modify = make_update(1, operation=UpdateOperation.MODIFY, key=(1,),
+                         amount=7)
+    assert framework.submit(modify).applied
+    assert framework.databases[0].table("events").get((1,))["amount"] == 7
+    delete = Update(table="events", operation=UpdateOperation.DELETE,
+                    payload={}, key=(1,))
+    assert framework.submit(delete).applied
+    assert framework.databases[0].table("events").get((1,)) is None
+
+
+def test_signed_update_requirement():
+    framework = PReVer([make_db()], require_signed_updates=True)
+    unsigned = make_update(1)
+    result = framework.submit(unsigned)
+    assert not result.accepted
+    assert result.outcome.failed_constraint == "unsigned update"
+
+    producer = DataProducer("alice")
+    signed = make_update(2).sign_with(producer)
+    assert framework.submit(signed).accepted
+
+
+def test_tampered_signature_rejected():
+    framework = PReVer([make_db()], require_signed_updates=True)
+    producer = DataProducer("alice")
+    update = make_update(1).sign_with(producer)
+    update.payload["amount"] = 999  # tamper after signing
+    result = framework.submit(update)
+    assert not result.accepted
+    assert result.outcome.failed_constraint == "bad signature"
+
+
+def test_regulation_requires_authority_signature():
+    framework = PReVer([make_db()])
+    regulation = upper_bound_regulation("cap", "events", "amount", 100, ["who"])
+    with pytest.raises(IntegrityError):
+        framework.register_constraint(regulation)
+    authority = Authority("gov", external=True)
+    framework.register_constraint(regulation, authority)
+    assert framework.verify_constraint_provenance(regulation)
+
+
+def test_internal_authority_cannot_issue_regulations():
+    framework = PReVer([make_db()])
+    regulation = upper_bound_regulation("cap", "events", "amount", 100, ["who"])
+    internal = Authority("self", external=False)
+    with pytest.raises(IntegrityError):
+        framework.register_constraint(regulation, internal)
+
+
+def test_provenance_check_fails_for_forged_regulation():
+    framework = PReVer([make_db()])
+    authority = Authority("gov", external=True)
+    regulation = upper_bound_regulation("cap", "events", "amount", 100, ["who"])
+    framework.register_constraint(regulation, authority)
+    regulation.bound = 200  # tamper with the registered regulation
+    assert not framework.verify_constraint_provenance(regulation)
+
+
+def test_routing_to_named_manager_database():
+    db1, db2 = make_db("uber"), make_db("lyft")
+    framework = PReVer([db1, db2])
+    update = make_update(1)
+    update.managers.append("lyft")
+    framework.submit(update)
+    assert db2.table("events").get((1,)) is not None
+    assert db1.table("events").get((1,)) is None
+
+
+def test_acceptance_rate_and_metrics():
+    framework = PReVer([make_db()])
+    framework.register_constraint(
+        Constraint(name="positive", kind=ConstraintKind.INTERNAL,
+                   predicate=update_field("amount") > lit(0))
+    )
+    framework.submit(make_update(1, amount=5))
+    framework.submit(make_update(2, amount=-5))
+    assert framework.acceptance_rate() == 0.5
+    assert framework.metrics.counter("pipeline.accepted").count == 1
+    assert framework.metrics.counter("pipeline.rejected").count == 1
+
+
+def test_ledger_auditable_by_external_auditor():
+    framework = PReVer([make_db()])
+    for i in range(5):
+        framework.submit(make_update(i))
+    auditor = LedgerAuditor()
+    assert auditor.audit(framework.ledger, spot_check=3).ok
+    framework.submit(make_update(9))
+    assert auditor.audit(framework.ledger).ok
+    framework.ledger.tamper_rewrite(0, {"forged": True})
+    assert not auditor.audit(framework.ledger).ok
+
+
+def test_needs_a_database():
+    with pytest.raises(PReVerError):
+        PReVer([])
+
+
+def test_constraint_table_scoping():
+    framework = PReVer([make_db()])
+    scoped = Constraint(
+        name="other-table-only", kind=ConstraintKind.INTERNAL,
+        predicate=lit(False), tables=("other",),
+    )
+    framework.register_constraint(scoped)
+    # The constraint targets another table, so this update passes.
+    assert framework.submit(make_update(1)).accepted

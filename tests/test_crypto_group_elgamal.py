@@ -1,0 +1,95 @@
+"""Schnorr group and exponential ElGamal."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.elgamal import (
+    ElGamalError,
+    discrete_log_bounded,
+    generate_elgamal_keypair,
+)
+from repro.crypto.group import SchnorrGroup
+from repro.crypto.numbers import is_probable_prime
+
+
+def test_default_group_is_safe_prime(group):
+    assert group.p == 2 * group.q + 1
+    assert is_probable_prime(group.p)
+    assert is_probable_prime(group.q)
+
+
+def test_generator_has_order_q(group):
+    assert group.is_member(group.g)
+    assert group.power(group.g, group.q) == 1
+
+
+def test_membership_rejects_non_members(group):
+    assert not group.is_member(0)
+    assert not group.is_member(group.p)
+    # A quadratic non-residue is not in the order-q subgroup.
+    for candidate in range(2, 50):
+        if pow(candidate, group.q, group.p) != 1:
+            assert not group.is_member(candidate)
+            break
+
+
+def test_independent_generator_differs_and_is_member(group):
+    h = group.independent_generator(b"test")
+    assert group.is_member(h)
+    assert h != group.g
+    h2 = group.independent_generator(b"test")
+    assert h2 == h  # deterministic
+    assert group.independent_generator(b"other") != h
+
+
+def test_from_safe_prime_validates():
+    with pytest.raises(ValueError):
+        SchnorrGroup.from_safe_prime(23, 10)
+
+
+def test_generate_small_group():
+    small = SchnorrGroup.generate(bits=32)
+    assert small.is_member(small.g)
+    assert small.power(small.g, small.q) == 1
+
+
+def test_elgamal_roundtrip(group):
+    keys = generate_elgamal_keypair(group)
+    for m in (0, 1, 17, 999):
+        ct = keys.public_key.encrypt(m)
+        assert keys.private_key.decrypt(ct, max_plaintext=1000) == m
+
+
+@given(a=st.integers(min_value=0, max_value=400),
+       b=st.integers(min_value=0, max_value=400))
+@settings(max_examples=15, deadline=None)
+def test_elgamal_additive_homomorphism(group, a, b):
+    keys = generate_elgamal_keypair(group)
+    ct = keys.public_key.encrypt(a) + keys.public_key.encrypt(b)
+    assert keys.private_key.decrypt(ct, max_plaintext=800) == a + b
+
+
+def test_elgamal_scalar(group):
+    keys = generate_elgamal_keypair(group)
+    ct = keys.public_key.encrypt(6) * 7
+    assert keys.private_key.decrypt(ct, max_plaintext=100) == 42
+
+
+def test_elgamal_rerandomize(group):
+    keys = generate_elgamal_keypair(group)
+    ct = keys.public_key.encrypt(5)
+    ct2 = keys.public_key.rerandomize(ct)
+    assert (ct2.c1, ct2.c2) != (ct.c1, ct.c2)
+    assert keys.private_key.decrypt(ct2, 10) == 5
+
+
+def test_elgamal_bounded_dlog_raises_beyond_bound(group):
+    keys = generate_elgamal_keypair(group)
+    ct = keys.public_key.encrypt(500)
+    with pytest.raises(ElGamalError):
+        keys.private_key.decrypt(ct, max_plaintext=100)
+
+
+def test_discrete_log_bounded_exact(group):
+    target = group.power(group.g, 1234)
+    assert discrete_log_bounded(group, target, 2000) == 1234

@@ -1,0 +1,156 @@
+"""Merkle trees: roots, inclusion proofs, consistency proofs.
+
+Property tests exercise every (index, size) pair up to a bound plus
+random larger trees via hypothesis — the proofs are the security core
+of RC4, so coverage here is deliberately exhaustive.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import IntegrityError
+from repro.crypto.merkle import (
+    ConsistencyProof,
+    InclusionProof,
+    MerkleTree,
+    leaf_hash,
+    node_hash,
+    verify_consistency,
+    verify_inclusion,
+)
+
+
+def leaves(n):
+    return [f"leaf-{i}".encode() for i in range(n)]
+
+
+def test_empty_tree_root_is_defined():
+    assert MerkleTree().root() == MerkleTree().root()
+    assert len(MerkleTree()) == 0
+
+
+def test_single_leaf_root_is_leaf_hash():
+    tree = MerkleTree([b"only"])
+    assert tree.root() == leaf_hash(b"only")
+
+
+def test_two_leaf_root_structure():
+    tree = MerkleTree([b"a", b"b"])
+    assert tree.root() == node_hash(leaf_hash(b"a"), leaf_hash(b"b"))
+
+
+def test_root_changes_with_any_leaf():
+    base = MerkleTree(leaves(8)).root()
+    for i in range(8):
+        data = leaves(8)
+        data[i] = b"changed"
+        assert MerkleTree(data).root() != base
+
+
+def test_append_returns_index_and_extends():
+    tree = MerkleTree()
+    assert tree.append(b"x") == 0
+    assert tree.append(b"y") == 1
+    assert len(tree) == 2
+
+
+@pytest.mark.parametrize("n", range(1, 24))
+def test_inclusion_proofs_all_indices(n):
+    data = leaves(n)
+    tree = MerkleTree(data)
+    root = tree.root()
+    for i in range(n):
+        proof = tree.inclusion_proof(i)
+        assert verify_inclusion(root, data[i], proof), (n, i)
+
+
+@pytest.mark.parametrize("n", range(1, 24))
+def test_inclusion_rejects_wrong_leaf(n):
+    data = leaves(n)
+    tree = MerkleTree(data)
+    root = tree.root()
+    proof = tree.inclusion_proof(n - 1)
+    assert not verify_inclusion(root, b"forged", proof)
+
+
+def test_inclusion_rejects_wrong_index_claim():
+    data = leaves(8)
+    tree = MerkleTree(data)
+    proof = tree.inclusion_proof(3)
+    forged = InclusionProof(leaf_index=4, tree_size=8, path=proof.path)
+    assert not verify_inclusion(tree.root(), data[3], forged)
+
+
+def test_inclusion_rejects_truncated_path():
+    data = leaves(8)
+    tree = MerkleTree(data)
+    proof = tree.inclusion_proof(3)
+    truncated = InclusionProof(3, 8, proof.path[:-1])
+    assert not verify_inclusion(tree.root(), data[3], truncated)
+
+
+def test_inclusion_proof_out_of_range():
+    tree = MerkleTree(leaves(4))
+    with pytest.raises(IntegrityError):
+        tree.inclusion_proof(4)
+
+
+@pytest.mark.parametrize("n", range(2, 20))
+def test_consistency_all_prefixes(n):
+    tree = MerkleTree(leaves(n))
+    new_root = tree.root()
+    for m in range(1, n + 1):
+        proof = tree.consistency_proof(m, n)
+        assert verify_consistency(tree.root(m), new_root, proof), (m, n)
+
+
+def test_consistency_detects_rewrite():
+    data = leaves(10)
+    tree = MerkleTree(data)
+    old_root = tree.root(6)
+    tampered = list(data)
+    tampered[2] = b"rewritten"
+    new_tree = MerkleTree(tampered)
+    proof = new_tree.consistency_proof(6, 10)
+    assert not verify_consistency(old_root, new_tree.root(), proof)
+
+
+def test_consistency_same_size_is_equality_check():
+    tree = MerkleTree(leaves(5))
+    proof = tree.consistency_proof(5, 5)
+    assert verify_consistency(tree.root(), tree.root(), proof)
+    assert not verify_consistency(b"x" * 32, tree.root(), proof)
+
+
+def test_consistency_bad_sizes():
+    tree = MerkleTree(leaves(5))
+    with pytest.raises(IntegrityError):
+        tree.consistency_proof(0, 5)
+    with pytest.raises(IntegrityError):
+        tree.consistency_proof(6, 5)
+
+
+@given(st.integers(min_value=1, max_value=200),
+       st.data())
+@settings(max_examples=40, deadline=None)
+def test_inclusion_random_trees(n, data):
+    index = data.draw(st.integers(min_value=0, max_value=n - 1))
+    entries = leaves(n)
+    tree = MerkleTree(entries)
+    proof = tree.inclusion_proof(index)
+    assert verify_inclusion(tree.root(), entries[index], proof)
+
+
+@given(st.integers(min_value=2, max_value=200), st.data())
+@settings(max_examples=40, deadline=None)
+def test_consistency_random_trees(n, data):
+    m = data.draw(st.integers(min_value=1, max_value=n))
+    tree = MerkleTree(leaves(n))
+    proof = tree.consistency_proof(m, n)
+    assert verify_consistency(tree.root(m), tree.root(n), proof)
+
+
+def test_domain_separation_blocks_splicing():
+    """A node hash reused as a leaf must not verify (0x00/0x01 prefixes)."""
+    inner = node_hash(leaf_hash(b"a"), leaf_hash(b"b"))
+    assert leaf_hash(inner) != inner

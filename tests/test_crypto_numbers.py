@@ -1,0 +1,92 @@
+"""Number theory: primality, inverses, CRT."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.randomness import deterministic_rng
+from repro.crypto.numbers import (
+    crt_pair,
+    generate_prime,
+    generate_safe_prime,
+    is_probable_prime,
+    lcm,
+    modinv,
+    next_prime_above,
+    random_coprime,
+)
+
+KNOWN_PRIMES = [2, 3, 5, 7, 11, 101, 7919, 104729, 2**31 - 1]
+KNOWN_COMPOSITES = [0, 1, 4, 100, 561, 1105, 6601, 2**32 - 1, 7919 * 104729]
+# 561, 1105, 6601 are Carmichael numbers — Fermat liars, Miller-Rabin must
+# still reject them.
+
+
+@pytest.mark.parametrize("p", KNOWN_PRIMES)
+def test_known_primes_accepted(p):
+    assert is_probable_prime(p)
+
+
+@pytest.mark.parametrize("n", KNOWN_COMPOSITES)
+def test_known_composites_rejected(n):
+    assert not is_probable_prime(n)
+
+
+def test_generate_prime_has_exact_bit_length():
+    rng = deterministic_rng(1)
+    for bits in (16, 32, 64):
+        p = generate_prime(bits, rng=rng)
+        assert p.bit_length() == bits
+        assert is_probable_prime(p)
+
+
+def test_generate_prime_rejects_tiny_request():
+    with pytest.raises(ValueError):
+        generate_prime(2)
+
+
+def test_safe_prime_structure():
+    p, q = generate_safe_prime(48, rng=deterministic_rng(2))
+    assert p == 2 * q + 1
+    assert is_probable_prime(p) and is_probable_prime(q)
+
+
+@given(st.integers(min_value=2, max_value=10**6))
+@settings(max_examples=100)
+def test_modinv_roundtrip(a):
+    m = 1_000_003  # prime modulus
+    inv = modinv(a % m or 1, m)
+    assert (a % m or 1) * inv % m == 1
+
+
+def test_modinv_noninvertible_raises():
+    with pytest.raises(ValueError):
+        modinv(6, 9)
+
+
+@given(st.integers(min_value=0, max_value=10**9))
+@settings(max_examples=50)
+def test_crt_reconstructs(x):
+    p, q = 10_007, 10_009
+    value = x % (p * q)
+    assert crt_pair(value % p, p, value % q, q) == value
+
+
+def test_lcm():
+    assert lcm(4, 6) == 12
+    assert lcm(7, 13) == 91
+
+
+def test_random_coprime_is_coprime():
+    import math
+
+    rng = deterministic_rng(3)
+    n = 15_015  # 3*5*7*11*13
+    for _ in range(20):
+        r = random_coprime(n, rng=rng)
+        assert math.gcd(r, n) == 1
+
+
+def test_next_prime_above():
+    assert next_prime_above(10) == 11
+    assert next_prime_above(13) == 17
+    assert is_probable_prime(next_prime_above(10**6))

@@ -1,0 +1,103 @@
+"""Secret sharing: additive, Shamir, Beaver triples."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import ProtocolError
+from repro.common.randomness import deterministic_rng
+from repro.crypto.sharing import (
+    DEFAULT_FIELD_PRIME,
+    BeaverTripleDealer,
+    additive_reconstruct,
+    additive_share,
+    shamir_reconstruct,
+    shamir_share,
+    to_signed,
+)
+
+secrets_st = st.integers(min_value=0, max_value=2**64)
+
+
+@given(secret=secrets_st, parties=st.integers(min_value=2, max_value=8))
+@settings(max_examples=50)
+def test_additive_roundtrip(secret, parties):
+    shares = additive_share(secret, parties)
+    assert additive_reconstruct(shares) == secret % DEFAULT_FIELD_PRIME
+
+
+def test_additive_single_share_reveals_nothing_structurally():
+    """Two different secrets produce share distributions over the same
+    support; any n-1 shares of a fixed secret are uniform (we check
+    the weaker, testable property: they differ across runs)."""
+    first = additive_share(42, 3, rng=deterministic_rng(1))
+    second = additive_share(42, 3, rng=deterministic_rng(2))
+    assert first[:2] != second[:2]
+
+
+def test_additive_needs_two_parties():
+    with pytest.raises(ProtocolError):
+        additive_share(1, 1)
+
+
+@given(secret=secrets_st)
+@settings(max_examples=25)
+def test_shamir_any_threshold_subset_reconstructs(secret):
+    shares = shamir_share(secret, threshold=3, parties=5)
+    expected = secret % DEFAULT_FIELD_PRIME
+    assert shamir_reconstruct(shares[:3]) == expected
+    assert shamir_reconstruct(shares[2:5]) == expected
+    assert shamir_reconstruct([shares[0], shares[2], shares[4]]) == expected
+
+
+def test_shamir_below_threshold_gives_wrong_secret():
+    secret = 123456
+    shares = shamir_share(secret, threshold=3, parties=5,
+                          rng=deterministic_rng(7))
+    # Interpolating with too few points yields a different polynomial
+    # value — not the secret (overwhelming probability).
+    assert shamir_reconstruct(shares[:2]) != secret
+
+
+def test_shamir_invalid_threshold():
+    with pytest.raises(ProtocolError):
+        shamir_share(1, threshold=6, parties=5)
+    with pytest.raises(ProtocolError):
+        shamir_share(1, threshold=0, parties=5)
+
+
+def test_shamir_duplicate_shares_rejected():
+    shares = shamir_share(9, threshold=2, parties=3)
+    with pytest.raises(ProtocolError):
+        shamir_reconstruct([shares[0], shares[0]])
+
+
+def test_shamir_empty_rejected():
+    with pytest.raises(ProtocolError):
+        shamir_reconstruct([])
+
+
+def test_to_signed():
+    assert to_signed(5) == 5
+    assert to_signed(DEFAULT_FIELD_PRIME - 3) == -3
+
+
+def test_beaver_triples_multiply_correctly():
+    dealer = BeaverTripleDealer(parties=4)
+    triples = dealer.deal()
+    a = additive_reconstruct([t.a for t in triples])
+    b = additive_reconstruct([t.b for t in triples])
+    c = additive_reconstruct([t.c for t in triples])
+    assert c == a * b % DEFAULT_FIELD_PRIME
+    assert dealer.triples_dealt == 1
+
+
+def test_beaver_bit_shares():
+    dealer = BeaverTripleDealer(parties=3)
+    for _ in range(10):
+        bit = additive_reconstruct(dealer.deal_bits())
+        assert bit in (0, 1)
+
+
+def test_dealer_needs_two_parties():
+    with pytest.raises(ProtocolError):
+        BeaverTripleDealer(parties=1)

@@ -1,0 +1,124 @@
+"""Sigma-protocol ZKPs: dlog, equality, bits, ranges, bounds."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import IntegrityError
+from repro.crypto import zkp
+
+
+def test_dlog_proof_roundtrip(group):
+    y, proof = zkp.prove_dlog(group, group.g, 9876)
+    assert zkp.verify_dlog(group, group.g, y, proof)
+
+
+def test_dlog_proof_wrong_statement_rejected(group):
+    y, proof = zkp.prove_dlog(group, group.g, 9876)
+    wrong_y = group.power(group.g, 9877)
+    assert not zkp.verify_dlog(group, group.g, wrong_y, proof)
+
+
+def test_dlog_proof_nonmember_rejected(group):
+    y, proof = zkp.prove_dlog(group, group.g, 5)
+    from repro.crypto.zkp import DlogProof
+
+    bad = DlogProof(commitment=group.p - 1, response=proof.response)
+    assert not zkp.verify_dlog(group, group.g, y, bad)
+
+
+def test_commitment_equality(committer):
+    group = committer.group
+    r1, r2 = group.random_exponent(), group.random_exponent()
+    proof = zkp.prove_commitment_equality(committer, 77, r1, r2)
+    c1 = committer.commit_with(77, r1)
+    c2 = committer.commit_with(77, r2)
+    assert zkp.verify_commitment_equality(committer, c1, c2, proof)
+
+
+def test_commitment_equality_rejects_different_messages(committer):
+    group = committer.group
+    r1, r2 = group.random_exponent(), group.random_exponent()
+    proof = zkp.prove_commitment_equality(committer, 77, r1, r2)
+    c1 = committer.commit_with(77, r1)
+    c_other = committer.commit_with(78, r2)
+    assert not zkp.verify_commitment_equality(committer, c1, c_other, proof)
+
+
+@pytest.mark.parametrize("bit", [0, 1])
+def test_bit_proof_valid(committer, bit):
+    r = committer.group.random_exponent()
+    proof = zkp.prove_bit(committer, bit, r)
+    commitment = committer.commit_with(bit, r)
+    assert zkp.verify_bit(committer, commitment, proof)
+
+
+def test_bit_proof_cannot_be_built_for_nonbit(committer):
+    with pytest.raises(IntegrityError):
+        zkp.prove_bit(committer, 2, committer.group.random_exponent())
+
+
+def test_bit_proof_rejected_for_wrong_commitment(committer):
+    r = committer.group.random_exponent()
+    proof = zkp.prove_bit(committer, 1, r)
+    other = committer.commit_with(2, r)  # commits to 2, not a bit
+    assert not zkp.verify_bit(committer, other, proof)
+
+
+@given(value=st.integers(min_value=0, max_value=255))
+@settings(max_examples=8, deadline=None)
+def test_range_proof_roundtrip(committer, value):
+    commitment, _, proof = zkp.prove_range(committer, value, bits=8)
+    assert zkp.verify_range(committer, commitment, proof)
+
+
+def test_range_proof_out_of_range_value_refused(committer):
+    with pytest.raises(IntegrityError):
+        zkp.prove_range(committer, 256, bits=8)
+
+
+def test_range_proof_rejects_mismatched_commitment(committer):
+    commitment, _, proof = zkp.prove_range(committer, 10, bits=8)
+    other, _, _ = zkp.prove_range(committer, 11, bits=8)
+    assert not zkp.verify_range(committer, other, proof)
+
+
+def test_range_proof_rejects_truncated_bits(committer):
+    from repro.crypto.zkp import RangeProof
+
+    commitment, _, proof = zkp.prove_range(committer, 10, bits=8)
+    truncated = RangeProof(
+        bits=8,
+        bit_commitments=proof.bit_commitments[:-1],
+        bit_proofs=proof.bit_proofs[:-1],
+    )
+    assert not zkp.verify_range(committer, commitment, truncated)
+
+
+def test_upper_bound_proof_accepts_true_statement(committer):
+    commitment, _, proof = zkp.prove_upper_bound(committer, 35, 40, bits=8)
+    assert zkp.verify_upper_bound(committer, commitment, proof)
+
+
+def test_upper_bound_proof_boundary(committer):
+    commitment, _, proof = zkp.prove_upper_bound(committer, 40, 40, bits=8)
+    assert zkp.verify_upper_bound(committer, commitment, proof)
+
+
+def test_upper_bound_proof_refuses_false_statement(committer):
+    with pytest.raises(IntegrityError):
+        zkp.prove_upper_bound(committer, 41, 40, bits=8)
+
+
+def test_upper_bound_proof_rejects_swapped_commitment(committer):
+    c1, _, proof1 = zkp.prove_upper_bound(committer, 10, 40, bits=8)
+    c2, _, _ = zkp.prove_upper_bound(committer, 20, 40, bits=8)
+    assert not zkp.verify_upper_bound(committer, c2, proof1)
+
+
+def test_zero_knowledge_shape(committer):
+    """Proofs for different values have identical structure — a
+    verifier learns nothing from proof sizes."""
+    _, _, p1 = zkp.prove_range(committer, 0, bits=8)
+    _, _, p2 = zkp.prove_range(committer, 255, bits=8)
+    assert len(p1.bit_commitments) == len(p2.bit_commitments)
+    assert len(p1.bit_proofs) == len(p2.bit_proofs)

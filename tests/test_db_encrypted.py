@@ -1,0 +1,122 @@
+"""The encrypted-column store: the RC1 manager's view."""
+
+import pytest
+
+from repro.common.errors import PrivacyError
+from repro.database.encrypted import (
+    ColumnEncryption,
+    EncryptedStoreError,
+    EncryptedTable,
+    EncryptionScheme,
+)
+from repro.database.schema import ColumnType, TableSchema
+
+
+def plain_schema():
+    return TableSchema.build(
+        "salaries",
+        [("emp", ColumnType.TEXT), ("dept", ColumnType.TEXT),
+         ("salary", ColumnType.INT), ("note", ColumnType.TEXT)],
+        primary_key=["emp"],
+        nullable=["note"],
+    )
+
+
+def encryption():
+    return ColumnEncryption(
+        schemes={
+            "emp": EncryptionScheme.DET,
+            "salary": EncryptionScheme.AHE,
+            "note": EncryptionScheme.RND,
+        },
+        master_key=b"m" * 32,
+    )
+
+
+def test_insert_and_encrypted_sum():
+    enc = encryption()
+    table = EncryptedTable(plain_schema(), enc)
+    table.insert_plain({"emp": "ann", "dept": "eng", "salary": 100, "note": "x"})
+    table.insert_plain({"emp": "bob", "dept": "eng", "salary": 150, "note": "y"})
+    total = table.encrypted_sum("salary")
+    assert enc.paillier.private_key.decrypt_signed(total) == 250
+
+
+def test_homomorphic_update_of_cell():
+    enc = encryption()
+    table = EncryptedTable(plain_schema(), enc)
+    key = table.insert_plain({"emp": "ann", "dept": "e", "salary": 100, "note": None})
+    table.add_to_cell(key, "salary", enc.paillier.public_key.encrypt_signed(-20))
+    assert enc.paillier.private_key.decrypt_signed(table.ahe_cell(key, "salary")) == 80
+
+
+def test_det_lookup():
+    enc = encryption()
+    table = EncryptedTable(plain_schema(), enc)
+    table.insert_plain({"emp": "ann", "dept": "e", "salary": 1, "note": None})
+    det = enc.encrypt_cell("emp", "ann")
+    assert len(table.lookup_det("emp", det)) == 1
+    assert table.lookup_det("emp", enc.encrypt_cell("emp", "zed")) == []
+
+
+def test_rnd_roundtrip_owner_side():
+    enc = encryption()
+    ct1 = enc.encrypt_cell("note", "hello world")
+    ct2 = enc.encrypt_cell("note", "hello world")
+    assert ct1 != ct2  # randomized
+    assert enc.decrypt_cell("note", ct1) == "hello world"
+
+
+def test_det_is_deterministic_but_one_way():
+    enc = encryption()
+    assert enc.encrypt_cell("emp", "ann") == enc.encrypt_cell("emp", "ann")
+    with pytest.raises(PrivacyError):
+        enc.decrypt_cell("emp", enc.encrypt_cell("emp", "ann"))
+
+
+def test_manager_view_contains_no_plaintext():
+    enc = encryption()
+    table = EncryptedTable(plain_schema(), enc)
+    table.insert_plain(
+        {"emp": "secret-name", "dept": "eng", "salary": 123456, "note": "top secret"}
+    )
+    view = str(table.manager_visible_rows())
+    assert "secret-name" not in view
+    assert "123456" not in view
+    assert "top secret" not in view
+    assert "eng" in view  # dept is deliberately plaintext (public column)
+
+
+def test_ahe_column_requires_ints():
+    enc = encryption()
+    with pytest.raises(EncryptedStoreError):
+        enc.encrypt_cell("salary", "lots")
+
+
+def test_primary_key_cannot_be_ahe():
+    schemes = {"emp": EncryptionScheme.AHE}
+    enc = ColumnEncryption(schemes=schemes, master_key=b"k" * 32)
+    with pytest.raises(EncryptedStoreError):
+        EncryptedTable(plain_schema(), enc)
+
+
+def test_primary_key_cannot_be_rnd():
+    enc = ColumnEncryption(
+        schemes={"emp": EncryptionScheme.RND}, master_key=b"k" * 32
+    )
+    with pytest.raises(EncryptedStoreError):
+        EncryptedTable(plain_schema(), enc)
+
+
+def test_sum_over_missing_column_rejected():
+    enc = encryption()
+    table = EncryptedTable(plain_schema(), enc)
+    with pytest.raises(EncryptedStoreError):
+        table.encrypted_sum("dept")
+
+
+def test_add_to_missing_row_rejected():
+    enc = encryption()
+    table = EncryptedTable(plain_schema(), enc)
+    with pytest.raises(EncryptedStoreError):
+        table.add_to_cell(("zed",), "salary", enc.paillier.public_key.encrypt(1))

@@ -1,0 +1,114 @@
+"""Model-based fuzzing of the Table against a reference dict.
+
+Hypothesis drives random operation sequences through a Table and a
+plain-dict reference model in lockstep; any divergence in contents,
+indexes, or error behaviour is a substrate bug.  The relational layer
+underpins every constraint decision, so it gets the heaviest fuzz.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.database.schema import ColumnType, TableSchema
+from repro.database.table import DuplicateKeyError, MissingRowError, Table
+
+KEYS = st.integers(0, 9)
+VALUES = st.integers(0, 99)
+CITIES = st.sampled_from(["paris", "rome", "oslo"])
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), KEYS, CITIES, VALUES),
+        st.tuples(st.just("upsert"), KEYS, CITIES, VALUES),
+        st.tuples(st.just("update"), KEYS, CITIES, VALUES),
+        st.tuples(st.just("delete"), KEYS, CITIES, VALUES),
+        st.tuples(st.just("get"), KEYS, CITIES, VALUES),
+    ),
+    max_size=60,
+)
+
+
+def make_table():
+    return Table(TableSchema.build(
+        "people",
+        [("id", ColumnType.INT), ("city", ColumnType.TEXT),
+         ("v", ColumnType.INT)],
+        primary_key=["id"],
+        indexes=["city"],
+    ))
+
+
+@given(ops=operations)
+@settings(max_examples=120, deadline=None)
+def test_table_matches_reference_model(ops):
+    table = make_table()
+    reference = {}
+    for op, key, city, value in ops:
+        row = {"id": key, "city": city, "v": value}
+        if op == "insert":
+            if key in reference:
+                with pytest.raises(DuplicateKeyError):
+                    table.insert(row)
+            else:
+                table.insert(row)
+                reference[key] = row
+        elif op == "upsert":
+            table.upsert(row)
+            reference[key] = row
+        elif op == "update":
+            if key in reference:
+                table.update_row((key,), {"city": city, "v": value})
+                reference[key] = row
+            else:
+                with pytest.raises(MissingRowError):
+                    table.update_row((key,), {"v": value})
+        elif op == "delete":
+            if key in reference:
+                assert table.delete((key,)) == reference.pop(key)
+            else:
+                with pytest.raises(MissingRowError):
+                    table.delete((key,))
+        else:  # get
+            assert table.get((key,)) == reference.get(key)
+
+    # Final state equivalence.
+    assert len(table) == len(reference)
+    for key, row in reference.items():
+        assert table.get((key,)) == row
+    # Secondary index equivalence.
+    for city in ("paris", "rome", "oslo"):
+        expected = sorted(
+            r["id"] for r in reference.values() if r["city"] == city
+        )
+        assert sorted(r["id"] for r in table.lookup("city", city)) == expected
+    # Aggregates equivalence.
+    assert table.aggregate(None, "COUNT") == len(reference)
+    assert table.aggregate("v", "SUM") == sum(
+        r["v"] for r in reference.values()
+    )
+
+
+@given(ops=operations)
+@settings(max_examples=60, deadline=None)
+def test_range_index_consistent_under_fuzz(ops):
+    table = make_table()
+    table.create_range_index("v")
+    reference = {}
+    for op, key, city, value in ops:
+        row = {"id": key, "city": city, "v": value}
+        if op in ("insert", "upsert") and (op == "upsert" or key not in reference):
+            table.upsert(row)
+            reference[key] = row
+        elif op == "update" and key in reference:
+            table.update_row((key,), {"v": value})
+            reference[key]["v"] = value
+        elif op == "delete" and key in reference:
+            table.delete((key,))
+            del reference[key]
+    for low, high in [(0, 99), (10, 50), (99, 99), (60, 10)]:
+        expected = sorted(
+            (r["v"], r["id"]) for r in reference.values()
+            if low <= r["v"] <= high
+        )
+        got = [(r["v"], r["id"]) for r in table.range_lookup("v", low, high)]
+        assert got == expected

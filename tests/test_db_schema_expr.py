@@ -1,0 +1,192 @@
+"""Schemas and the expression AST."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.database.expr import (
+    BinOp,
+    Env,
+    ExprError,
+    FuncCall,
+    Not,
+    col,
+    linearize,
+    lit,
+    update_field,
+)
+from repro.database.schema import Column, ColumnType, SchemaError, TableSchema
+
+
+def make_schema():
+    return TableSchema.build(
+        "t",
+        [("id", ColumnType.INT), ("name", ColumnType.TEXT),
+         ("score", ColumnType.FLOAT), ("flag", ColumnType.BOOL),
+         ("blob", ColumnType.BYTES)],
+        primary_key=["id"],
+        nullable=["score", "blob"],
+    )
+
+
+def test_schema_validates_types():
+    schema = make_schema()
+    row = schema.validate_row(
+        {"id": 1, "name": "x", "score": 1.5, "flag": True, "blob": b"b"}
+    )
+    assert row["id"] == 1
+
+
+def test_schema_fills_missing_nullable():
+    schema = make_schema()
+    row = schema.validate_row({"id": 1, "name": "x", "flag": False})
+    assert row["score"] is None and row["blob"] is None
+
+
+def test_schema_rejects_missing_non_nullable():
+    schema = make_schema()
+    with pytest.raises(SchemaError):
+        schema.validate_row({"id": 1, "flag": True})
+
+
+def test_schema_rejects_wrong_type():
+    schema = make_schema()
+    with pytest.raises(SchemaError):
+        schema.validate_row({"id": "one", "name": "x", "flag": True})
+
+
+def test_bool_is_not_int():
+    schema = make_schema()
+    with pytest.raises(SchemaError):
+        schema.validate_row({"id": True, "name": "x", "flag": True})
+
+
+def test_schema_rejects_unknown_columns():
+    schema = make_schema()
+    with pytest.raises(SchemaError):
+        schema.validate_row({"id": 1, "name": "x", "flag": True, "extra": 1})
+
+
+def test_schema_duplicate_columns_rejected():
+    with pytest.raises(SchemaError):
+        TableSchema.build("t", [("a", ColumnType.INT), ("a", ColumnType.INT)], ["a"])
+
+
+def test_schema_requires_primary_key():
+    with pytest.raises(SchemaError):
+        TableSchema(name="t", columns=(Column("a", ColumnType.INT),),
+                    primary_key=())
+
+
+def test_schema_pk_and_index_must_exist():
+    with pytest.raises(SchemaError):
+        TableSchema.build("t", [("a", ColumnType.INT)], ["b"])
+    with pytest.raises(SchemaError):
+        TableSchema.build("t", [("a", ColumnType.INT)], ["a"], indexes=["c"])
+
+
+def test_key_of():
+    schema = make_schema()
+    assert schema.key_of({"id": 7, "name": "x"}) == (7,)
+    with pytest.raises(SchemaError):
+        schema.key_of({"name": "x"})
+
+
+# -- expressions ------------------------------------------------------------
+
+def test_basic_arithmetic_and_comparison():
+    env = Env(row={"hours": 30}, update={"delta": 5})
+    expr = (col("hours") + update_field("delta")) <= lit(40)
+    assert expr.evaluate(env) is True
+    expr2 = (col("hours") + update_field("delta")) > lit(40)
+    assert expr2.evaluate(env) is False
+
+
+def test_boolean_combinators():
+    env = Env(row={"a": 1, "b": 2})
+    assert col("a").eq(lit(1)).and_(col("b").eq(lit(2))).evaluate(env)
+    assert col("a").eq(lit(9)).or_(col("b").eq(lit(2))).evaluate(env)
+    assert Not(col("a").eq(lit(9))).evaluate(env)
+
+
+def test_in_operator():
+    env = Env(row={"status": "gold"})
+    assert col("status").is_in(["gold", "platinum"]).evaluate(env)
+    assert not col("status").is_in(["silver"]).evaluate(env)
+
+
+def test_null_propagation():
+    env = Env(row={"x": None})
+    assert (col("x") > lit(3)).evaluate(env) is None
+    assert Not(col("x") > lit(3)).evaluate(env) is None
+
+
+def test_unbound_column_raises():
+    with pytest.raises(ExprError):
+        col("missing").evaluate(Env(row={}))
+
+
+def test_update_field_requires_update():
+    with pytest.raises(ExprError):
+        update_field("x").evaluate(Env(row={}))
+    with pytest.raises(ExprError):
+        update_field("x").evaluate(Env(row={}, update={"y": 1}))
+
+
+def test_extras_binding():
+    env = Env(row={}, extras={"agg_total": 12})
+    assert (col("agg_total") < lit(20)).evaluate(env)
+
+
+def test_functions():
+    env = Env(row={"x": -5})
+    assert FuncCall("abs", (col("x"),)).evaluate(env) == 5
+    with pytest.raises(ExprError):
+        FuncCall("nope", ()).evaluate(env)
+
+
+def test_columns_and_update_fields_used():
+    expr = (col("a") + col("b") * update_field("u")) <= lit(1)
+    assert expr.columns_used() == {"a", "b"}
+    assert expr.update_fields_used() == {"u"}
+
+
+# -- linearity analysis ---------------------------------------------------------
+
+def test_linearize_simple():
+    form = linearize(col("a") + lit(2) * col("b") - lit(3))
+    assert form.as_dict() == {("col", "a"): 1.0, ("col", "b"): 2.0}
+    assert form.constant == -3.0
+
+
+def test_linearize_update_fields():
+    form = linearize(col("total") + update_field("delta"))
+    assert form.as_dict() == {("col", "total"): 1.0, ("upd", "delta"): 1.0}
+
+
+def test_linearize_rejects_products_of_variables():
+    assert linearize(col("a") * col("b")) is None
+
+
+def test_linearize_rejects_non_numeric_literals():
+    assert linearize(col("a") + lit("text")) is None
+
+
+def test_linearize_cancellation():
+    form = linearize(col("a") - col("a") + lit(5))
+    assert form.as_dict() == {}
+    assert form.constant == 5.0
+
+
+@given(a=st.integers(-100, 100), b=st.integers(-100, 100),
+       k=st.integers(-10, 10))
+@settings(max_examples=50)
+def test_linearize_agrees_with_evaluation(a, b, k):
+    expr = col("x") * lit(k) + update_field("y") - lit(3)
+    form = linearize(expr)
+    env = Env(row={"x": a}, update={"y": b})
+    direct = expr.evaluate(env)
+    via_form = sum(
+        coeff * (a if tag == ("col", "x") else b)
+        for tag, coeff in form.as_dict().items()
+    ) + form.constant
+    assert abs(direct - via_form) < 1e-9

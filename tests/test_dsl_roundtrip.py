@@ -1,0 +1,181 @@
+"""DSL round-trip: parse(unparse(c)) must be semantically c.
+
+Hypothesis generates random constraints, unparses them to text,
+re-parses, and checks the two agree on randomly generated databases and
+updates — fuzzing both directions of the language at once.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.database.engine import Database
+from repro.database.expr import BinOp, Col, Lit, Not, UpdateField
+from repro.database.schema import ColumnType, TableSchema
+from repro.model.constraints import (
+    AggregateSpec,
+    Comparison,
+    Constraint,
+    ConstraintKind,
+    WindowSpec,
+)
+from repro.model.dsl import constraint_to_text, expr_to_text, parse_constraint
+from repro.model.update import Update, UpdateOperation
+
+COLUMNS = ["hours", "amount", "worker"]
+UPDATE_FIELDS = ["hours", "amount"]
+
+
+# -- expression strategies --------------------------------------------------------
+
+numeric_leaf = st.one_of(
+    st.integers(0, 50).map(Lit),
+    st.sampled_from(["hours", "amount"]).map(Col),
+    st.sampled_from(UPDATE_FIELDS).map(UpdateField),
+)
+
+numeric_expr = st.recursive(
+    numeric_leaf,
+    lambda children: st.tuples(
+        st.sampled_from(["+", "-", "*"]), children, children
+    ).map(lambda t: BinOp(t[0], t[1], t[2])),
+    max_leaves=5,
+)
+
+comparison_expr = st.tuples(
+    st.sampled_from(["<=", ">=", "<", ">", "=="]), numeric_expr, numeric_expr
+).map(lambda t: BinOp(t[0], t[1], t[2]))
+
+bool_expr = st.recursive(
+    comparison_expr,
+    lambda children: st.one_of(
+        st.tuples(st.sampled_from(["and", "or"]), children, children).map(
+            lambda t: BinOp(t[0], t[1], t[2])
+        ),
+        children.map(Not),
+    ),
+    max_leaves=4,
+)
+
+
+def tasks_db(rows):
+    db = Database("d")
+    db.create_table(TableSchema.build(
+        "tasks",
+        [("task_id", ColumnType.TEXT), ("worker", ColumnType.TEXT),
+         ("hours", ColumnType.INT), ("amount", ColumnType.INT),
+         ("at", ColumnType.FLOAT)],
+        primary_key=["task_id"],
+        nullable=["at"],
+    ))
+    for i, (worker, hours, amount, at) in enumerate(rows):
+        db.insert("tasks", {"task_id": f"t{i}", "worker": worker,
+                            "hours": hours, "amount": amount, "at": at})
+    return db
+
+
+def make_update(worker, hours, amount, at=0.0):
+    return Update(
+        table="tasks", operation=UpdateOperation.INSERT,
+        payload={"task_id": f"u-{worker}-{hours}-{amount}", "worker": worker,
+                 "hours": hours, "amount": amount, "at": at},
+    )
+
+
+@given(expr=bool_expr, hours=st.integers(0, 20), amount=st.integers(0, 20))
+@settings(max_examples=80, deadline=None)
+def test_predicate_roundtrip(expr, hours, amount):
+    original = Constraint(name="c", kind=ConstraintKind.INTERNAL,
+                          predicate=expr, tables=("tasks",))
+    reparsed = parse_constraint(constraint_to_text(original), name="c")
+    db = tasks_db([("w", 3, 4, 0.0)])
+    update = make_update("w", hours, amount)
+    assert original.check([db], update, 0.0) == reparsed.check(
+        [db], update, 0.0
+    )
+
+
+aggregate_constraints = st.builds(
+    lambda func, column, match, window_len, cmp, bound: Constraint(
+        name="agg", kind=ConstraintKind.REGULATION,
+        aggregate=AggregateSpec(
+            func=func,
+            column=None if func == "COUNT" else column,
+            match_columns=tuple(match),
+            window=(WindowSpec(time_column="at", length=window_len)
+                    if window_len else None),
+        ),
+        comparison=cmp,
+        bound=float(bound),
+        tables=("tasks",),
+    ),
+    func=st.sampled_from(["SUM", "COUNT"]),
+    column=st.sampled_from(["hours", "amount"]),
+    match=st.lists(st.sampled_from(["worker"]), max_size=1),
+    window_len=st.sampled_from([0, 3600.0, 86400.0, 604800.0]),
+    cmp=st.sampled_from([Comparison.LE, Comparison.GE, Comparison.LT,
+                         Comparison.GT]),
+    bound=st.integers(0, 60),
+)
+
+
+@given(constraint=aggregate_constraints,
+       rows=st.lists(st.tuples(
+           st.sampled_from(["w", "x"]), st.integers(0, 10),
+           st.integers(0, 10), st.floats(0, 100)), max_size=5),
+       hours=st.integers(0, 10))
+@settings(max_examples=80, deadline=None)
+def test_aggregate_roundtrip(constraint, rows, hours):
+    text = constraint_to_text(constraint)
+    reparsed = parse_constraint(text, name="agg",
+                                kind=ConstraintKind.REGULATION)
+    db = tasks_db(rows)
+    update = make_update("w", hours, hours, at=50.0)
+    assert constraint.check([db], update, now=50.0) == reparsed.check(
+        [db], update, now=50.0
+    ), text
+
+
+def test_unparse_examples_read_naturally():
+    flsa = Constraint(
+        name="flsa", kind=ConstraintKind.REGULATION,
+        aggregate=AggregateSpec(
+            func="SUM", column="hours", match_columns=("worker",),
+            window=WindowSpec(time_column="at", length=604800.0),
+        ),
+        comparison=Comparison.LE, bound=40.0, tables=("tasks",),
+    )
+    assert constraint_to_text(flsa) == (
+        "SUM(hours) PER worker WITHIN 1w OF at <= 40 ON tasks"
+    )
+
+
+def test_unparse_in_and_strings():
+    constraint = Constraint(
+        name="c", kind=ConstraintKind.INTERNAL,
+        predicate=BinOp("in", Col("worker"), Lit(("anne", "bob"))),
+    )
+    text = constraint_to_text(constraint)
+    reparsed = parse_constraint(text)
+    db = tasks_db([])
+    assert reparsed.check([db], make_update("anne", 1, 1), 0.0)
+    assert not reparsed.check([db], make_update("carol", 1, 1), 0.0)
+
+
+def test_unparse_negative_literal():
+    constraint = Constraint(
+        name="c", kind=ConstraintKind.INTERNAL,
+        predicate=BinOp(">", UpdateField("hours"), Lit(-5)),
+    )
+    reparsed = parse_constraint(constraint_to_text(constraint))
+    db = tasks_db([])
+    assert reparsed.check([db], make_update("w", 0, 0), 0.0)
+
+
+def test_expr_to_text_rejects_unknown():
+    class Weird:
+        pass
+
+    from repro.model.dsl import ConstraintSyntaxError
+
+    with pytest.raises(ConstraintSyntaxError):
+        expr_to_text(Weird())

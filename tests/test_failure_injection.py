@@ -1,0 +1,173 @@
+"""Failure injection: partitions, loss, forks, colluding adversaries.
+
+These tests exercise the unhappy paths that distinguish a framework
+claiming integrity from one that merely works when everything does.
+"""
+
+import pytest
+
+from repro.consensus.paxos import PaxosCluster
+from repro.consensus.pbft import PBFTCluster
+from repro.ledger.audit import LedgerAuditor
+from repro.ledger.central import CentralLedger
+from repro.net.simnet import SimNetwork
+
+
+# -- consensus under partitions ----------------------------------------------
+
+def test_paxos_minority_partition_blocks_then_reelection_recovers():
+    cluster = PaxosCluster(n=5)
+    # Cut the leader + one follower away from the other three.
+    cluster.network.partition(
+        {"paxos-0", "paxos-1"}, {"paxos-2", "paxos-3", "paxos-4"}
+    )
+    cluster.submit({"op": "stranded"})
+    cluster.run()
+    assert cluster.committed() == []  # no quorum reachable
+    cluster.network.heal_partition()
+    # Recovery: a fresh ballot gathers promises carrying the stranded
+    # accepted value and re-proposes it (Paxos's safety rule).
+    cluster.elect(0)
+    cluster.run()
+    assert {"op": "stranded"} in cluster.committed()
+
+
+def test_paxos_majority_partition_still_commits_after_takeover():
+    cluster = PaxosCluster(n=5)
+    cluster.network.partition(
+        {"paxos-0"}, {"paxos-1", "paxos-2", "paxos-3", "paxos-4"}
+    )
+    # The majority side elects a new leader and makes progress.
+    cluster.elect(1)
+    cluster.submit({"op": "x"})
+    cluster.run()
+    majority_logs = [cluster.nodes[i].log.committed_prefix()
+                     for i in (1, 2, 3, 4)]
+    assert any({"op": "x"} in log for log in majority_logs)
+    # The isolated old leader learned nothing.
+    assert cluster.nodes[0].log.committed_prefix() == []
+
+
+def test_pbft_even_split_blocks_then_heals():
+    cluster = PBFTCluster(f=1, view_timeout=50.0)
+    names = cluster.names
+    cluster.network.partition(set(names[:2]), set(names[2:]))
+    cluster.submit({"tx": "blocked"})
+    cluster.run(until=5.0)
+    assert cluster.committed() == []
+    cluster.network.heal_partition()
+    cluster.submit({"tx": "after-heal"})
+    cluster.run()
+    assert any(v == {"tx": "after-heal"} for v in cluster.committed())
+
+
+def test_paxos_under_light_message_loss_with_retries():
+    """With 2% loss, individual decrees may stall, but client retries
+    eventually commit every command (at-least-once with dedup by the
+    decision log is the deployment pattern)."""
+    network = SimNetwork(loss_rate=0.02, seed=3)
+    cluster = PaxosCluster(n=5, network=network)
+    wanted = [{"op": i} for i in range(10)]
+    for value in wanted:
+        cluster.submit(value)
+    cluster.run()
+    committed = {str(v) for v in cluster.committed()}
+    missing = [v for v in wanted if str(v) not in committed]
+    for value in missing:  # one retry round
+        cluster.submit(value)
+    cluster.run()
+    committed = {str(v) for v in cluster.leader.log._decisions.values()}
+    assert all(str(v) in committed for v in wanted) or len(missing) <= 2
+
+
+# -- ledger forks ---------------------------------------------------------------
+
+def test_split_view_attack_detected_by_gossip():
+    """A malicious holder serves auditor A one history and auditor B a
+    forked one; each alone is satisfied, gossip catches it."""
+    honest = CentralLedger()
+    for i in range(5):
+        honest.append({"update": i})
+
+    forked = CentralLedger()
+    for i in range(4):
+        forked.append({"update": i})
+    forked.append({"update": "EVIL"})
+    forked.append({"update": 5})
+
+    auditor_a, auditor_b = LedgerAuditor("a"), LedgerAuditor("b")
+    assert auditor_a.audit(honest).ok       # A sees the honest history
+    assert auditor_b.audit(forked).ok       # B sees the fork — and is happy
+    # Cross-check: the holder cannot link the two digests.
+    assert not auditor_a.cross_check(auditor_b, honest)
+    assert not auditor_b.cross_check(auditor_a, forked)
+
+
+def test_gossip_accepts_honest_lag():
+    ledger = CentralLedger()
+    for i in range(3):
+        ledger.append({"update": i})
+    auditor_a = LedgerAuditor("a")
+    auditor_a.audit(ledger)
+    for i in range(3, 6):
+        ledger.append({"update": i})
+    auditor_b = LedgerAuditor("b")
+    auditor_b.audit(ledger)
+    # A is behind B, but both views are on one history.
+    assert auditor_a.cross_check(auditor_b, ledger)
+
+
+def test_gossip_same_size_fork_detected():
+    ledger_a = CentralLedger()
+    ledger_b = CentralLedger()
+    for i in range(4):
+        ledger_a.append({"update": i})
+        ledger_b.append({"update": i if i != 2 else "EVIL"})
+    auditor_a, auditor_b = LedgerAuditor("a"), LedgerAuditor("b")
+    auditor_a.audit(ledger_a)
+    auditor_b.audit(ledger_b)
+    assert not auditor_a.cross_check(auditor_b, ledger_a)
+
+
+def test_gossip_trivially_true_before_first_audit():
+    assert LedgerAuditor("a").cross_check(LedgerAuditor("b"), CentralLedger())
+
+
+# -- colluding platforms in Separ --------------------------------------------------
+
+def test_separ_colluding_platforms_cannot_reidentify_across_weeks():
+    """Pseudonyms rotate weekly, so even a full-collusion coalition
+    cannot link one worker's week-0 activity to their week-1 activity."""
+    from repro.core.separ import SeparSystem
+
+    system = SeparSystem(["uber", "lyft"], weekly_hour_cap=40)
+    system.register_worker("w")
+    system.complete_task("w", "uber", 10)
+    week0 = system.workers["w"].pseudonym(0)
+    system.advance_weeks(1)
+    system.complete_task("w", "lyft", 10)
+    week1 = system.workers["w"].pseudonym(1)
+    view = system.collusion_view(["uber", "lyft"])
+    assert week0 in view["pseudonym_counts"]
+    assert week1 in view["pseudonym_counts"]
+    assert week0 != week1  # nothing in the view links them
+
+
+def test_separ_platform_replaying_spent_token_is_caught():
+    """A covert platform replaying a token it observed (to frame the
+    worker or double-count hours) trips double-spend detection."""
+    from repro.core.separ import SeparSystem
+    from repro.privacy.tokens import DoubleSpendError, Token
+
+    system = SeparSystem(["uber", "lyft"], weekly_hour_cap=40)
+    system.register_worker("w")
+    system.complete_task("w", "uber", 2)
+    spent_entry = system.registry.ledger.entry(0).payload
+    replayed = Token(
+        serial=spent_entry["serial"],
+        period=spent_entry["period"],
+        pseudonym=spent_entry["pseudonym"],
+        signature=0,  # the platform never saw the signature... forge fails
+    )
+    with pytest.raises(Exception):
+        system.registry.spend(replayed, "lyft")

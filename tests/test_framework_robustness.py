@@ -1,0 +1,128 @@
+"""Pipeline robustness: apply failures, framework-level authenticated
+reads."""
+
+import pytest
+
+from repro.common.errors import IntegrityError
+from repro.core.framework import PReVer
+from repro.database.engine import Database
+from repro.database.schema import ColumnType, TableSchema
+from repro.ledger.authenticated import verify_absence, verify_row
+from repro.model.update import Update, UpdateOperation, UpdateStatus
+
+
+def make_framework():
+    db = Database("d")
+    db.create_table(TableSchema.build(
+        "events", [("id", ColumnType.INT), ("v", ColumnType.INT)],
+        primary_key=["id"],
+    ))
+    return PReVer([db])
+
+
+def insert(framework, i, v=0):
+    return framework.submit(Update(
+        table="events", operation=UpdateOperation.INSERT,
+        payload={"id": i, "v": v},
+    ))
+
+
+def test_duplicate_key_insert_rejected_not_crashed():
+    framework = make_framework()
+    assert insert(framework, 1).applied
+    result = insert(framework, 1)
+    assert not result.applied
+    assert result.update.status is UpdateStatus.REJECTED
+    assert "apply failed" in result.update.rejection_reason
+    assert result.outcome.failed_constraint == "apply-failure"
+    # Both attempts are anchored.
+    assert len(framework.ledger) == 2
+
+
+def test_modify_missing_row_rejected():
+    framework = make_framework()
+    result = framework.submit(Update(
+        table="events", operation=UpdateOperation.MODIFY,
+        payload={"v": 9}, key=(404,),
+    ))
+    assert not result.applied
+    assert "apply failed" in result.update.rejection_reason
+
+
+def test_delete_missing_row_rejected():
+    framework = make_framework()
+    result = framework.submit(Update(
+        table="events", operation=UpdateOperation.DELETE,
+        payload={}, key=(404,),
+    ))
+    assert not result.applied
+
+
+def test_schema_violation_rejected():
+    framework = make_framework()
+    result = framework.submit(Update(
+        table="events", operation=UpdateOperation.INSERT,
+        payload={"id": 1, "v": "not-an-int"},
+    ))
+    assert not result.applied
+
+
+def test_state_continues_after_apply_failure():
+    framework = make_framework()
+    insert(framework, 1)
+    insert(framework, 1)  # rejected
+    assert insert(framework, 2).applied
+    assert framework.databases[0].aggregate("events", "COUNT") == 2
+
+
+# -- framework-level authenticated reads -------------------------------------------
+
+def test_publish_and_prove_membership():
+    framework = make_framework()
+    insert(framework, 1, v=10)
+    insert(framework, 2, v=20)
+    commitment = framework.publish_state("events")
+    kind, proof = framework.prove_query("events", (1,))
+    assert kind == "row"
+    assert proof.row["v"] == 10
+    assert verify_row(commitment, proof)
+
+
+def test_publish_and_prove_absence():
+    framework = make_framework()
+    insert(framework, 1)
+    commitment = framework.publish_state("events")
+    kind, proof = framework.prove_query("events", (99,))
+    assert kind == "absent"
+    assert verify_absence(commitment, proof)
+
+
+def test_commitments_interleave_with_decisions_on_one_ledger():
+    framework = make_framework()
+    insert(framework, 1)
+    framework.publish_state("events")
+    insert(framework, 2)
+    framework.publish_state("events")
+    # 2 decisions + 2 commitments, one auditable history.
+    assert len(framework.ledger) == 4
+    from repro.ledger.audit import LedgerAuditor
+
+    assert LedgerAuditor().audit(framework.ledger, spot_check=2).ok
+
+
+def test_prove_before_publish_raises():
+    framework = make_framework()
+    with pytest.raises(IntegrityError):
+        framework.prove_query("events", (1,))
+
+
+def test_fresh_commitment_reflects_new_rows():
+    framework = make_framework()
+    insert(framework, 1)
+    first = framework.publish_state("events")
+    insert(framework, 2)
+    second = framework.publish_state("events")
+    assert first.root != second.root
+    kind, proof = framework.prove_query("events", (2,))
+    assert kind == "row" and verify_row(second, proof)
+    assert not verify_row(first, proof)

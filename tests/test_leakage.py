@@ -1,0 +1,122 @@
+"""Leakage contracts: each engine's manager-visible transcript must
+stay within its declared profile, and non-plaintext engines must
+produce shape-indistinguishable transcripts for different secrets.
+"""
+
+import pytest
+
+from repro.core.federated import MPCVerifier, TokenVerifier
+from repro.core.verifiers import PaillierVerifier, PlaintextVerifier, ZKPVerifier
+from repro.database.engine import Database
+from repro.database.schema import ColumnType, TableSchema
+from repro.model.constraints import upper_bound_regulation
+from repro.model.update import Update, UpdateOperation
+from repro.privacy import leakage as lk
+
+
+def db(name="m"):
+    database = Database(name)
+    database.create_table(
+        TableSchema.build(
+            "reports",
+            [("id", ColumnType.INT), ("org", ColumnType.TEXT),
+             ("amount", ColumnType.INT)],
+            primary_key=["id"],
+        )
+    )
+    return database
+
+
+def regulation(bound=10_000):
+    return upper_bound_regulation("cap", "reports", "amount", bound, ["org"])
+
+
+def updates(amounts, org="acme"):
+    return [
+        Update(table="reports", operation=UpdateOperation.INSERT,
+               payload={"id": i, "org": org, "amount": a})
+        for i, a in enumerate(amounts)
+    ]
+
+
+def transcript_for(engine_factory, amounts):
+    engine = engine_factory()
+    for update in updates(amounts):
+        engine.verify(update, now=0.0)
+    return engine.manager_transcript
+
+
+# -- profile declarations --------------------------------------------------------
+
+def test_profiles_declare_expected_classes():
+    assert lk.PLAINTEXT_PROFILE.leaks_plaintext()
+    for profile in (lk.PAILLIER_PROFILE, lk.MPC_PROFILE, lk.TOKEN_PROFILE,
+                    lk.ENCLAVE_PROFILE, lk.DP_INDEX_PROFILE):
+        assert not profile.leaks_plaintext()
+        assert profile.leaks(lk.LeakageClass.DECISION_BIT)
+
+
+def test_profile_subset_relation():
+    small = lk.profile("a", lk.LeakageClass.DECISION_BIT)
+    assert small.is_subset_of(lk.PAILLIER_PROFILE)
+    assert not lk.PLAINTEXT_PROFILE.is_subset_of(small)
+
+
+# -- shape indistinguishability -----------------------------------------------------
+
+SECRET_A = [123, 456, 789]
+SECRET_B = [111, 222, 333]
+
+
+def test_paillier_transcripts_indistinguishable():
+    t_a = transcript_for(lambda: PaillierVerifier([regulation()]), SECRET_A)
+    t_b = transcript_for(lambda: PaillierVerifier([regulation()]), SECRET_B)
+    kinds_a = [k for k, _ in t_a]
+    kinds_b = [k for k, _ in t_b]
+    assert kinds_a == kinds_b
+    # No transcript item equals a secret input.
+    values = [v for _, v in t_a if isinstance(v, int)]
+    assert not set(values) & set(SECRET_A)
+
+
+def test_zkp_transcripts_indistinguishable():
+    # bits must cover both the totals and the slack to the bound.
+    t_a = transcript_for(lambda: ZKPVerifier([regulation(2000)], bits=11),
+                         SECRET_A)
+    t_b = transcript_for(lambda: ZKPVerifier([regulation(2000)], bits=11),
+                         SECRET_B)
+    assert [k for k, _ in t_a] == [k for k, _ in t_b]
+
+
+def test_mpc_transcript_is_decisions_only():
+    def factory():
+        return MPCVerifier([db("a"), db("b")], regulation(100), width=8)
+
+    transcript = transcript_for(factory, [10, 20])
+    assert all(k == "decision" for k, _ in transcript)
+
+
+def test_token_transcript_serials_are_high_entropy():
+    engine = TokenVerifier(regulation(1000))
+    for update in updates([3, 2]):
+        update.producers.append("worker-x")
+        engine.verify(update, now=0.0)
+    serials = [v for k, v in engine.manager_transcript if k == "serial"]
+    assert len(serials) == 5
+    assert len(set(serials)) == 5          # single-use
+    assert all(len(s) == 64 for s in serials)  # 256-bit hex, no structure
+
+
+def test_plaintext_baseline_is_distinguishable_by_content():
+    t_a = transcript_for(lambda: PlaintextVerifier([db()], [regulation()]),
+                         SECRET_A)
+    assert any(item.get("amount") == 123 for item in t_a)
+
+
+def test_transcript_shape_helper():
+    assert lk.transcript_shape([b"ab", "xyz", 5, {"a": 1}, [1, 2]]) == [
+        ("bytes", 2), ("str", 3), ("int", 3), ("dict", 1), ("list", 2),
+    ]
+    # Same bit-lengths -> same shape; different types -> distinguishable.
+    assert not lk.transcript_distinguishability([1, 2], [1, 3])
+    assert lk.transcript_distinguishability([1], [b"xx"])

@@ -1,0 +1,139 @@
+"""Centralized ledger (RC4-single): proofs, auditing, tamper detection."""
+
+import pytest
+
+from repro.common.errors import IntegrityError
+from repro.ledger.audit import AuditOutcome, LedgerAuditor
+from repro.ledger.central import CentralLedger, LedgerDigest
+
+
+def filled(n=10):
+    ledger = CentralLedger()
+    for i in range(n):
+        ledger.append({"update": i})
+    return ledger
+
+
+def test_append_and_read():
+    ledger = filled(5)
+    assert len(ledger) == 5
+    assert ledger.entry(3).payload == {"update": 3}
+    assert [e.payload["update"] for e in ledger.entries(since=3)] == [3, 4]
+
+
+def test_entry_out_of_range():
+    with pytest.raises(IntegrityError):
+        filled(2).entry(5)
+
+
+def test_digest_changes_with_appends():
+    ledger = filled(3)
+    d3 = ledger.digest()
+    ledger.append({"update": 3})
+    d4 = ledger.digest()
+    assert d3.size == 3 and d4.size == 4
+    assert d3.root != d4.root
+
+
+def test_inclusion_proof_verifies_against_digest():
+    ledger = filled(12)
+    digest = ledger.digest()
+    for i in (0, 5, 11):
+        entry = ledger.entry(i)
+        proof = ledger.prove_inclusion(i)
+        assert CentralLedger.verify_entry(digest, entry, proof)
+
+
+def test_inclusion_fails_for_wrong_entry():
+    ledger = filled(12)
+    digest = ledger.digest()
+    proof = ledger.prove_inclusion(5)
+    from repro.ledger.central import LedgerEntry
+
+    fake = LedgerEntry(sequence=5, payload={"update": 999})
+    assert not CentralLedger.verify_entry(digest, fake, proof)
+
+
+def test_inclusion_fails_for_wrong_digest_size():
+    ledger = filled(12)
+    proof = ledger.prove_inclusion(5, size=10)
+    assert not CentralLedger.verify_entry(ledger.digest(), ledger.entry(5), proof)
+
+
+def test_consistency_between_digests():
+    ledger = filled(6)
+    old = ledger.digest()
+    for i in range(6, 10):
+        ledger.append({"update": i})
+    new = ledger.digest()
+    proof = ledger.prove_consistency(old.size, new.size)
+    assert CentralLedger.verify_extension(old, new, proof)
+
+
+def test_tamper_detected_by_consistency():
+    ledger = filled(8)
+    old = ledger.digest()
+    ledger.tamper_rewrite(2, {"update": "evil"})
+    ledger.append({"update": 8})
+    new = ledger.digest()
+    proof = ledger.prove_consistency(old.size, new.size)
+    assert not CentralLedger.verify_extension(old, new, proof)
+
+
+def test_tamper_out_of_range():
+    with pytest.raises(IntegrityError):
+        filled(2).tamper_rewrite(5, {})
+
+
+# -- auditor -------------------------------------------------------------------
+
+def test_auditor_first_contact_then_consistent():
+    ledger = filled(5)
+    auditor = LedgerAuditor()
+    report = auditor.audit(ledger)
+    assert report.outcome is AuditOutcome.FIRST_CONTACT
+    ledger.append({"update": 5})
+    report2 = auditor.audit(ledger)
+    assert report2.outcome is AuditOutcome.CONSISTENT
+    assert auditor.trusted_digest.size == 6
+
+
+def test_auditor_detects_rewrite():
+    ledger = filled(5)
+    auditor = LedgerAuditor()
+    auditor.audit(ledger)
+    trusted_before = auditor.trusted_digest
+    ledger.tamper_rewrite(1, {"update": "evil"})
+    report = auditor.audit(ledger)
+    assert report.outcome is AuditOutcome.TAMPERED
+    assert not report.ok
+    # The auditor must NOT adopt the tampered digest.
+    assert auditor.trusted_digest == trusted_before
+
+
+def test_auditor_detects_history_shrink():
+    ledger = filled(5)
+    auditor = LedgerAuditor()
+    auditor.audit(ledger)
+    shrunk = filled(3)  # an attacker serving an older/shorter fork
+    report = auditor.audit(shrunk)
+    assert report.outcome is AuditOutcome.TAMPERED
+    assert "history shrank" in report.failures
+
+
+def test_auditor_spot_checks():
+    ledger = filled(20)
+    auditor = LedgerAuditor()
+    report = auditor.audit(ledger, spot_check=5)
+    assert report.ok
+    assert len(report.checked_entries) == 5
+
+
+def test_auditor_never_needs_payload_plaintext():
+    """Auditing works over opaque payloads (commitments) — the
+    privacy-preserving RC4 requirement."""
+    ledger = CentralLedger()
+    for i in range(4):
+        ledger.append({"commitment": f"c{i}", "ciphertext": "0xdead"})
+    auditor = LedgerAuditor()
+    assert auditor.audit(ledger, spot_check=2).ok

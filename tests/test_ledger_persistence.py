@@ -1,0 +1,95 @@
+"""Ledger persistence: dump/load with at-rest tamper detection."""
+
+import pytest
+
+from repro.common.errors import IntegrityError
+from repro.ledger.central import CentralLedger
+
+
+def filled(n=6):
+    ledger = CentralLedger(name="audit-log")
+    for i in range(n):
+        ledger.append({"update": i, "blob": bytes([i])})
+    return ledger
+
+
+def test_dump_load_roundtrip(tmp_path):
+    path = str(tmp_path / "ledger.jsonl")
+    original = filled()
+    original.dump(path)
+    restored = CentralLedger.load(path)
+    assert restored.name == "audit-log"
+    assert len(restored) == len(original)
+    assert restored.digest() == original.digest()
+    assert restored.entry(3).payload == {"update": 3, "blob": b"\x03"}
+
+
+def test_proofs_survive_reload(tmp_path):
+    path = str(tmp_path / "ledger.jsonl")
+    original = filled()
+    digest = original.digest()
+    original.dump(path)
+    restored = CentralLedger.load(path)
+    proof = restored.prove_inclusion(2)
+    assert CentralLedger.verify_entry(digest, restored.entry(2), proof)
+
+
+def test_tampered_file_rejected(tmp_path):
+    path = str(tmp_path / "ledger.jsonl")
+    filled().dump(path)
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = handle.readlines()
+    lines[3] = lines[3].replace('"update":2', '"update":999')
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.writelines(lines)
+    with pytest.raises(IntegrityError):
+        CentralLedger.load(path)
+
+
+def test_truncated_file_rejected(tmp_path):
+    path = str(tmp_path / "ledger.jsonl")
+    filled().dump(path)
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = handle.readlines()
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.writelines(lines[:-2])
+    with pytest.raises(IntegrityError):
+        CentralLedger.load(path)
+
+
+def test_reordered_file_rejected(tmp_path):
+    path = str(tmp_path / "ledger.jsonl")
+    filled().dump(path)
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = handle.readlines()
+    lines[1], lines[2] = lines[2], lines[1]
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.writelines(lines)
+    with pytest.raises(IntegrityError):
+        CentralLedger.load(path)
+
+
+def test_empty_file_rejected(tmp_path):
+    path = str(tmp_path / "empty.jsonl")
+    open(path, "w").close()
+    with pytest.raises(IntegrityError):
+        CentralLedger.load(path)
+
+
+def test_empty_ledger_roundtrips(tmp_path):
+    path = str(tmp_path / "ledger.jsonl")
+    CentralLedger(name="fresh").dump(path)
+    restored = CentralLedger.load(path)
+    assert len(restored) == 0
+    assert restored.name == "fresh"
+
+
+def test_reloaded_ledger_keeps_appending(tmp_path):
+    path = str(tmp_path / "ledger.jsonl")
+    original = filled(3)
+    old_digest = original.digest()
+    original.dump(path)
+    restored = CentralLedger.load(path)
+    restored.append({"update": 3, "blob": b"\x03"})
+    proof = restored.prove_consistency(3, 4)
+    assert CentralLedger.verify_extension(old_digest, restored.digest(), proof)

@@ -1,0 +1,338 @@
+"""The PReVer model: participants, updates, constraints, policy, threat."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import ConstraintViolation
+from repro.database.engine import Database
+from repro.database.expr import col, lit, update_field
+from repro.database.schema import ColumnType, TableSchema
+from repro.model.constraints import (
+    AggregateSpec,
+    Comparison,
+    Constraint,
+    ConstraintKind,
+    WindowSpec,
+    lower_bound_regulation,
+    upper_bound_regulation,
+)
+from repro.model.participants import (
+    Authority,
+    DataManager,
+    DataOwner,
+    DataProducer,
+    Role,
+)
+from repro.model.policy import (
+    CONFERENCE_POLICY,
+    CROWDWORKING_POLICY,
+    SUPPLY_CHAIN_POLICY,
+    SUSTAINABILITY_POLICY,
+    PrivacyPolicy,
+    Visibility,
+)
+from repro.model.threat import (
+    AdversaryClass,
+    CollusionStructure,
+    ThreatModel,
+    ThreatModelMismatch,
+    require_tolerates,
+)
+from repro.model.update import Update, UpdateOperation, UpdateStatus
+
+
+def tasks_db(name="db"):
+    db = Database(name)
+    db.create_table(
+        TableSchema.build(
+            "tasks",
+            [("task_id", ColumnType.TEXT), ("worker", ColumnType.TEXT),
+             ("hours", ColumnType.INT), ("at", ColumnType.FLOAT)],
+            primary_key=["task_id"],
+            nullable=["at"],
+        )
+    )
+    return db
+
+
+def insert_task(db, task_id, worker, hours, at=0.0):
+    db.insert("tasks", {"task_id": task_id, "worker": worker,
+                        "hours": hours, "at": at})
+
+
+def make_update(worker, hours, at=0.0):
+    return Update(
+        table="tasks",
+        operation=UpdateOperation.INSERT,
+        payload={"task_id": f"t-{worker}-{hours}-{at}", "worker": worker,
+                 "hours": hours, "at": at},
+    )
+
+
+# -- participants --------------------------------------------------------------
+
+def test_roles():
+    producer = DataProducer("p")
+    assert producer.has_role(Role.DATA_PRODUCER)
+    owner = DataOwner("o", manages_own_data=True)
+    assert owner.has_role(Role.DATA_MANAGER)
+    manager = DataManager("m")
+    assert not manager.trusted
+    authority = Authority("a")
+    assert authority.external
+
+
+def test_participant_signing():
+    producer = DataProducer("p")
+    sig = producer.sign(b"hello")
+    assert producer.verifier().verify(b"hello", sig)
+
+
+def test_participant_without_keys():
+    producer = DataProducer("p", with_keys=False)
+    with pytest.raises(ValueError):
+        producer.sign(b"x")
+
+
+def test_manager_observation_transcript():
+    manager = DataManager("m")
+    manager.observe("ciphertext-1")
+    assert manager.observed == ["ciphertext-1"]
+
+
+# -- updates ------------------------------------------------------------------
+
+def test_update_lifecycle():
+    update = make_update("w", 5)
+    assert update.status is UpdateStatus.PENDING
+    update.mark_verified()
+    assert update.status is UpdateStatus.VERIFIED
+    update.mark_applied()
+    assert update.status is UpdateStatus.APPLIED
+
+
+def test_update_rejection_reason():
+    update = make_update("w", 5)
+    update.mark_rejected("cap exceeded")
+    assert update.status is UpdateStatus.REJECTED
+    assert update.rejection_reason == "cap exceeded"
+
+
+def test_update_signature_covers_body():
+    producer = DataProducer("alice")
+    update = make_update("w", 5).sign_with(producer)
+    assert producer.verifier().verify(update.body_bytes(), update.signature)
+    assert "alice" in update.producers
+    update.payload["hours"] = 99  # tamper
+    assert not producer.verifier().verify(update.body_bytes(), update.signature)
+
+
+# -- constraints ----------------------------------------------------------------
+
+def test_constraint_needs_exactly_one_shape():
+    with pytest.raises(ValueError):
+        Constraint(name="bad", kind=ConstraintKind.INTERNAL)
+    with pytest.raises(ValueError):
+        Constraint(
+            name="bad", kind=ConstraintKind.INTERNAL,
+            predicate=lit(True),
+            aggregate=AggregateSpec(func="COUNT", column=None),
+            comparison=Comparison.LE, bound=1,
+        )
+
+
+def test_aggregate_needs_bound():
+    with pytest.raises(ValueError):
+        Constraint(
+            name="bad", kind=ConstraintKind.INTERNAL,
+            aggregate=AggregateSpec(func="COUNT", column=None),
+        )
+
+
+def test_predicate_constraint_check():
+    db = tasks_db()
+    constraint = Constraint(
+        name="hours-positive", kind=ConstraintKind.INTERNAL,
+        predicate=update_field("hours") > lit(0),
+    )
+    assert constraint.check([db], make_update("w", 5), now=0.0)
+    assert not constraint.check([db], make_update("w", 0), now=0.0)
+
+
+def test_upper_bound_regulation_single_db():
+    db = tasks_db()
+    insert_task(db, "t1", "w", 30)
+    regulation = upper_bound_regulation("cap", "tasks", "hours", 40, ["worker"])
+    assert regulation.check([db], make_update("w", 10), now=0.0)
+    assert not regulation.check([db], make_update("w", 11), now=0.0)
+    assert regulation.check([db], make_update("other", 40), now=0.0)
+
+
+def test_regulation_spans_multiple_databases():
+    db1, db2 = tasks_db("uber"), tasks_db("lyft")
+    insert_task(db1, "t1", "w", 20)
+    insert_task(db2, "t2", "w", 15)
+    regulation = upper_bound_regulation("cap", "tasks", "hours", 40, ["worker"])
+    assert regulation.check([db1, db2], make_update("w", 5), now=0.0)
+    assert not regulation.check([db1, db2], make_update("w", 6), now=0.0)
+
+
+def test_lower_bound_regulation():
+    db = tasks_db()
+    insert_task(db, "t1", "w", 5)
+    regulation = lower_bound_regulation("min", "tasks", "hours", 10, ["worker"])
+    assert regulation.check([db], make_update("w", 5), now=0.0)
+    assert not regulation.check([db], make_update("w", 4), now=0.0)
+
+
+def test_sliding_window():
+    db = tasks_db()
+    insert_task(db, "old", "w", 40, at=0.0)
+    insert_task(db, "recent", "w", 10, at=90.0)
+    window = WindowSpec(time_column="at", length=50.0)
+    regulation = upper_bound_regulation(
+        "cap", "tasks", "hours", 40, ["worker"], window=window
+    )
+    # At t=100 only the recent task (10h) counts: 10+25 <= 40 passes.
+    assert regulation.check([db], make_update("w", 25, at=100.0), now=100.0)
+    # 10+31 > 40 fails.
+    assert not regulation.check([db], make_update("w", 31, at=100.0), now=100.0)
+
+
+def test_count_aggregate():
+    db = tasks_db()
+    insert_task(db, "t1", "w", 1)
+    insert_task(db, "t2", "w", 1)
+    constraint = Constraint(
+        name="max-3-tasks", kind=ConstraintKind.REGULATION,
+        aggregate=AggregateSpec(func="COUNT", column=None,
+                                match_columns=("worker",)),
+        comparison=Comparison.LE, bound=3,
+    )
+    assert constraint.check([db], make_update("w", 1), now=0.0)
+    insert_task(db, "t3", "w", 1)
+    assert not constraint.check([db], make_update("w", 1), now=0.0)
+
+
+def test_aggregate_filter():
+    db = tasks_db()
+    insert_task(db, "t1", "w", 10)
+    insert_task(db, "t2", "w", 30)
+    constraint = Constraint(
+        name="cap-big-tasks", kind=ConstraintKind.INTERNAL,
+        aggregate=AggregateSpec(
+            func="SUM", column="hours",
+            filter=col("hours") >= lit(20),
+            match_columns=("worker",),
+        ),
+        comparison=Comparison.LE, bound=60,
+    )
+    # Only the 30h task counts; update contributes 25 -> 55 <= 60.
+    assert constraint.check([db], make_update("w", 25), now=0.0)
+
+
+def test_enforce_raises():
+    db = tasks_db()
+    insert_task(db, "t1", "w", 40)
+    regulation = upper_bound_regulation("cap", "tasks", "hours", 40, ["worker"])
+    with pytest.raises(ConstraintViolation) as err:
+        regulation.enforce([db], make_update("w", 1), now=0.0)
+    assert err.value.constraint_id == regulation.constraint_id
+
+
+def test_is_linear():
+    agg = upper_bound_regulation("cap", "t", "h", 1, ["w"])
+    assert agg.is_linear()
+    pred = Constraint(
+        name="p", kind=ConstraintKind.INTERNAL,
+        predicate=(col("a") + update_field("b")) <= lit(3),
+    )
+    assert pred.is_linear()
+    nonlinear = Constraint(
+        name="n", kind=ConstraintKind.INTERNAL,
+        predicate=(col("a") * col("b")) <= lit(3),
+    )
+    assert not nonlinear.is_linear()
+
+
+@given(existing=st.integers(0, 60), incoming=st.integers(0, 60))
+@settings(max_examples=40)
+def test_upper_bound_reference_semantics(existing, incoming):
+    db = tasks_db()
+    if existing:
+        insert_task(db, "t1", "w", existing)
+    regulation = upper_bound_regulation("cap", "tasks", "hours", 40, ["worker"])
+    assert regulation.check([db], make_update("w", incoming), now=0.0) == (
+        existing + incoming <= 40
+    )
+
+
+# -- policy & threat --------------------------------------------------------------
+
+def test_policy_matrix_matches_figure_1():
+    assert SUSTAINABILITY_POLICY.constraints is Visibility.PUBLIC
+    assert not SUSTAINABILITY_POLICY.manager_may_see_data
+    assert CONFERENCE_POLICY.manager_may_see_data
+    assert not CONFERENCE_POLICY.manager_may_see_updates
+    assert CROWDWORKING_POLICY.manager_may_see_constraints
+    assert not SUPPLY_CHAIN_POLICY.manager_may_see_constraints
+
+
+def test_policy_describe():
+    assert "data=public" in CONFERENCE_POLICY.describe()
+
+
+def test_adversary_ordering():
+    assert AdversaryClass.HONEST.at_most(AdversaryClass.MALICIOUS)
+    assert not AdversaryClass.MALICIOUS.at_most(AdversaryClass.COVERT)
+
+
+def test_collusion_structure():
+    collusion = CollusionStructure([["a", "b"], ["c", "d"]])
+    assert collusion.may_collude("a", "b")
+    assert not collusion.may_collude("a", "c")
+    assert CollusionStructure.none().is_collusion_free
+    views = collusion.coalition_views({"a": [1], "b": [2], "c": [3]})
+    assert sorted(views[frozenset({"a", "b"})]) == [1, 2]
+
+
+def test_threat_model_presets():
+    hbc = ThreatModel.honest_but_curious_manager()
+    assert hbc.adversary_of(Role.DATA_MANAGER) is AdversaryClass.HONEST_BUT_CURIOUS
+    byz = ThreatModel.byzantine_managers()
+    assert byz.adversary_of(Role.DATA_MANAGER) is AdversaryClass.MALICIOUS
+    covert = ThreatModel.covert_colluding_platforms(["uber", "lyft"])
+    assert not covert.collusion.is_collusion_free
+
+
+def test_require_tolerates_fail_closed():
+    model = ThreatModel.byzantine_managers()
+    with pytest.raises(ThreatModelMismatch):
+        require_tolerates(
+            "weak-engine",
+            {Role.DATA_MANAGER: AdversaryClass.HONEST_BUT_CURIOUS},
+            model,
+        )
+    # strong engine passes
+    require_tolerates(
+        "strong-engine",
+        {Role.DATA_MANAGER: AdversaryClass.MALICIOUS},
+        model,
+    )
+
+
+def test_require_tolerates_collusion():
+    model = ThreatModel.covert_colluding_platforms(["a", "b"])
+    with pytest.raises(ThreatModelMismatch):
+        require_tolerates(
+            "engine",
+            {role: AdversaryClass.MALICIOUS for role in Role},
+            model,
+            tolerates_collusion=False,
+        )
+    require_tolerates(
+        "engine",
+        {role: AdversaryClass.MALICIOUS for role in Role},
+        model,
+        tolerates_collusion=True,
+    )

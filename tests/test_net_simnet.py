@@ -1,0 +1,140 @@
+"""The discrete-event network simulator."""
+
+import pytest
+
+from repro.common.errors import ProtocolError
+from repro.net.simnet import LatencyModel, Message, Node, SimNetwork
+
+
+class Echo(Node):
+    def __init__(self, name):
+        super().__init__(name)
+        self.received = []
+
+    def on_message(self, message):
+        self.received.append(message)
+        if message.kind == "ping":
+            self.send(message.src, "pong", {"n": message.body.get("n", 0)})
+
+
+def pair():
+    net = SimNetwork()
+    a, b = Echo("a"), Echo("b")
+    net.add_node(a)
+    net.add_node(b)
+    return net, a, b
+
+
+def test_send_and_receive():
+    net, a, b = pair()
+    a.send("b", "ping", {"n": 1})
+    net.run()
+    assert [m.kind for m in b.received] == ["ping"]
+    assert [m.kind for m in a.received] == ["pong"]
+
+
+def test_latency_advances_clock():
+    net, a, b = pair()
+    a.send("b", "ping")
+    net.run()
+    assert net.clock.now() > 0
+
+
+def test_deterministic_latency_without_jitter():
+    net = SimNetwork(latency=LatencyModel(base=0.5, jitter=0.0))
+    a, b = Echo("a"), Echo("b")
+    net.add_node(a)
+    net.add_node(b)
+    a.send("b", "ping")
+    net.run()
+    assert abs(net.clock.now() - 1.0) < 1e-9  # ping + pong
+
+
+def test_duplicate_node_rejected():
+    net, a, b = pair()
+    with pytest.raises(ProtocolError):
+        net.add_node(Echo("a"))
+
+
+def test_broadcast_excludes_self_by_default():
+    net = SimNetwork()
+    nodes = [Echo(f"n{i}") for i in range(3)]
+    for node in nodes:
+        net.add_node(node)
+    nodes[0].broadcast("hello")
+    net.run()
+    assert not any(m.kind == "hello" for m in nodes[0].received)
+    assert all(any(m.kind == "hello" for m in n.received) for n in nodes[1:])
+
+
+def test_loss_rate_drops_messages():
+    net = SimNetwork(loss_rate=1.0)
+    a, b = Echo("a"), Echo("b")
+    net.add_node(a)
+    net.add_node(b)
+    a.send("b", "ping")
+    net.run()
+    assert b.received == []
+    assert net.metrics.counter("net.losses").count == 1
+
+
+def test_partition_blocks_cross_group_traffic():
+    net, a, b = pair()
+    net.partition({"a"}, {"b"})
+    a.send("b", "ping")
+    net.run()
+    assert b.received == []
+    net.heal_partition()
+    a.send("b", "ping")
+    net.run()
+    assert len(b.received) == 1
+
+
+def test_timers_fire_in_order():
+    net, a, b = pair()
+    fired = []
+    net.set_timer(2.0, lambda: fired.append("late"))
+    net.set_timer(1.0, lambda: fired.append("early"))
+    net.run()
+    assert fired == ["early", "late"]
+    assert net.clock.now() == 2.0
+
+
+def test_cancelled_timer_does_not_fire_or_advance_clock():
+    net, a, b = pair()
+    fired = []
+    timer = net.set_timer(5.0, lambda: fired.append("x"))
+    net.cancel_timer(timer)
+    a.send("b", "ping")
+    net.run()
+    assert fired == []
+    assert net.clock.now() < 5.0  # cancelled timer didn't stretch time
+
+
+def test_run_until_horizon():
+    net, a, b = pair()
+    net.set_timer(10.0, lambda: None)
+    net.run(until=3.0)
+    assert net.clock.now() == 3.0
+    assert net.pending() == 1
+
+
+def test_max_events_guard():
+    class Looper(Node):
+        def on_message(self, message):
+            self.send(message.src, "loop")
+
+    net = SimNetwork()
+    x, y = Looper("x"), Looper("y")
+    net.add_node(x)
+    net.add_node(y)
+    x.send("y", "loop")
+    processed = net.run(max_events=100)
+    assert processed == 100
+
+
+def test_metrics_count_messages():
+    net, a, b = pair()
+    a.send("b", "ping")
+    net.run()
+    assert net.metrics.counter("net.messages").count == 2  # ping + pong

@@ -1,0 +1,138 @@
+"""Differential privacy: mechanism, accountant, index, DP-Sync."""
+
+import statistics
+
+import pytest
+
+from repro.common.errors import BudgetExhausted, PReVerError
+from repro.privacy.dp import (
+    DPIndex,
+    DPSyncScheduler,
+    LaplaceMechanism,
+    PrivacyAccountant,
+)
+from repro.workloads.streams import bursty_arrivals, poisson_arrivals
+
+
+def test_laplace_noise_is_centered_and_scaled():
+    mechanism = LaplaceMechanism(seed=1)
+    samples = [mechanism.sample(2.0) for _ in range(4000)]
+    assert abs(statistics.fmean(samples)) < 0.2
+    # Laplace(b) has stdev b*sqrt(2) ~= 2.83 for b=2.
+    assert 2.2 < statistics.pstdev(samples) < 3.5
+
+
+def test_noise_scale_grows_as_epsilon_shrinks():
+    mechanism = LaplaceMechanism(seed=2)
+    tight = [abs(mechanism.add_noise(0, 1.0, 10.0)) for _ in range(500)]
+    loose = [abs(mechanism.add_noise(0, 1.0, 0.1)) for _ in range(500)]
+    assert statistics.fmean(loose) > 10 * statistics.fmean(tight)
+
+
+def test_epsilon_must_be_positive():
+    with pytest.raises(PReVerError):
+        LaplaceMechanism().add_noise(0, 1.0, 0)
+
+
+def test_accountant_tracks_and_exhausts():
+    accountant = PrivacyAccountant(1.0)
+    accountant.charge(0.4, "a")
+    accountant.charge(0.6, "b")
+    assert accountant.remaining == pytest.approx(0.0)
+    with pytest.raises(BudgetExhausted):
+        accountant.charge(0.01)
+    assert accountant.charges == [("a", 0.4), ("b", 0.6)]
+
+
+def test_accountant_rejects_nonpositive():
+    accountant = PrivacyAccountant(1.0)
+    with pytest.raises(PReVerError):
+        accountant.charge(0)
+    with pytest.raises(PReVerError):
+        PrivacyAccountant(0)
+
+
+def test_can_afford():
+    accountant = PrivacyAccountant(1.0)
+    assert accountant.can_afford(1.0)
+    accountant.charge(0.5)
+    assert not accountant.can_afford(0.6)
+
+
+def test_dp_index_estimates_range_counts():
+    accountant = PrivacyAccountant(100.0)
+    index = DPIndex(0, 100, 10, accountant, epsilon_per_refresh=5.0)
+    values = [5.0] * 50 + [95.0] * 10
+    index.refresh(values)
+    low = index.estimate_range_count(0, 9)
+    high = index.estimate_range_count(90, 100)
+    assert 40 < low < 60
+    assert 0 <= high < 20
+
+
+def test_dp_index_budget_exhaustion_is_the_paper_failure_mode():
+    accountant = PrivacyAccountant(1.0)
+    index = DPIndex(0, 10, 5, accountant, epsilon_per_refresh=0.5)
+    index.refresh([1.0])
+    index.refresh([1.0])
+    with pytest.raises(BudgetExhausted):
+        index.refresh([1.0])
+    assert index.refreshes == 2
+
+
+def test_dp_index_domain_checks():
+    accountant = PrivacyAccountant(10.0)
+    with pytest.raises(PReVerError):
+        DPIndex(10, 0, 5, accountant, 1.0)
+    index = DPIndex(0, 10, 5, accountant, 1.0)
+    with pytest.raises(PReVerError):
+        index.refresh([11.0])
+    with pytest.raises(PReVerError):
+        index.estimate_range_count(0, 5)  # never refreshed
+
+
+# -- DP-Sync -------------------------------------------------------------------
+
+def test_dpsync_flushes_on_schedule_not_on_arrival():
+    accountant = PrivacyAccountant(100.0)
+    scheduler = DPSyncScheduler(1.0, accountant, epsilon_per_epoch=1.0)
+    for t in [0.05, 0.06, 0.07, 2.5]:
+        scheduler.submit(t)
+    flushes = scheduler.finish(5.0)
+    # Flush times are epoch-aligned regardless of arrivals.
+    assert [f.time for f in flushes] == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+
+def test_dpsync_observable_pattern_hides_bursts():
+    """The manager-visible flush times are identical for a bursty and a
+    quiet stream — timing leakage is gone (sizes are noised)."""
+    def observe(arrivals):
+        accountant = PrivacyAccountant(1000.0)
+        scheduler = DPSyncScheduler(1.0, accountant, epsilon_per_epoch=1.0)
+        for t in arrivals:
+            scheduler.submit(t)
+        scheduler.finish(10.0)
+        return [t for t, _ in scheduler.observable_pattern()]
+
+    bursty = observe(bursty_arrivals(30.0, 0.5, 2.0, 9.0))
+    quiet = observe(poisson_arrivals(0.5, 9.0))
+    assert bursty == quiet
+
+
+def test_dpsync_eventually_emits_all_real_records():
+    accountant = PrivacyAccountant(1000.0)
+    scheduler = DPSyncScheduler(1.0, accountant, epsilon_per_epoch=2.0)
+    arrivals = poisson_arrivals(5.0, 8.0)
+    for t in arrivals:
+        scheduler.submit(t)
+    flushes = scheduler.finish(30.0)
+    emitted = sum(f.real_count for f in flushes)
+    assert emitted == len(arrivals)
+
+
+def test_dpsync_spends_budget_per_epoch():
+    accountant = PrivacyAccountant(3.0)
+    scheduler = DPSyncScheduler(1.0, accountant, epsilon_per_epoch=1.0)
+    with pytest.raises(BudgetExhausted):
+        scheduler.finish(10.0)  # needs 10 epochs, affords 3
+    assert accountant.spent == pytest.approx(3.0)

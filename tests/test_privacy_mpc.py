@@ -1,0 +1,141 @@
+"""MPC: share algebra, circuits, the RC2 protocol, and its privacy."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import ProtocolError
+from repro.privacy.mpc import MPCContext
+
+
+def ctx(parties=3):
+    return MPCContext(parties=parties)
+
+
+def open_bits(context, shared_bits):
+    return sum(
+        context.open(bit) * (1 << i) for i, bit in enumerate(shared_bits.bits)
+    )
+
+
+# -- share algebra ------------------------------------------------------------
+
+def test_share_open_roundtrip():
+    context = ctx()
+    assert context.open(context.share(12345)) == 12345
+
+
+def test_linear_ops():
+    context = ctx()
+    a, b = context.share(10), context.share(4)
+    assert context.open(context.add(a, b)) == 14
+    assert context.open(context.sub(a, b)) == 6
+    assert context.open(context.add_const(a, 5)) == 15
+    assert context.open(context.mul_const(a, 3)) == 30
+
+
+@given(a=st.integers(0, 2**40), b=st.integers(0, 2**40))
+@settings(max_examples=25)
+def test_beaver_multiplication(a, b):
+    context = ctx()
+    product = context.mul(context.share(a), context.share(b))
+    assert context.open(product) == a * b % context.prime
+
+
+def test_boolean_gates():
+    context = ctx()
+    for x in (0, 1):
+        for y in (0, 1):
+            sx, sy = context.share(x), context.share(y)
+            assert context.open(context.bit_and(sx, sy)) == (x & y)
+            assert context.open(context.bit_xor(sx, sy)) == (x ^ y)
+            assert context.open(context.bit_or(sx, sy)) == (x | y)
+        assert context.open(context.bit_not(context.share(x))) == 1 - x
+
+
+# -- circuits --------------------------------------------------------------------
+
+@given(a=st.integers(0, 255), b=st.integers(0, 255))
+@settings(max_examples=15, deadline=None)
+def test_ripple_carry_adder(a, b):
+    context = ctx()
+    total = context.add_bits(context.share_bits(a, 8), context.share_bits(b, 8))
+    assert open_bits(context, total) == a + b
+
+
+def test_sum_bits_many_values():
+    context = MPCContext(parties=4)
+    values = [13, 7, 22, 5]
+    shared = [context.share_bits(v, 6) for v in values]
+    assert open_bits(context, context.sum_bits(shared)) == sum(values)
+
+
+@given(value=st.integers(0, 127), bound=st.integers(0, 127))
+@settings(max_examples=15, deadline=None)
+def test_comparison_circuit(value, bound):
+    context = ctx()
+    gt = context.greater_than_public(context.share_bits(value, 7), bound)
+    assert context.open(gt) == (1 if value > bound else 0)
+
+
+def test_comparison_edge_bounds():
+    context = ctx()
+    bits = context.share_bits(5, 4)
+    assert context.open(context.greater_than_public(bits, 16)) == 0
+    assert context.open(context.greater_than_public(bits, -1)) == 1
+    assert context.open(context.leq_public(bits, 5)) == 1
+    assert context.open(context.leq_public(bits, 4)) == 0
+
+
+def test_share_bits_range_check():
+    with pytest.raises(ProtocolError):
+        ctx().share_bits(16, 4)
+    with pytest.raises(ProtocolError):
+        ctx().share_bits(-1, 4)
+
+
+# -- the federated verification protocol -------------------------------------------
+
+@given(values=st.lists(st.integers(0, 30), min_size=2, max_size=5),
+       bound=st.integers(0, 120))
+@settings(max_examples=15, deadline=None)
+def test_protocol_matches_plaintext_semantics(values, bound):
+    context = MPCContext(parties=len(values))
+    result = context.verify_sum_upper_bound(values, bound, width=8)
+    assert result == (sum(values) <= bound)
+
+
+def test_protocol_input_count_check():
+    with pytest.raises(ProtocolError):
+        MPCContext(parties=3).verify_sum_upper_bound([1, 2], 10, 4)
+
+
+def test_protocol_public_output_is_only_the_decision():
+    """Everything publicly opened beyond the Beaver maskings is the
+    single decision bit — the protocol's entire allowed leakage."""
+    context = MPCContext(parties=3)
+    context.verify_sum_upper_bound([10, 11, 12], 40, width=8)
+    explicit_openings = context.opened_values
+    assert explicit_openings == [1]  # just the decision
+
+
+def test_protocol_cost_scales_with_parties():
+    costs = {}
+    for parties in (2, 4):
+        context = MPCContext(parties=parties)
+        context.verify_sum_upper_bound([1] * parties, 100, width=8)
+        costs[parties] = context.metrics.counter("mpc.messages").total
+    assert costs[4] > costs[2]
+
+
+def test_protocol_cost_scales_with_width():
+    costs = {}
+    for width in (4, 12):
+        context = MPCContext(parties=3)
+        context.verify_sum_upper_bound([1, 1, 1], 100, width=width)
+        costs[width] = context.dealer.triples_dealt
+    assert costs[12] > 2 * costs[4]
+
+
+def test_two_party_minimum():
+    with pytest.raises(ProtocolError):
+        MPCContext(parties=1)

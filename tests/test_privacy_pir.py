@@ -1,0 +1,131 @@
+"""PIR: correctness, privacy of the server views, private writes."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.randomness import deterministic_rng
+from repro.privacy.pir import PaillierPIR, PIRError, TwoServerXorPIR
+
+
+def records(n=16):
+    return [f"record-{i}".encode() for i in range(n)]
+
+
+def test_xor_pir_reads_every_index():
+    pir = TwoServerXorPIR(records(9))
+    for i in range(9):
+        assert pir.read(i).rstrip(b"\0") == f"record-{i}".encode()
+
+
+def test_xor_pir_index_bounds():
+    pir = TwoServerXorPIR(records(4))
+    with pytest.raises(PIRError):
+        pir.read(4)
+
+
+def test_xor_pir_record_too_long():
+    with pytest.raises(PIRError):
+        TwoServerXorPIR([b"x" * 100], record_size=32)
+
+
+def test_xor_pir_single_server_view_is_index_independent():
+    """Each server sees a uniformly random selector; reading index 0 and
+    index 7 produce identically-distributed views.  We check the
+    testable consequence: the selector never equals the plain one-hot
+    vector systematically."""
+    pir = TwoServerXorPIR(records(8), rng=deterministic_rng(3))
+    for i in range(8):
+        pir.read(i)
+    one_hots = 0
+    for kind, selector in pir.server_a.query_log:
+        if sum(selector) == 1:
+            one_hots += 1
+    assert one_hots <= 2  # random subsets are almost never one-hot
+
+
+def test_xor_pir_write_then_read():
+    pir = TwoServerXorPIR(records(8))
+    pir.write(3, b"new-value")
+    assert pir.merge_epoch() == 1
+    assert pir.read(3).rstrip(b"\0") == b"new-value"
+    assert pir.read(2).rstrip(b"\0") == b"record-2"
+    assert pir.verify_servers_consistent()
+
+
+def test_xor_pir_batched_writes_merge_together():
+    pir = TwoServerXorPIR(records(8))
+    pir.write(1, b"a")
+    pir.write(5, b"b")
+    assert pir.merge_epoch() == 2
+    assert pir.read(1).rstrip(b"\0") == b"a"
+    assert pir.read(5).rstrip(b"\0") == b"b"
+
+
+def test_xor_pir_write_share_is_random_looking():
+    """A single server's write buffer view must be non-zero everywhere
+    (fully masked), not a one-hot delta revealing the index."""
+    pir = TwoServerXorPIR(records(8), rng=deterministic_rng(5))
+    pir.write(3, b"x")
+    kind, sizes = pir.server_a.query_log[-1]
+    assert kind == "write"
+    assert len(sizes) == 8  # a full-length vector, no index leak
+
+
+def test_xor_pir_empty_epoch_merge():
+    pir = TwoServerXorPIR(records(4))
+    assert pir.merge_epoch() == 0
+
+
+@given(st.integers(min_value=0, max_value=7),
+       st.binary(min_size=1, max_size=16))
+@settings(max_examples=20, deadline=None)
+def test_xor_pir_write_roundtrip_property(index, value):
+    pir = TwoServerXorPIR(records(8))
+    pir.write(index, value)
+    pir.merge_epoch()
+    assert pir.read(index).rstrip(b"\0") == value.rstrip(b"\0")
+
+
+# -- Paillier cPIR ----------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def ppir():
+    return PaillierPIR([11, 22, 33, 44, 55], key_bits=256)
+
+
+def test_paillier_pir_reads(ppir):
+    for i, expected in enumerate([11, 22, 33, 44, 55]):
+        assert ppir.read(i) == expected
+
+
+def test_paillier_pir_bounds(ppir):
+    with pytest.raises(PIRError):
+        ppir.read(5)
+
+
+def test_paillier_pir_server_cost_linear():
+    small = PaillierPIR(list(range(4)), key_bits=256)
+    small.read(0)
+    large = PaillierPIR(list(range(16)), key_bits=256)
+    large.read(0)
+    assert large.server_ops == 4 * small.server_ops
+
+
+def test_paillier_pir_private_write():
+    pir = PaillierPIR([10, 20, 30], key_bits=256)
+    pir.write_add(1, 5)
+    assert pir.records_snapshot() == [10, 25, 30]
+    pir.write_add(0, -3)
+    assert pir.records_snapshot() == [7, 25, 30]
+
+
+def test_paillier_pir_transcript_records_kinds():
+    pir = PaillierPIR([1, 2], key_bits=256)
+    pir.read(0)
+    pir.write_add(1, 1)
+    assert pir.query_log == ["read", "write"]
+
+
+def test_paillier_pir_rejects_oversized_records():
+    with pytest.raises(PIRError):
+        PaillierPIR([2**600], key_bits=256)

@@ -1,0 +1,96 @@
+"""The blockchain-replicated spend registry: ordered double-spend
+resolution among distrustful platforms."""
+
+import pytest
+
+from repro.privacy.replicated_registry import ReplicatedSpendRegistry
+from repro.privacy.tokens import Token, TokenAuthority, TokenError, TokenWallet
+
+
+@pytest.fixture(scope="module")
+def authority():
+    return TokenAuthority(budget_per_period=20, rsa_bits=512)
+
+
+def fresh_tokens(authority, owner, count, period=1):
+    wallet = TokenWallet(owner, authority.public_key)
+    wallet.request_tokens(authority, period, count)
+    return wallet.take(period, count)
+
+
+def test_simple_spend_settles_accepted(authority):
+    registry = ReplicatedSpendRegistry(authority.public_key)
+    token = fresh_tokens(authority, "anne", 1)[0]
+    tx_id = registry.submit_spend(token, "uber")
+    assert registry.outcome(tx_id) is None  # not yet ordered
+    outcomes = registry.settle()
+    assert outcomes[tx_id] is True
+    assert registry.is_spent(token.serial)
+    assert registry.total_spent() == 1
+
+
+def test_racing_double_spend_exactly_one_wins(authority):
+    """Two platforms deposit the SAME token before consensus runs;
+    ordering decides a single winner, deterministically."""
+    registry = ReplicatedSpendRegistry(authority.public_key)
+    token = fresh_tokens(authority, "bob", 1)[0]
+    tx_uber = registry.submit_spend(token, "uber")
+    tx_lyft = registry.submit_spend(token, "lyft")
+    outcomes = registry.settle()
+    assert sorted([outcomes[tx_uber], outcomes[tx_lyft]]) == [False, True]
+    assert registry.total_spent() == 1
+
+
+def test_replay_after_settlement_rejected(authority):
+    registry = ReplicatedSpendRegistry(authority.public_key)
+    token = fresh_tokens(authority, "carol", 1)[0]
+    first = registry.submit_spend(token, "uber")
+    registry.settle()
+    replay = registry.submit_spend(token, "lyft")
+    outcomes = registry.settle()
+    assert registry.outcome(first) is True
+    assert outcomes[replay] is False
+
+
+def test_forged_signature_rejected_before_ordering(authority):
+    registry = ReplicatedSpendRegistry(authority.public_key)
+    forged = Token(serial="00" * 32, period=1, pseudonym="p", signature=7)
+    with pytest.raises(TokenError):
+        registry.submit_spend(forged, "uber")
+
+
+def test_many_distinct_spends_all_accepted(authority):
+    registry = ReplicatedSpendRegistry(authority.public_key)
+    tokens = fresh_tokens(authority, "dave", 6)
+    tx_ids = [
+        registry.submit_spend(token, f"platform-{i % 3}")
+        for i, token in enumerate(tokens)
+    ]
+    outcomes = registry.settle()
+    assert all(outcomes[tx] for tx in tx_ids)
+    assert registry.total_spent() == 6
+
+
+def test_incremental_settlement(authority):
+    registry = ReplicatedSpendRegistry(authority.public_key)
+    first_batch = fresh_tokens(authority, "erin", 3)
+    for token in first_batch:
+        registry.submit_spend(token, "uber")
+    assert len(registry.settle()) == 3
+    second_batch = fresh_tokens(authority, "erin", 2, period=2)
+    for token in second_batch:
+        registry.submit_spend(token, "lyft")
+    outcomes = registry.settle()
+    assert len(outcomes) == 2  # only the new spends settle this round
+    assert registry.total_spent() == 5
+
+
+def test_any_participant_can_replay_the_chain(authority):
+    registry = ReplicatedSpendRegistry(authority.public_key)
+    tokens = fresh_tokens(authority, "fred", 4)
+    for token in tokens:
+        registry.submit_spend(token, "uber")
+    registry.settle()
+    rebuilt = registry.replay_from_chain()
+    assert rebuilt == {t.serial for t in tokens}
+    assert registry.chain.verify_chain()

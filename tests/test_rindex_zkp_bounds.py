@@ -1,0 +1,183 @@
+"""Range indexes and ZK lower-bound proofs (new substrate)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto import zkp
+from repro.database.rindex import RangeIndex
+from repro.database.schema import ColumnType, TableSchema
+from repro.database.table import Table, TableError
+
+
+def make_table(with_index=True):
+    table = Table(TableSchema.build(
+        "events",
+        [("id", ColumnType.INT), ("at", ColumnType.FLOAT),
+         ("amount", ColumnType.INT)],
+        primary_key=["id"],
+    ))
+    for i, at in enumerate([5.0, 1.0, 9.0, 3.0, 7.0]):
+        table.insert({"id": i, "at": at, "amount": i * 10})
+    if with_index:
+        table.create_range_index("at")
+    return table
+
+
+# -- RangeIndex unit behaviour ------------------------------------------------
+
+def test_range_index_sorted_lookups():
+    index = RangeIndex("x")
+    for value, key in [(5, (1,)), (1, (2,)), (9, (3,)), (5, (4,))]:
+        index.add(value, key)
+    assert index.range_keys(1, 5) == [(2,), (1,), (4,)]
+    assert index.range_keys(low=6) == [(3,)]
+    assert index.range_keys(high=1) == [(2,)]
+    assert index.range_keys() == [(2,), (1,), (4,), (3,)]
+
+
+def test_range_index_exclusive_bounds():
+    index = RangeIndex("x")
+    for value in (1, 2, 3):
+        index.add(value, (value,))
+    assert index.range_keys(1, 3, include_low=False) == [(2,), (3,)]
+    assert index.range_keys(1, 3, include_high=False) == [(1,), (2,)]
+
+
+def test_range_index_remove_and_none_values():
+    index = RangeIndex("x")
+    index.add(5, (1,))
+    index.add(None, (2,))  # ignored
+    assert len(index) == 1
+    index.remove(5, (1,))
+    index.remove(None, (2,))
+    assert index.range_keys() == []
+
+
+def test_range_index_min_max():
+    index = RangeIndex("x")
+    assert index.min_value() is None
+    index.add(3, (1,))
+    index.add(8, (2,))
+    assert (index.min_value(), index.max_value()) == (3, 8)
+
+
+# -- Table integration ---------------------------------------------------------
+
+def test_table_range_lookup():
+    table = make_table()
+    rows = table.range_lookup("at", 2.0, 7.0)
+    assert [r["at"] for r in rows] == [3.0, 5.0, 7.0]
+
+
+def test_range_lookup_requires_index():
+    table = make_table(with_index=False)
+    with pytest.raises(TableError):
+        table.range_lookup("at", 0, 1)
+
+
+def test_range_index_maintained_on_mutations():
+    table = make_table()
+    table.update_row((0,), {"at": 100.0})
+    assert [r["id"] for r in table.range_lookup("at", 99.0, 101.0)] == [0]
+    assert table.range_lookup("at", 4.9, 5.1) == []
+    table.delete((2,))
+    assert table.range_lookup("at", 8.9, 9.1) == []
+
+
+def test_create_range_index_is_idempotent_and_indexes_existing():
+    table = make_table(with_index=False)
+    table.create_range_index("at")
+    table.create_range_index("at")
+    assert len(table.range_lookup("at", 0.0, 10.0)) == 5
+
+
+def test_windowed_regulation_uses_range_index():
+    """Same decisions with and without the index (the index is purely
+    a performance structure)."""
+    from repro.database.engine import Database
+    from repro.model.constraints import WindowSpec, upper_bound_regulation
+    from repro.model.update import Update, UpdateOperation
+
+    def build(indexed):
+        db = Database("d")
+        db.create_table(TableSchema.build(
+            "tasks",
+            [("task_id", ColumnType.TEXT), ("worker", ColumnType.TEXT),
+             ("hours", ColumnType.INT), ("at", ColumnType.FLOAT)],
+            primary_key=["task_id"],
+        ))
+        if indexed:
+            db.table("tasks").create_range_index("at")
+        for i, at in enumerate([10.0, 50.0, 90.0]):
+            db.insert("tasks", {"task_id": f"t{i}", "worker": "w",
+                                "hours": 10, "at": at})
+        return db
+
+    regulation = upper_bound_regulation(
+        "cap", "tasks", "hours", 25, ["worker"],
+        window=WindowSpec(time_column="at", length=60.0),
+    )
+    update = Update(table="tasks", operation=UpdateOperation.INSERT,
+                    payload={"task_id": "new", "worker": "w", "hours": 5,
+                             "at": 100.0})
+    # Window (40, 100]: tasks at 50 and 90 count -> 20 + 5 <= 25 passes.
+    for indexed in (False, True):
+        assert regulation.check([build(indexed)], update, now=100.0)
+    update_big = Update(table="tasks", operation=UpdateOperation.INSERT,
+                        payload={"task_id": "new2", "worker": "w",
+                                 "hours": 6, "at": 100.0})
+    for indexed in (False, True):
+        assert not regulation.check([build(indexed)], update_big, now=100.0)
+
+
+@given(values=st.lists(st.integers(0, 100), max_size=40),
+       low=st.integers(0, 100), high=st.integers(0, 100))
+@settings(max_examples=40)
+def test_range_index_matches_linear_scan(values, low, high):
+    index = RangeIndex("x")
+    for i, value in enumerate(values):
+        index.add(value, (i,))
+    expected = sorted(
+        (v, (i,)) for i, v in enumerate(values) if low <= v <= high
+    )
+    assert index.range_keys(low, high) == [k for _, k in expected]
+
+
+# -- ZK lower bounds --------------------------------------------------------------
+
+def test_lower_bound_proof_accepts_true_statement(committer):
+    commitment, _, proof = zkp.prove_lower_bound(committer, 45, 40, bits=8)
+    assert zkp.verify_lower_bound(committer, commitment, proof)
+
+
+def test_lower_bound_boundary(committer):
+    commitment, _, proof = zkp.prove_lower_bound(committer, 40, 40, bits=8)
+    assert zkp.verify_lower_bound(committer, commitment, proof)
+
+
+def test_lower_bound_refuses_false_statement(committer):
+    from repro.common.errors import IntegrityError
+
+    with pytest.raises(IntegrityError):
+        zkp.prove_lower_bound(committer, 39, 40, bits=8)
+
+
+def test_lower_bound_rejects_swapped_commitment(committer):
+    c1, _, proof1 = zkp.prove_lower_bound(committer, 50, 40, bits=8)
+    c2, _, _ = zkp.prove_lower_bound(committer, 60, 40, bits=8)
+    assert not zkp.verify_lower_bound(committer, c2, proof1)
+
+
+@given(value=st.integers(0, 255), bound=st.integers(0, 255))
+@settings(max_examples=8, deadline=None)
+def test_lower_bound_soundness_property(committer, value, bound):
+    from repro.common.errors import IntegrityError
+
+    if value >= bound:
+        commitment, _, proof = zkp.prove_lower_bound(
+            committer, value, bound, bits=8
+        )
+        assert zkp.verify_lower_bound(committer, commitment, proof)
+    else:
+        with pytest.raises(IntegrityError):
+            zkp.prove_lower_bound(committer, value, bound, bits=8)

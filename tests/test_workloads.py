@@ -1,0 +1,150 @@
+"""YCSB, TPC-C, and arrival-stream generators."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.database.engine import Database
+from repro.workloads.streams import (
+    bursty_arrivals,
+    interarrival_histogram,
+    poisson_arrivals,
+)
+from repro.workloads.tpcc import TPCCWorkload
+from repro.workloads.ycsb import (
+    WORKLOAD_MIXES,
+    YCSBOperation,
+    YCSBWorkload,
+    ZipfianSampler,
+)
+
+
+# -- YCSB -----------------------------------------------------------------------
+
+def test_all_workload_mixes_sum_to_one():
+    for name, mix in WORKLOAD_MIXES.items():
+        assert abs(sum(mix.values()) - 1.0) < 1e-9, name
+
+
+@pytest.mark.parametrize("letter", list(WORKLOAD_MIXES))
+def test_operation_mix_approximately_matches(letter):
+    workload = YCSBWorkload(letter, record_count=100, operation_count=4000)
+    ops = list(workload.operations())
+    assert len(ops) == 4000
+    observed = {}
+    for op in ops:
+        observed[op.op.value] = observed.get(op.op.value, 0) + 1
+    for kind, fraction in WORKLOAD_MIXES[letter].items():
+        share = observed.get(kind, 0) / 4000
+        assert abs(share - fraction) < 0.05, (letter, kind, share)
+
+
+def test_zipfian_skews_toward_low_keys():
+    sampler = ZipfianSampler(1000, theta=0.99, seed=1)
+    samples = [sampler.sample() for _ in range(5000)]
+    top10 = sum(1 for s in samples if s < 10)
+    assert top10 > 1000  # >20% of mass on the hottest 1% of keys
+    assert all(0 <= s < 1100 for s in samples)
+
+
+def test_ycsb_inserts_use_fresh_keys():
+    workload = YCSBWorkload("D", record_count=50, operation_count=2000)
+    inserts = [op for op in workload.operations()
+               if op.op is YCSBOperation.INSERT]
+    keys = [op.key for op in inserts]
+    assert len(set(keys)) == len(keys)
+    assert all(k >= 50 for k in keys)
+
+
+def test_ycsb_scan_lengths_bounded():
+    workload = YCSBWorkload("E", record_count=50, operation_count=500,
+                            max_scan_length=10)
+    for op in workload.operations():
+        if op.op is YCSBOperation.SCAN:
+            assert 1 <= op.scan_length <= 10
+
+
+def test_ycsb_deterministic_under_seed():
+    ops1 = [(o.op, o.key) for o in YCSBWorkload("A", 50, 100, seed=3).operations()]
+    ops2 = [(o.op, o.key) for o in YCSBWorkload("A", 50, 100, seed=3).operations()]
+    assert ops1 == ops2
+
+
+def test_ycsb_unknown_workload():
+    with pytest.raises(ValueError):
+        YCSBWorkload("Z")
+
+
+# -- TPC-C ----------------------------------------------------------------------------
+
+@pytest.fixture()
+def tpcc_db():
+    workload = TPCCWorkload(warehouses=2, districts_per_warehouse=2,
+                            customers_per_district=5, items=50)
+    database = Database("tpcc")
+    workload.load(database)
+    return workload, database
+
+
+def test_tpcc_load_populates_tables(tpcc_db):
+    workload, database = tpcc_db
+    assert len(database.table("warehouse")) == 2
+    assert len(database.table("district")) == 4
+    assert len(database.table("customer")) == 20
+    assert len(database.table("stock")) == 100
+    assert TPCCWorkload.check_consistency(database)
+
+
+def test_tpcc_mix_maintains_consistency(tpcc_db):
+    workload, database = tpcc_db
+    stats = workload.run_mix(database, transactions=400)
+    assert stats.new_orders + stats.payments + stats.rollbacks >= 400 - 1
+    assert TPCCWorkload.check_consistency(database)
+    assert stats.new_orders > 0 and stats.payments > 0
+
+
+def test_tpcc_stock_never_negative_even_with_rollbacks(tpcc_db):
+    workload, database = tpcc_db
+    workload.run_mix(database, transactions=600)
+    assert all(s["s_quantity"] >= 0 for s in database.table("stock").rows())
+
+
+def test_tpcc_orders_get_sequential_ids(tpcc_db):
+    workload, database = tpcc_db
+    workload.run_mix(database, transactions=200)
+    for (w, d), _ in workload_districts(database):
+        ids = sorted(
+            o["o_id"] for o in database.table("orders").rows()
+            if o["o_w_id"] == w and o["o_d_id"] == d
+        )
+        assert ids == list(range(1, len(ids) + 1))
+
+
+def workload_districts(database):
+    for district in database.table("district").rows():
+        yield (district["d_w_id"], district["d_id"]), district
+
+
+# -- streams ------------------------------------------------------------------------------
+
+def test_poisson_rate_approximation():
+    arrivals = poisson_arrivals(rate=20.0, duration=50.0, seed=2)
+    assert 800 < len(arrivals) < 1200
+    assert all(0 <= t < 50.0 for t in arrivals)
+    assert arrivals == sorted(arrivals)
+
+
+def test_poisson_zero_rate():
+    assert poisson_arrivals(0, 10.0) == []
+
+
+def test_bursty_has_silent_gaps():
+    arrivals = bursty_arrivals(burst_rate=50.0, burst_length=1.0,
+                               silence_length=5.0, duration=20.0)
+    gaps = [b - a for a, b in zip(arrivals, arrivals[1:])]
+    assert max(gaps) > 4.0  # the silence shows up
+
+
+def test_interarrival_histogram():
+    histogram = interarrival_histogram([0.0, 1.0, 2.0, 3.0], bins=4)
+    assert sum(histogram) == 3
+    assert interarrival_histogram([1.0], bins=3) == [0, 0, 0]
