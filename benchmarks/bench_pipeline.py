@@ -4,11 +4,21 @@ Measures the full submit() path — authenticate, verify, apply, anchor —
 for the sustainability workload, across the engine menu.  The series to
 observe: plaintext >> enclave > zkp/paillier (crypto dominates), the
 overhead ordering the paper predicts for RC1's technique menu.
+
+Also measures the batched fast path (``submit_many``: constraint
+routing, incremental aggregate cache, one Merkle anchor per batch,
+Paillier offline randomness) against sequential ``submit`` on the same
+update stream, asserting decision/digest equivalence, and writes the
+numbers to ``BENCH_pipeline.json``.  Standalone:
+
+    PYTHONPATH=src python benchmarks/bench_pipeline.py [--smoke]
 """
 
+import argparse
+import gc
 import itertools
-
-import pytest
+import json
+import time
 
 from repro.core.contexts import single_private_database
 from repro.database.engine import Database
@@ -19,6 +29,7 @@ from repro.model.update import Update, UpdateOperation
 from _report import print_table
 
 ENGINES = ["plaintext", "enclave", "paillier", "zkp"]
+BATCH_ENGINES = ["plaintext", "paillier"]
 _ids = itertools.count()
 
 
@@ -33,6 +44,9 @@ def build(engine):
     regulation = upper_bound_regulation(
         "cap", "emissions", "co2", 10**7, ["org"]
     )
+    # Deterministic id so independently built frameworks (sequential vs
+    # batched) anchor byte-identical decision records.
+    regulation.constraint_id = "cst-emissions-cap"
     return single_private_database(db, [regulation], engine=engine)
 
 
@@ -44,42 +58,222 @@ def one_update(framework):
     ))
 
 
-@pytest.mark.parametrize("engine", ENGINES)
-def test_pipeline_update_cost(benchmark, engine):
-    framework = build(engine)
-    benchmark.pedantic(one_update, args=(framework,), rounds=10,
-                       iterations=3, warmup_rounds=1)
-
-
-def test_pipeline_report(benchmark, capsys):
-    """Prints the E1 summary row set (stage timings per engine)."""
-    import time
-
-    rows = []
-
-    def sweep():
-        rows.clear()
-        for engine in ENGINES:
-            framework = build(engine)
-            start = time.perf_counter()
-            n = 20
-            for _ in range(n):
-                one_update(framework)
-            elapsed = time.perf_counter() - start
-            verify_mean = framework.engine.metrics.timer(
-                f"{framework.engine.name}.check"
-            ).mean
-            rows.append([
-                engine,
-                f"{n / elapsed:.0f}/s",
-                f"{verify_mean * 1e3:.3f}ms",
-                f"{framework.acceptance_rate():.2f}",
-            ])
-
-    benchmark.pedantic(sweep, rounds=1, iterations=1)
-    with capsys.disabled():
-        print_table(
-            "E1: Figure-2 pipeline, per-engine",
-            ["engine", "throughput", "verify-mean", "accept-rate"],
-            rows,
+def make_stream(n):
+    """A deterministic update stream (fixed update_ids so sequential
+    and batched frameworks build byte-identical ledgers)."""
+    return [
+        Update(
+            table="emissions", operation=UpdateOperation.INSERT,
+            payload={"id": i, "org": f"org{i % 8}", "co2": 10},
+            update_id=f"upd-{i:07d}",
         )
+        for i in range(n)
+    ]
+
+
+def compare_batched_vs_sequential(engine, n_updates):
+    """Time the same stream through submit() and submit_many().
+
+    Returns a result dict with both throughputs and the speedup, after
+    asserting the two pipelines agreed on every decision and produced
+    the same ledger digest.
+    """
+    seq_fw, bat_fw = build(engine), build(engine)
+    if engine == "paillier":
+        # Offline phase: bank r^n mod n² obfuscators ahead of time.
+        bat_fw.engine.precompute(n_updates)
+
+    # GC hygiene: collect before each timed section and pause the
+    # collector during it, so neither path pays for the garbage the
+    # other produced (the usual timeit/pytest-benchmark discipline).
+    stream = make_stream(n_updates)
+    gc.collect()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        seq_results = [seq_fw.submit(u) for u in stream]
+        seq_elapsed = time.perf_counter() - start
+    finally:
+        gc.enable()
+
+    stream = make_stream(n_updates)
+    gc.collect()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        bat_results = bat_fw.submit_many(stream)
+        bat_elapsed = time.perf_counter() - start
+    finally:
+        gc.enable()
+
+    assert [r.applied for r in seq_results] == [r.applied for r in bat_results]
+    assert seq_fw.ledger.digest().root == bat_fw.ledger.digest().root, \
+        "batched anchoring must reproduce the sequential digest"
+
+    return {
+        "engine": engine,
+        "updates": n_updates,
+        "sequential_seconds": seq_elapsed,
+        "batched_seconds": bat_elapsed,
+        "sequential_per_sec": n_updates / seq_elapsed,
+        "batched_per_sec": n_updates / bat_elapsed,
+        "speedup": seq_elapsed / bat_elapsed,
+        "batched_stage_totals": {
+            stage: stats["total"]
+            for stage, stats in bat_fw.throughput_report()["stages"].items()
+        },
+    }
+
+
+def run_batch_comparison(plaintext_updates=1000, paillier_updates=300,
+                         out_path="BENCH_pipeline.json"):
+    results = []
+    for engine in BATCH_ENGINES:
+        n = plaintext_updates if engine == "plaintext" else paillier_updates
+        results.append(compare_batched_vs_sequential(engine, n))
+    artifact = {
+        "experiment": "E1-batched",
+        "description": "batched (submit_many) vs sequential (submit) "
+                       "Figure-2 pipeline throughput",
+        "results": results,
+    }
+    if out_path:
+        with open(out_path, "w", encoding="utf-8") as handle:
+            json.dump(artifact, handle, indent=2)
+    return artifact
+
+
+def batch_rows(artifact):
+    return [
+        [
+            r["engine"], r["updates"],
+            f"{r['sequential_per_sec']:.0f}/s",
+            f"{r['batched_per_sec']:.0f}/s",
+            f"{r['speedup']:.1f}x",
+        ]
+        for r in artifact["results"]
+    ]
+
+
+try:
+    import pytest
+except ImportError:  # standalone invocation needs no pytest
+    pytest = None
+
+
+if pytest is not None:
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_pipeline_update_cost(benchmark, engine):
+        framework = build(engine)
+        benchmark.pedantic(one_update, args=(framework,), rounds=10,
+                           iterations=3, warmup_rounds=1)
+
+    def test_pipeline_report(benchmark, capsys):
+        """Prints the E1 summary row set (stage timings per engine)."""
+        rows = []
+
+        def sweep():
+            rows.clear()
+            for engine in ENGINES:
+                framework = build(engine)
+                start = time.perf_counter()
+                n = 20
+                for _ in range(n):
+                    one_update(framework)
+                elapsed = time.perf_counter() - start
+                verify_mean = framework.engine.metrics.timer(
+                    f"{framework.engine.name}.check"
+                ).mean
+                rows.append([
+                    engine,
+                    f"{n / elapsed:.0f}/s",
+                    f"{verify_mean * 1e3:.3f}ms",
+                    f"{framework.acceptance_rate():.2f}",
+                ])
+
+        benchmark.pedantic(sweep, rounds=1, iterations=1)
+        with capsys.disabled():
+            print_table(
+                "E1: Figure-2 pipeline, per-engine",
+                ["engine", "throughput", "verify-mean", "accept-rate"],
+                rows,
+            )
+
+    def test_pipeline_batched_report(benchmark, capsys):
+        """E1-batched: submit_many vs submit, plaintext and Paillier.
+
+        Writes BENCH_pipeline.json and asserts the batched plaintext
+        path clears the 5x bar on a 1k-update run.
+        """
+        artifact = {}
+
+        def sweep():
+            artifact.update(run_batch_comparison(
+                plaintext_updates=1000, paillier_updates=300,
+            ))
+
+        benchmark.pedantic(sweep, rounds=1, iterations=1)
+        with capsys.disabled():
+            print_table(
+                "E1-batched: submit_many vs submit",
+                ["engine", "updates", "sequential", "batched", "speedup"],
+                batch_rows(artifact),
+            )
+        by_engine = {r["engine"]: r for r in artifact["results"]}
+        assert by_engine["plaintext"]["speedup"] >= 5.0
+        assert by_engine["paillier"]["speedup"] >= 1.0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="batched vs sequential pipeline throughput"
+    )
+    parser.add_argument("--updates", type=int, default=1000,
+                        help="plaintext-engine stream length")
+    parser.add_argument("--paillier-updates", type=int, default=300,
+                        help="paillier-engine stream length")
+    parser.add_argument("--out", default="BENCH_pipeline.json",
+                        help="artifact path ('' to skip writing)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small streams; assert batched is not slower")
+    args = parser.parse_args(argv)
+    if args.updates <= 0 or args.paillier_updates <= 0:
+        parser.error("stream lengths must be positive")
+
+    if args.smoke:
+        args.updates = min(args.updates, 300)
+        args.paillier_updates = min(args.paillier_updates, 100)
+
+    artifact = run_batch_comparison(
+        plaintext_updates=args.updates,
+        paillier_updates=args.paillier_updates,
+        out_path=args.out,
+    )
+    print_table(
+        "E1-batched: submit_many vs submit",
+        ["engine", "updates", "sequential", "batched", "speedup"],
+        batch_rows(artifact),
+    )
+    if args.out:
+        print(f"\nwrote {args.out}")
+
+    for result in artifact["results"]:
+        if result["speedup"] < 1.0:
+            raise SystemExit(
+                f"batched path slower than sequential for "
+                f"{result['engine']} ({result['speedup']:.2f}x)"
+            )
+    if not args.smoke:
+        plaintext = next(r for r in artifact["results"]
+                         if r["engine"] == "plaintext")
+        if plaintext["speedup"] < 5.0:
+            raise SystemExit(
+                f"plaintext batched speedup {plaintext['speedup']:.2f}x "
+                f"below the 5x bar"
+            )
+    return artifact
+
+
+if __name__ == "__main__":
+    main()

@@ -35,9 +35,11 @@ class Timer:
     def __init__(self, name: str):
         self.name = name
         self.samples: List[float] = []
+        self.total = 0.0
 
     def record(self, seconds: float) -> None:
         self.samples.append(seconds)
+        self.total += seconds
 
     @property
     def mean(self) -> float:
@@ -55,6 +57,7 @@ class Timer:
             "name": self.name,
             "n": len(self.samples),
             "mean": self.mean,
+            "total": self.total,
             "p50": self.percentile(50),
             "p95": self.percentile(95),
             "max": max(self.samples) if self.samples else 0.0,
@@ -92,4 +95,34 @@ class MetricsRegistry:
         return {
             "counters": {n: c.to_dict() for n, c in self._counters.items()},
             "timers": {n: t.to_dict() for n, t in self._timers.items()},
+        }
+
+    def throughput_report(
+        self,
+        updates_counter: str = "pipeline.updates",
+        stage_prefix: str = "pipeline.stage.",
+    ) -> dict:
+        """Summarize the instrumented pipeline: per-stage totals plus
+        end-to-end updates/sec, for batched-vs-sequential comparisons.
+        """
+        updates = self._counters.get(updates_counter)
+        count = updates.count if updates is not None else 0
+        stages = {}
+        total_seconds = 0.0
+        for name, timer in self._timers.items():
+            if not name.startswith(stage_prefix):
+                continue
+            stage = name[len(stage_prefix):]
+            stages[stage] = {
+                "n": len(timer.samples),
+                "mean": timer.mean,
+                "total": timer.total,
+                "p95": timer.percentile(95),
+            }
+            total_seconds += timer.total
+        return {
+            "updates": count,
+            "stages": stages,
+            "total_seconds": total_seconds,
+            "updates_per_sec": (count / total_seconds) if total_seconds else 0.0,
         }

@@ -15,23 +15,33 @@ from repro.common.errors import SerializationError
 _BYTES_TAG = "__bytes_hex__"
 
 
-def _encode(value: Any) -> Any:
-    """Recursively convert a value into JSON-representable primitives."""
-    if isinstance(value, bytes):
-        return {_BYTES_TAG: value.hex()}
+def _assert_string_keys(value: Any) -> None:
+    """Reject non-string dict keys anywhere in the value.
+
+    ``json.dumps`` would silently coerce them (changing the canonical
+    bytes), so they must be caught before encoding.  This walk builds
+    no intermediate objects — the actual encoding happens in one pass
+    inside the C serializer.
+    """
     if isinstance(value, dict):
-        out = {}
         for key, item in value.items():
             if not isinstance(key, str):
                 raise SerializationError(f"non-string dict key: {key!r}")
-            out[key] = _encode(item)
-        return out
-    if isinstance(value, (list, tuple)):
-        return [_encode(item) for item in value]
-    if isinstance(value, (str, int, float, bool)) or value is None:
-        return value
-    if hasattr(value, "to_dict"):
-        return _encode(value.to_dict())
+            if isinstance(item, (dict, list, tuple)):
+                _assert_string_keys(item)
+    elif isinstance(value, (list, tuple)):
+        for item in value:
+            if isinstance(item, (dict, list, tuple)):
+                _assert_string_keys(item)
+
+
+def _json_default(value: Any) -> Any:
+    """Encoder hook for the non-JSON types we support."""
+    if isinstance(value, bytes):
+        return {_BYTES_TAG: value.hex()}
+    to_dict = getattr(value, "to_dict", None)
+    if to_dict is not None:
+        return to_dict()
     raise SerializationError(f"cannot canonically serialize {type(value)!r}")
 
 
@@ -45,9 +55,18 @@ def _decode(value: Any) -> Any:
     return value
 
 
+# One encoder instance for every call: json.dumps() with non-default
+# arguments builds a fresh JSONEncoder per invocation, which is
+# measurable on the ledger-anchoring hot path.
+_ENCODER = json.JSONEncoder(
+    sort_keys=True, separators=(",", ":"), default=_json_default
+)
+
+
 def canonical_json(value: Any) -> str:
     """Serialize ``value`` to a canonical JSON string."""
-    return json.dumps(_encode(value), sort_keys=True, separators=(",", ":"))
+    _assert_string_keys(value)
+    return _ENCODER.encode(value)
 
 
 def canonical_bytes(value: Any) -> bytes:

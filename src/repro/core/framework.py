@@ -12,15 +12,30 @@ databases (one for the single setting, several for the federated one),
 routes applies to the database named in ``update.managers`` (or the
 first database), and appends an attestation record per decision to the
 ledger so any participant can audit the full decision history.
+
+Two submission paths share the same per-update semantics:
+
+* :meth:`PReVer.submit` — one update, anchored immediately;
+* :meth:`PReVer.submit_many` — a batch: constraint checks are routed
+  through a table index and incremental aggregate cache, and the whole
+  batch is anchored with one Merkle extension
+  (:meth:`~repro.ledger.central.CentralLedger.append_batch`), while
+  preserving per-entry sequence numbers, digests and inclusion proofs.
 """
 
+from collections import deque
 from typing import Dict, List, Optional, Sequence
 
 from repro.common.clock import SimClock, WallClock
 from repro.common.errors import IntegrityError, PReVerError
 from repro.common.metrics import MetricsRegistry
 from repro.core.outcome import UpdateResult, VerificationOutcome
+from repro.core.routing import BatchAggregateCache, ConstraintRouter, check_constraint
 from repro.database.engine import Database
+from repro.database.schema import SchemaError
+from repro.database.table import TableError
+from repro.crypto.group import SchnorrGroup
+from repro.crypto.signatures import cached_verifier
 from repro.ledger.central import CentralLedger
 from repro.model.constraints import Constraint, ConstraintKind
 from repro.model.participants import Authority
@@ -42,6 +57,7 @@ class PReVer:
         clock: Optional[SimClock] = None,
         require_signed_updates: bool = False,
         metrics: Optional[MetricsRegistry] = None,
+        max_results: Optional[int] = None,
     ):
         if not databases:
             raise PReVerError("PReVer needs at least one database")
@@ -59,9 +75,24 @@ class PReVer:
         self.metrics = metrics or MetricsRegistry()
         self.constraints: List[Constraint] = []
         self._authorities: Dict[str, Authority] = {}
-        self.results: List[UpdateResult] = []
+        # Retention: unbounded list by default; a deque(maxlen=...) when
+        # capped, so long benchmark runs don't grow memory without bound.
+        if max_results is not None:
+            if max_results <= 0:
+                raise PReVerError("max_results must be positive")
+            self.results = deque(maxlen=max_results)
+        else:
+            self.results = []
+        self._submitted_count = 0
+        self._applied_count = 0
         self._wall = WallClock()
+        # Hot-path metrics objects, resolved once instead of per update.
+        self._ctr_updates = self.metrics.counter("pipeline.updates")
+        self._ctr_accepted = self.metrics.counter("pipeline.accepted")
+        self._ctr_rejected = self.metrics.counter("pipeline.rejected")
+        self._stage_timers: Dict[str, object] = {}
         self._auth_views: Dict[str, object] = {}
+        self._router = ConstraintRouter()
 
     # -- step (0): constraint registration -------------------------------
 
@@ -87,6 +118,19 @@ class PReVer:
             if authority.name not in self._authorities:
                 self._authorities[authority.name] = authority
         self.constraints.append(constraint)
+        self.invalidate_routing()
+
+    def invalidate_routing(self) -> None:
+        """Force a routing-index rebuild (call after mutating
+        ``constraints`` directly, e.g. changing a ``tables`` scope)."""
+        self._router.rebuild(())
+
+    def _routed_constraints(self, table: str) -> List[Constraint]:
+        # ``constraints`` is a public list some callers append to
+        # directly, so re-sync the index whenever the list size moved.
+        if len(self._router) != len(self.constraints):
+            self._router.rebuild(self.constraints)
+        return self._router.route(table)
 
     def verify_constraint_provenance(self, constraint: Constraint) -> bool:
         """Anyone can check a regulation's authority signature."""
@@ -103,65 +147,128 @@ class PReVer:
 
     def submit(self, update: Update) -> UpdateResult:
         """Run one update through the full Figure-2 pipeline."""
+        update, outcome, applied, timings = self._process_one(update)
+        return self._finish(update, outcome, applied=applied, timings=timings)
+
+    def submit_many(self, updates: Sequence[Update]) -> List[UpdateResult]:
+        """Run a batch of updates through the pipeline, anchoring once.
+
+        Decision-equivalent to calling :meth:`submit` per update in
+        order — same accept/reject outcomes, same applied rows, same
+        ledger sequence numbers, digests and inclusion proofs — but
+        with three amortizations: the constraint routing index replaces
+        per-update linear scans, an incremental aggregate cache
+        replaces per-update table re-scans, and the ledger's Merkle
+        tree is extended once per batch instead of once per decision.
+        """
+        updates = list(updates)
+        if not updates:
+            return []
+        engine = self.engine
+        # The framework-level cache backs ``_verify_plaintext``; engines
+        # maintain their own via begin_batch/note_applied, so skip the
+        # duplicate bookkeeping when one is plugged in.
+        cache = BatchAggregateCache(self.databases) if engine is None else None
+        if engine is not None and hasattr(engine, "begin_batch"):
+            engine.begin_batch(len(updates))
+        pending = []
+        try:
+            for update in updates:
+                pending.append(self._process_one(update, batch_cache=cache))
+        finally:
+            if engine is not None and hasattr(engine, "end_batch"):
+                engine.end_batch()
+
+        # Amortized anchoring: one Merkle extension for the whole batch.
+        start = self._wall.now()
+        entries = self.ledger.append_batch(
+            [self._anchor_payload(u, o) for (u, o, _, _) in pending]
+        )
+        anchor_elapsed = self._wall.now() - start
+        self.metrics.timer("pipeline.anchor_batch").record(anchor_elapsed)
+        anchor_share = anchor_elapsed / len(pending)
+
+        results = []
+        for (update, outcome, applied, timings), entry in zip(pending, entries):
+            timings["anchor"] = anchor_share
+            results.append(self._record_result(
+                update, outcome, applied=applied, timings=timings,
+                sequence=entry.sequence,
+            ))
+        return results
+
+    def _process_one(self, update: Update, batch_cache=None):
+        """Authenticate, verify, and apply one update (no anchoring).
+
+        Returns ``(update, outcome, applied, timings)``; the caller
+        anchors — immediately (:meth:`submit`) or per batch
+        (:meth:`submit_many`).
+        """
         timings: Dict[str, float] = {}
         now = self.clock.now()
+        wall = self._wall.now  # chained timestamps: each reading both
+        start = wall()         # ends one stage and starts the next
 
         # (1) provenance: signature check on the incoming update.
-        start = self._wall.now()
         if self.require_signed_updates:
             if update.signature is None or update.signer_public_key is None:
-                return self._reject(update, "unsigned update", timings)
-            from repro.crypto.group import SchnorrGroup
-            from repro.crypto.signatures import SchnorrVerifier
-
-            verifier = SchnorrVerifier(
+                timings["authenticate"] = wall() - start
+                return self._rejected(update, "unsigned update", timings)
+            verifier = cached_verifier(
                 SchnorrGroup.default(), update.signer_public_key
             )
             if not verifier.verify(update.body_bytes(), update.signature):
-                return self._reject(update, "bad signature", timings)
-        timings["authenticate"] = self._wall.now() - start
+                timings["authenticate"] = wall() - start
+                return self._rejected(update, "bad signature", timings)
+        t_auth = wall()
+        timings["authenticate"] = t_auth - start
 
         # (2) verification against constraints/regulations.
-        start = self._wall.now()
         if self.engine is not None:
             outcome = self.engine.verify(update, now)
         else:
-            outcome = self._verify_plaintext(update, now)
-        timings["verify"] = self._wall.now() - start
+            outcome = self._verify_plaintext(update, now, cache=batch_cache)
+        t_verify = wall()
+        timings["verify"] = t_verify - t_auth
         if not outcome.accepted:
             update.mark_rejected(outcome.failed_constraint or "constraint")
-            return self._finish(update, outcome, applied=False, timings=timings)
-        update.mark_verified()
+            return update, outcome, False, timings
 
         # (3) incorporation into the target database.  Apply failures
         # (duplicate key, missing row) reject the update rather than
         # crash the pipeline; the rejection is anchored like any other.
-        start = self._wall.now()
-        from repro.database.schema import SchemaError
-        from repro.database.table import TableError
-
+        update.mark_verified()
         try:
             self._apply(update)
         except (TableError, SchemaError) as exc:
-            timings["apply"] = self._wall.now() - start
+            timings["apply"] = wall() - t_verify
             update.mark_rejected(f"apply failed: {exc}")
             failed = VerificationOutcome(
                 accepted=False, engine=outcome.engine,
                 constraint_ids=outcome.constraint_ids,
                 failed_constraint="apply-failure",
             )
-            return self._finish(update, failed, applied=False,
-                                timings=timings)
+            return update, failed, False, timings
         update.mark_applied()
-        timings["apply"] = self._wall.now() - start
+        timings["apply"] = wall() - t_verify
+        if batch_cache is not None:
+            batch_cache.note_applied(update)
+        if self.engine is not None and hasattr(self.engine, "note_applied"):
+            self.engine.note_applied(update, now)
+        return update, outcome, True, timings
 
-        return self._finish(update, outcome, applied=True, timings=timings)
+    def _rejected(self, update: Update, reason: str, timings):
+        update.mark_rejected(reason)
+        outcome = VerificationOutcome(
+            accepted=False, engine="framework-auth", failed_constraint=reason
+        )
+        return update, outcome, False, timings
 
-    def _verify_plaintext(self, update: Update, now: float) -> VerificationOutcome:
-        for constraint in self.constraints:
-            if constraint.tables and update.table not in constraint.tables:
-                continue
-            if not constraint.check(self.databases, update, now):
+    def _verify_plaintext(self, update: Update, now: float,
+                          cache=None) -> VerificationOutcome:
+        for constraint in self._routed_constraints(update.table):
+            if not check_constraint(constraint, self.databases, update, now,
+                                    cache=cache):
                 return VerificationOutcome(
                     accepted=False,
                     engine="framework-plaintext",
@@ -187,35 +294,44 @@ class PReVer:
                     return database
         return self.databases[0]
 
-    def _reject(self, update: Update, reason: str, timings) -> UpdateResult:
-        update.mark_rejected(reason)
-        outcome = VerificationOutcome(
-            accepted=False, engine="framework-auth", failed_constraint=reason
-        )
-        return self._finish(update, outcome, applied=False, timings=timings)
+    def _anchor_payload(self, update: Update, outcome: VerificationOutcome) -> dict:
+        return {
+            "update_id": update.update_id,
+            "table": update.table,
+            "status": update.status.value,
+            "decision": outcome.to_dict(),
+            "timestamp": self.clock.now(),
+        }
 
     def _finish(self, update: Update, outcome: VerificationOutcome,
                 applied: bool, timings: Dict[str, float]) -> UpdateResult:
         start = self._wall.now()
-        entry = self.ledger.append(
-            {
-                "update_id": update.update_id,
-                "table": update.table,
-                "status": update.status.value,
-                "decision": outcome.to_dict(),
-                "timestamp": self.clock.now(),
-            }
-        )
+        entry = self.ledger.append(self._anchor_payload(update, outcome))
         timings["anchor"] = self._wall.now() - start
-        self.metrics.counter("pipeline.updates").add()
-        self.metrics.counter(
-            "pipeline.accepted" if applied else "pipeline.rejected"
-        ).add()
+        return self._record_result(update, outcome, applied=applied,
+                                   timings=timings, sequence=entry.sequence)
+
+    def _record_result(self, update: Update, outcome: VerificationOutcome,
+                       applied: bool, timings: Dict[str, float],
+                       sequence: int) -> UpdateResult:
+        self._ctr_updates.add()
+        (self._ctr_accepted if applied else self._ctr_rejected).add()
+        timers = self._stage_timers
+        for stage, elapsed in timings.items():
+            timer = timers.get(stage)
+            if timer is None:
+                timer = timers[stage] = self.metrics.timer(
+                    f"pipeline.stage.{stage}"
+                )
+            timer.record(elapsed)
+        self._submitted_count += 1
+        if applied:
+            self._applied_count += 1
         result = UpdateResult(
             update=update,
             outcome=outcome,
             applied=applied,
-            ledger_sequence=entry.sequence,
+            ledger_sequence=sequence,
             stage_timings=timings,
         )
         self.results.append(result)
@@ -263,9 +379,18 @@ class PReVer:
     # -- reporting ---------------------------------------------------------------
 
     def acceptance_rate(self) -> float:
-        if not self.results:
+        """Applied / submitted over the whole run.  Computed from
+        running counters, so it stays correct when ``max_results``
+        evicts old :class:`UpdateResult` records."""
+        if not self._submitted_count:
             return 0.0
-        return sum(1 for r in self.results if r.applied) / len(self.results)
+        return self._applied_count / self._submitted_count
+
+    def throughput_report(self) -> dict:
+        """Per-stage timing summary and end-to-end updates/sec."""
+        return self.metrics.throughput_report(
+            updates_counter="pipeline.updates", stage_prefix="pipeline.stage."
+        )
 
     def decision_history(self) -> List[dict]:
         return [entry.payload for entry in self.ledger.entries()]

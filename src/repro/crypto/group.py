@@ -20,6 +20,7 @@ _DEFAULT_P = int(
     "f9e844c492ec33833e3da2a37d60d4ae233b69d4613449d30c996bb220d133db", 16
 )
 _DEFAULT_Q = (_DEFAULT_P - 1) // 2
+_DEFAULT_GROUP = None
 
 
 @dataclass(frozen=True)
@@ -32,8 +33,15 @@ class SchnorrGroup:
 
     @classmethod
     def default(cls) -> "SchnorrGroup":
-        """The precomputed 256-bit group (fast; fine for a simulator)."""
-        return cls.from_safe_prime(_DEFAULT_P, _DEFAULT_Q)
+        """The precomputed 256-bit group (fast; fine for a simulator).
+
+        Memoized: the hot update-authentication path asks for it once
+        per update, and generator search need not repeat.
+        """
+        global _DEFAULT_GROUP
+        if _DEFAULT_GROUP is None:
+            _DEFAULT_GROUP = cls.from_safe_prime(_DEFAULT_P, _DEFAULT_Q)
+        return _DEFAULT_GROUP
 
     @classmethod
     def from_safe_prime(cls, p: int, q: int) -> "SchnorrGroup":

@@ -9,9 +9,21 @@ supports exactly:
 * ``Enc(a) * Enc(b) = Enc(a + b)``   (ciphertext multiplication)
 * ``Enc(a) ^ k    = Enc(a * k)``     (scalar exponentiation)
 
-Decryption uses the CRT optimization.  Plaintexts are integers modulo
-``n``; negative values are represented in the upper half of the range
-(two's-complement style) and mapped back by :meth:`decrypt_signed`.
+Hot-path precomputation (the pipeline decrypts one aggregate per
+update, so constant factors matter):
+
+* keys cache everything derivable at construction — ``n²``, the
+  Carmichael ``λ`` and classic ``μ``, and the CRT partial inverses
+  ``hp``/``hq`` plus ``q⁻¹ mod p`` — so :meth:`PaillierPrivateKey.decrypt`
+  is two half-size modular exponentiations and no inversions;
+* :meth:`PaillierPublicKey.precompute_randomness` fills a pool of
+  ``r^n mod n²`` obfuscators ahead of time (the classic offline/online
+  split), so the online cost of :meth:`PaillierPublicKey.encrypt`
+  drops to two modular multiplications.
+
+Plaintexts are integers modulo ``n``; negative values are represented
+in the upper half of the range (two's-complement style) and mapped back
+by :meth:`decrypt_signed`.
 """
 
 import math
@@ -20,7 +32,6 @@ from dataclasses import dataclass
 from repro.common.errors import PReVerError
 from repro.common.randomness import SystemRandomSource
 from repro.crypto.numbers import (
-    crt_pair,
     generate_prime,
     lcm,
     modinv,
@@ -40,9 +51,15 @@ class PaillierPublicKey:
 
     n: int
 
+    def __post_init__(self):
+        # Frozen dataclass: stash derived values via object.__setattr__.
+        # Equality/hash stay defined over ``n`` alone.
+        object.__setattr__(self, "_n_sq", self.n * self.n)
+        object.__setattr__(self, "_r_pool", [])
+
     @property
     def n_squared(self) -> int:
-        return self.n * self.n
+        return self._n_sq
 
     @property
     def g(self) -> int:
@@ -52,14 +69,41 @@ class PaillierPublicKey:
     def max_plaintext(self) -> int:
         return self.n - 1
 
+    # -- precomputed-randomness pool (offline phase) ---------------------
+
+    def precompute_randomness(self, count: int, rng=None) -> int:
+        """Generate ``count`` obfuscators ``r^n mod n²`` ahead of time.
+
+        This is the expensive part of encryption; banking it offline
+        makes the online :meth:`encrypt` two multiplications.  Returns
+        the resulting pool size.
+        """
+        rng = rng or SystemRandomSource()
+        n, n_sq = self.n, self._n_sq
+        pool = self._r_pool
+        for _ in range(count):
+            pool.append(pow(random_coprime(n, rng=rng), n, n_sq))
+        return len(pool)
+
+    @property
+    def randomness_pool_size(self) -> int:
+        return len(self._r_pool)
+
+    def _obfuscator(self, rng=None) -> int:
+        """``r^n mod n²`` — pooled when available and no explicit rng
+        was requested (an explicit rng means the caller wants control
+        over the randomness, so the pool is bypassed)."""
+        if rng is None and self._r_pool:
+            return self._r_pool.pop()
+        rng = rng or SystemRandomSource()
+        return pow(random_coprime(self.n, rng=rng), self.n, self._n_sq)
+
     def encrypt(self, plaintext: int, rng=None) -> "PaillierCiphertext":
         """Encrypt an integer in [0, n)."""
         m = plaintext % self.n
-        rng = rng or SystemRandomSource()
-        r = random_coprime(self.n, rng=rng)
-        n_sq = self.n_squared
+        n_sq = self._n_sq
         # (n+1)^m = 1 + n*m (mod n^2), so skip the full modpow.
-        c = ((1 + self.n * m) % n_sq) * pow(r, self.n, n_sq) % n_sq
+        c = ((1 + self.n * m) % n_sq) * self._obfuscator(rng) % n_sq
         return PaillierCiphertext(public_key=self, value=c)
 
     def encrypt_signed(self, plaintext: int, rng=None) -> "PaillierCiphertext":
@@ -80,23 +124,41 @@ class PaillierPrivateKey:
     def __post_init__(self):
         if self.p * self.q != self.public_key.n:
             raise PaillierError("private key does not match public key")
+        n = self.public_key.n
+        g = self.public_key.g
+        p, q = self.p, self.q
+        # Classic-path parameters: λ = lcm(p-1, q-1), μ = L(g^λ mod n²)⁻¹.
+        lam = lcm(p - 1, q - 1)
+        u = pow(g, lam, self.public_key.n_squared)
+        mu = modinv((u - 1) // n, n)
+        object.__setattr__(self, "_lambda", lam)
+        object.__setattr__(self, "_mu", mu)
+        # CRT-path parameters: hp = Lp(g^(p-1) mod p²)⁻¹ mod p (same for
+        # q) and the recombination coefficient q⁻¹ mod p.
+        object.__setattr__(self, "_p_sq", p * p)
+        object.__setattr__(self, "_q_sq", q * q)
+        gp = pow(g, p - 1, p * p)
+        gq = pow(g, q - 1, q * q)
+        object.__setattr__(self, "_hp", modinv((gp - 1) // p, p))
+        object.__setattr__(self, "_hq", modinv((gq - 1) // q, q))
+        object.__setattr__(self, "_q_inv_p", modinv(q, p))
 
-    def decrypt(self, ciphertext: "PaillierCiphertext") -> int:
-        """Decrypt to an integer in [0, n)."""
+    def _check_key(self, ciphertext: "PaillierCiphertext") -> None:
         if ciphertext.public_key.n != self.public_key.n:
             raise PaillierError("ciphertext was encrypted under another key")
-        n = self.public_key.n
-        lam = lcm(self.p - 1, self.q - 1)
-        u = pow(ciphertext.value, lam, self.public_key.n_squared)
-        ell = (u - 1) // n
-        mu = modinv(self._l_g(lam), n)
-        return (ell * mu) % n
 
-    def _l_g(self, lam: int) -> int:
-        """L(g^lambda mod n^2) where L(x) = (x-1)/n."""
+    def decrypt(self, ciphertext: "PaillierCiphertext") -> int:
+        """Decrypt to an integer in [0, n) (CRT fast path)."""
+        self._check_key(ciphertext)
+        return self._decrypt_crt_value(ciphertext.value)
+
+    def decrypt_classic(self, ciphertext: "PaillierCiphertext") -> int:
+        """Textbook decryption via λ/μ (same result as :meth:`decrypt`,
+        one full-size exponentiation; kept as a cross-check)."""
+        self._check_key(ciphertext)
         n = self.public_key.n
-        u = pow(self.public_key.g, lam, self.public_key.n_squared)
-        return (u - 1) // n
+        u = pow(ciphertext.value, self._lambda, self.public_key.n_squared)
+        return ((u - 1) // n) * self._mu % n
 
     def decrypt_signed(self, ciphertext: "PaillierCiphertext") -> int:
         """Decrypt, mapping the upper half of [0, n) to negatives."""
@@ -107,24 +169,17 @@ class PaillierPrivateKey:
         return value
 
     def decrypt_crt(self, ciphertext: "PaillierCiphertext") -> int:
-        """CRT-accelerated decryption (same result as :meth:`decrypt`)."""
-        if ciphertext.public_key.n != self.public_key.n:
-            raise PaillierError("ciphertext was encrypted under another key")
-        n = self.public_key.n
-        c = ciphertext.value
-        p, q = self.p, self.q
-        hp = self._partial(c, p)
-        hq = self._partial(c, q)
-        m = crt_pair(hp, p, hq, q)
-        return m % n
+        """CRT-accelerated decryption (the :meth:`decrypt` fast path)."""
+        self._check_key(ciphertext)
+        return self._decrypt_crt_value(ciphertext.value)
 
-    def _partial(self, c: int, prime: int) -> int:
-        prime_sq = prime * prime
-        u = pow(c, prime - 1, prime_sq)
-        ell = (u - 1) // prime
-        g_u = pow(self.public_key.g, prime - 1, prime_sq)
-        g_ell = (g_u - 1) // prime
-        return (ell * modinv(g_ell, prime)) % prime
+    def _decrypt_crt_value(self, c: int) -> int:
+        p, q = self.p, self.q
+        mp = (pow(c, p - 1, self._p_sq) - 1) // p * self._hp % p
+        mq = (pow(c, q - 1, self._q_sq) - 1) // q * self._hq % q
+        # Recombine: m ≡ mp (mod p), m ≡ mq (mod q).
+        h = self._q_inv_p * (mp - mq) % p
+        return (mq + q * h) % self.public_key.n
 
 
 @dataclass(frozen=True)

@@ -7,6 +7,7 @@ regulations, and ledger digests.  Standard construction:
     verify:  g^s == R * pk^e
 """
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional
 
@@ -76,3 +77,28 @@ class SchnorrVerifier:
 
     def verify_obj(self, obj, signature: SchnorrSignature) -> bool:
         return self.verify(canonical_bytes(obj), signature)
+
+
+# Keyed verifier cache: hot paths (one provenance check per update)
+# were rebuilding a SchnorrVerifier per call.  Verifiers are stateless
+# w.r.t. messages, so one instance per (group, public key) suffices.
+_VERIFIER_CACHE: "OrderedDict[tuple, SchnorrVerifier]" = OrderedDict()
+_VERIFIER_CACHE_MAX = 4096
+
+
+def cached_verifier(group: SchnorrGroup, public_key: int) -> SchnorrVerifier:
+    """A shared :class:`SchnorrVerifier` for ``(group, public_key)``.
+
+    LRU-bounded so long-running services with churning signer sets
+    don't grow memory without bound.
+    """
+    key = (group.p, group.q, group.g, public_key)
+    verifier = _VERIFIER_CACHE.get(key)
+    if verifier is None:
+        verifier = SchnorrVerifier(group, public_key)
+        _VERIFIER_CACHE[key] = verifier
+        if len(_VERIFIER_CACHE) > _VERIFIER_CACHE_MAX:
+            _VERIFIER_CACHE.popitem(last=False)
+    else:
+        _VERIFIER_CACHE.move_to_end(key)
+    return verifier

@@ -25,16 +25,18 @@ class ColumnType(enum.Enum):
     def validate(self, value: Any) -> bool:
         if value is None:
             return True  # nullability is checked separately
-        expected = {
-            ColumnType.INT: int,
-            ColumnType.FLOAT: (int, float),
-            ColumnType.TEXT: str,
-            ColumnType.BOOL: bool,
-            ColumnType.BYTES: bytes,
-        }[self]
         if self is ColumnType.INT and isinstance(value, bool):
             return False  # bool is an int subclass; reject it for INT
-        return isinstance(value, expected)
+        return isinstance(value, _EXPECTED_TYPES[self])
+
+
+_EXPECTED_TYPES = {
+    ColumnType.INT: int,
+    ColumnType.FLOAT: (int, float),
+    ColumnType.TEXT: str,
+    ColumnType.BOOL: bool,
+    ColumnType.BYTES: bytes,
+}
 
 
 @dataclass(frozen=True)
@@ -66,6 +68,18 @@ class TableSchema:
         names = [c.name for c in self.columns]
         if len(set(names)) != len(names):
             raise SchemaError(f"duplicate column names in {self.name!r}")
+        object.__setattr__(self, "_known_columns", frozenset(names))
+        # Flat per-column validation plan so validate_row runs without
+        # per-value method dispatch (hot on every insert/update).
+        object.__setattr__(
+            self,
+            "_validation_plan",
+            tuple(
+                (c.name, _EXPECTED_TYPES[c.type], c.nullable,
+                 c.type is ColumnType.INT, c)
+                for c in self.columns
+            ),
+        )
         for key in self.primary_key:
             if key not in names:
                 raise SchemaError(f"primary key column {key!r} missing")
@@ -109,15 +123,21 @@ class TableSchema:
     def validate_row(self, row: Dict[str, Any]) -> Dict[str, Any]:
         """Check types/nullability; fill missing nullable columns with
         None; reject unknown columns.  Returns a normalized copy."""
-        known = set(self.column_names)
-        unknown = set(row) - known
-        if unknown:
+        known = self._known_columns
+        if len(row) > len(known) or not known.issuperset(row):
+            unknown = set(row) - known
             raise SchemaError(f"unknown columns {sorted(unknown)} for {self.name!r}")
         normalized = {}
-        for column in self.columns:
-            value = row.get(column.name)
-            column.check(value)
-            normalized[column.name] = value
+        for name, expected, nullable, is_int, column in self._validation_plan:
+            value = row.get(name)
+            if value is None:
+                if not nullable:
+                    raise SchemaError(f"column {name!r} is not nullable")
+            elif not isinstance(value, expected) or (
+                is_int and isinstance(value, bool)
+            ):
+                column.check(value)  # raises with the standard message
+            normalized[name] = value
         return normalized
 
     def key_of(self, row: Dict[str, Any]) -> Tuple:

@@ -14,7 +14,7 @@ it (see :mod:`repro.ledger.audit` and the tamper tests).
 """
 
 from dataclasses import dataclass
-from typing import Any, List, Optional
+from typing import Any, Iterable, List, Optional, Sequence
 
 from repro.common.errors import IntegrityError
 from repro.common.serialization import (
@@ -69,6 +69,23 @@ class CentralLedger:
         self._entries.append(entry)
         self._tree.append(entry.leaf_bytes())
         return entry
+
+    def append_batch(self, payloads: Sequence[Any]) -> List[LedgerEntry]:
+        """Append many payloads under one amortized Merkle extension.
+
+        Entries get the same consecutive sequence numbers (and hence
+        the same leaf bytes, digests, inclusion and consistency proofs)
+        as if each payload had been :meth:`append`-ed individually —
+        the tree is simply extended in bulk instead of leaf-by-leaf.
+        """
+        start = len(self._entries)
+        entries = [
+            LedgerEntry(sequence=start + offset, payload=payload)
+            for offset, payload in enumerate(payloads)
+        ]
+        self._entries.extend(entries)
+        self._tree.extend(entry.leaf_bytes() for entry in entries)
+        return entries
 
     def entry(self, sequence: int) -> LedgerEntry:
         try:

@@ -42,13 +42,17 @@ class Comparison(enum.Enum):
     EQ = "=="
 
     def apply(self, left: float, right: float) -> bool:
-        return {
-            Comparison.LE: left <= right,
-            Comparison.GE: left >= right,
-            Comparison.LT: left < right,
-            Comparison.GT: left > right,
-            Comparison.EQ: left == right,
-        }[self]
+        # Branch directly: this runs once per constraint per update on
+        # the hot verification path.
+        if self is Comparison.LE:
+            return left <= right
+        if self is Comparison.GE:
+            return left >= right
+        if self is Comparison.LT:
+            return left < right
+        if self is Comparison.GT:
+            return left > right
+        return left == right
 
 
 @dataclass(frozen=True)
