@@ -25,6 +25,7 @@ from repro.database.engine import Database
 from repro.database.schema import ColumnType, TableSchema
 from repro.model.constraints import upper_bound_regulation
 from repro.model.update import Update, UpdateOperation
+from repro.obs.export import metrics_to_json
 
 from _report import print_table
 
@@ -122,6 +123,10 @@ def compare_batched_vs_sequential(engine, n_updates):
             stage: stats["total"]
             for stage, stats in bat_fw.throughput_report()["stages"].items()
         },
+        # Stable, versioned exporter schema (repro.obs.export): the
+        # batched framework's full counter/timer telemetry, sorted so
+        # consecutive artifacts diff cleanly.
+        "batched_metrics": metrics_to_json(bat_fw.metrics),
     }
 
 
@@ -235,6 +240,9 @@ def main(argv=None):
                         help="paillier-engine stream length")
     parser.add_argument("--out", default="BENCH_pipeline.json",
                         help="artifact path ('' to skip writing)")
+    parser.add_argument("--metrics-out", default="",
+                        help="also write the batched plaintext run's "
+                             "metrics in the repro.obs.export JSON schema")
     parser.add_argument("--smoke", action="store_true",
                         help="small streams; assert batched is not slower")
     args = parser.parse_args(argv)
@@ -257,6 +265,13 @@ def main(argv=None):
     )
     if args.out:
         print(f"\nwrote {args.out}")
+    if args.metrics_out:
+        by_engine = {r["engine"]: r["batched_metrics"]
+                     for r in artifact["results"]}
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            json.dump(by_engine, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.metrics_out}")
 
     for result in artifact["results"]:
         if result["speedup"] < 1.0:

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Tracing demo: follow one rejected update end-to-end.
+
+Attaches a recording :class:`~repro.obs.tracing.Tracer` with a JSONL
+:class:`~repro.obs.events.EventLog` sink to a Paillier-engine PReVer
+instance, submits a batch where the last update blows the per-org cap,
+then prints the rejected update's span tree (validate → verify → apply
+→ anchor), shows how its trace ID appears in the anchored ledger entry
+and the auditor's spot checks, and dumps the whole event log as JSONL.
+
+Run:  PYTHONPATH=src python examples/tracing_demo.py [--out trace.jsonl]
+"""
+
+import argparse
+
+from repro import (
+    ColumnType,
+    Database,
+    EventLog,
+    LedgerAuditor,
+    TableSchema,
+    Tracer,
+    Update,
+    UpdateOperation,
+    single_private_database,
+    to_prometheus,
+    upper_bound_regulation,
+)
+
+
+def build_traced_framework(tracer):
+    schema = TableSchema.build(
+        "emissions",
+        [("id", ColumnType.INT), ("org", ColumnType.TEXT),
+         ("co2", ColumnType.INT)],
+        primary_key=["id"],
+    )
+    database = Database("cloud-manager")
+    database.create_table(schema)
+    cap = upper_bound_regulation(
+        "iso-cap", "emissions", "co2", bound=100, match_columns=["org"]
+    )
+    return single_private_database(
+        database, [cap], engine="paillier", tracer=tracer
+    )
+
+
+def span_tree(spans):
+    """Render a trace's spans as an indented tree, children in order."""
+    by_parent = {}
+    for span in spans:
+        by_parent.setdefault(span.parent_id, []).append(span)
+    lines = []
+
+    def walk(parent_id, depth):
+        for span in by_parent.get(parent_id, []):
+            lines.append(
+                f"{'  ' * depth}{span.name:<10} "
+                f"status={span.status:<8} "
+                f"dur={span.duration * 1e3:.3f}ms "
+                f"{span.attributes}"
+            )
+            walk(span.span_id, depth + 1)
+
+    walk(None, 0)
+    return "\n".join(lines)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description="traced PReVer pipeline")
+    parser.add_argument("--out", default="trace_demo.jsonl",
+                        help="JSONL event-log path ('' to skip writing)")
+    args = parser.parse_args(argv)
+
+    tracer = Tracer()
+    log = EventLog()
+    tracer.add_sink(log)
+    prever = build_traced_framework(tracer)
+
+    # Batch: 60 + 30 fit under the cap of 100; 40 blows it.
+    updates = [
+        Update(table="emissions", operation=UpdateOperation.INSERT,
+               payload={"id": i, "org": "acme", "co2": co2})
+        for i, co2 in enumerate([60, 30, 40])
+    ]
+    results = prever.submit_many(updates)
+
+    print("== decisions ==")
+    for result in results:
+        print(f"  {result.update.update_id}: "
+              f"{'applied' if result.applied else 'REJECTED':<8} "
+              f"trace={result.trace_id} seq={result.ledger_sequence}")
+
+    rejected = next(r for r in results if not r.applied)
+    print(f"\n== span tree for rejected update {rejected.update.update_id} ==")
+    print(span_tree(tracer.traces()[rejected.trace_id]))
+
+    entry = prever.ledger.entry(rejected.ledger_sequence)
+    print("\n== anchored ledger entry correlates by trace_id ==")
+    print(f"  sequence={entry.sequence} trace_id={entry.payload['trace_id']} "
+          f"status={entry.payload['status']}")
+
+    auditor = LedgerAuditor("regulator", tracer=tracer)
+    auditor.audit(prever.ledger, spot_check=len(results))
+    checks = log.events("audit.entry_check")
+    print(f"\n== auditor spot checks ({len(checks)}) ==")
+    for check in checks:
+        print(f"  seq={check['sequence']} ok={check['ok']} "
+              f"trace_id={check['trace_id']}")
+
+    print(f"\n== event log: {len(log)} records, kinds={log.kinds()} ==")
+    for event in log.for_trace(rejected.trace_id):
+        print(f"  {event['kind']:<18} seq={event['seq']}")
+
+    print("\n== Prometheus exposition (first lines) ==")
+    print("\n".join(to_prometheus(prever.metrics).splitlines()[:8]))
+
+    if args.out:
+        count = log.write(args.out)
+        print(f"\nwrote {count} events to {args.out}")
+
+
+if __name__ == "__main__":
+    main()

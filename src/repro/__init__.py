@@ -65,6 +65,13 @@ from repro.core.separ import SeparSystem
 from repro.ledger.central import CentralLedger
 from repro.ledger.audit import LedgerAuditor
 from repro.model.dsl import parse_constraint, parse_regulation
+from repro.obs import (
+    EventLog,
+    NOOP_TRACER,
+    Tracer,
+    metrics_to_json,
+    to_prometheus,
+)
 
 __version__ = "1.0.0"
 
@@ -102,5 +109,10 @@ __all__ = [
     "LedgerAuditor",
     "parse_constraint",
     "parse_regulation",
+    "EventLog",
+    "NOOP_TRACER",
+    "Tracer",
+    "metrics_to_json",
+    "to_prometheus",
     "__version__",
 ]

@@ -1,14 +1,19 @@
 """A small metrics registry.
 
 Benchmarks and protocol simulations record counters (messages sent,
-bytes on the wire, constraint checks) and timers.  The registry is
-explicit — components receive one rather than writing to a global — so
-parallel experiments never interfere.
+bytes on the wire, constraint checks), timers, and histograms.  The
+registry is explicit — components receive one rather than writing to a
+global — so parallel experiments never interfere.
+
+Snapshots are emitted with sorted keys so JSON artifacts written from
+two runs of the same experiment diff cleanly (see
+:mod:`repro.obs.export` for the Prometheus/JSON exporters).
 """
 
+import math
 import statistics
 from contextlib import contextmanager
-from typing import Dict, List
+from typing import Dict, List, Optional, Sequence
 
 from repro.common.clock import WallClock
 
@@ -46,11 +51,14 @@ class Timer:
         return statistics.fmean(self.samples) if self.samples else 0.0
 
     def percentile(self, pct: float) -> float:
+        """Nearest-rank percentile: the smallest sample such that at
+        least ``pct`` percent of samples are <= it (so p50 of
+        ``[1, 2, 3, 4]`` is 2, not 3)."""
         if not self.samples:
             return 0.0
         ordered = sorted(self.samples)
-        index = min(len(ordered) - 1, int(pct / 100.0 * len(ordered)))
-        return ordered[index]
+        rank = math.ceil(pct / 100.0 * len(ordered))
+        return ordered[min(len(ordered) - 1, max(0, rank - 1))]
 
     def to_dict(self) -> dict:
         return {
@@ -64,13 +72,70 @@ class Timer:
         }
 
 
+class Histogram:
+    """Cumulative-bucket histogram (Prometheus semantics).
+
+    Each bucket counts observations ``<= upper_bound``; an implicit
+    ``+inf`` bucket catches the rest, so ``counts[-1] == count``.
+    Default buckets suit sub-second latencies in seconds.
+    """
+
+    DEFAULT_BUCKETS = (
+        0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+        0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+    )
+
+    def __init__(self, name: str, buckets: Optional[Sequence[float]] = None):
+        self.name = name
+        bounds = tuple(sorted(buckets if buckets is not None
+                              else self.DEFAULT_BUCKETS))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.bounds = bounds
+        # One slot per finite bound plus the +inf overflow slot.
+        self._bucket_counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self._bucket_counts[i] += 1
+                return
+        self._bucket_counts[-1] += 1
+
+    def cumulative_buckets(self) -> List[tuple]:
+        """``[(upper_bound, cumulative_count), ...]`` ending at +inf."""
+        out = []
+        running = 0
+        for bound, n in zip(self.bounds, self._bucket_counts):
+            running += n
+            out.append((bound, running))
+        out.append((float("inf"), self.count))
+        return out
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "count": self.count,
+            "total": self.total,
+            "buckets": [
+                {"le": bound, "count": n}
+                for bound, n in self.cumulative_buckets()
+            ],
+        }
+
+
 class MetricsRegistry:
-    """Holds named counters and timers for one experiment run."""
+    """Holds named counters, timers, and histograms for one run."""
 
     def __init__(self, clock=None):
         self._clock = clock or WallClock()
         self._counters: Dict[str, Counter] = {}
         self._timers: Dict[str, Timer] = {}
+        self._histograms: Dict[str, Histogram] = {}
 
     def counter(self, name: str) -> Counter:
         if name not in self._counters:
@@ -82,6 +147,19 @@ class MetricsRegistry:
             self._timers[name] = Timer(name)
         return self._timers[name]
 
+    def histogram(self, name: str,
+                  buckets: Optional[Sequence[float]] = None) -> Histogram:
+        if name not in self._histograms:
+            self._histograms[name] = Histogram(name, buckets)
+        return self._histograms[name]
+
+    def counter_value(self, name: str) -> int:
+        """Current count for ``name`` without creating the counter —
+        the read-side accessor for reporting code, so reads never
+        pollute snapshots with zero-valued entries."""
+        counter = self._counters.get(name)
+        return counter.count if counter is not None else 0
+
     @contextmanager
     def timed(self, name: str):
         """Context manager recording wall time into ``timer(name)``."""
@@ -92,9 +170,15 @@ class MetricsRegistry:
             self.timer(name).record(self._clock.now() - start)
 
     def snapshot(self) -> dict:
+        # Sorted keys: snapshots feed JSON artifacts that should diff
+        # cleanly run-to-run regardless of registration order.
         return {
-            "counters": {n: c.to_dict() for n, c in self._counters.items()},
-            "timers": {n: t.to_dict() for n, t in self._timers.items()},
+            "counters": {n: self._counters[n].to_dict()
+                         for n in sorted(self._counters)},
+            "timers": {n: self._timers[n].to_dict()
+                       for n in sorted(self._timers)},
+            "histograms": {n: self._histograms[n].to_dict()
+                           for n in sorted(self._histograms)},
         }
 
     def throughput_report(
@@ -109,7 +193,8 @@ class MetricsRegistry:
         count = updates.count if updates is not None else 0
         stages = {}
         total_seconds = 0.0
-        for name, timer in self._timers.items():
+        for name in sorted(self._timers):
+            timer = self._timers[name]
             if not name.startswith(stage_prefix):
                 continue
             stage = name[len(stage_prefix):]

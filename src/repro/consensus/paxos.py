@@ -176,15 +176,21 @@ class PaxosCluster:
             self.nodes.append(node)
         self._results: List[ConsensusResult] = []
         self._by_value: Dict[str, ConsensusResult] = {}
+        self._request_spans: Dict[str, Any] = {}
         self.leader = self.nodes[0]
         self.leader.start_election(ballot=1)
         self.network.run()
 
     def _record_decide(self, slot: int, value: Any) -> None:
-        result = self._by_value.get(_value_key(value))
+        key = _value_key(value)
+        result = self._by_value.get(key)
         if result is not None and result.decided_at is None:
             result.sequence = slot
             result.decided_at = self.network.clock.now()
+        span = self._request_spans.pop(key, None)
+        if span is not None:
+            span.set_attribute("slot", slot)
+            span.end(self.network.clock.now())
 
     def submit(self, value: Any) -> ConsensusResult:
         result = ConsensusResult(
@@ -192,6 +198,14 @@ class PaxosCluster:
         )
         self._results.append(result)
         self._by_value[_value_key(value)] = result
+        tracer = self.network.tracer
+        if tracer.enabled:
+            # One span per decree: client request until first decide.
+            self._request_spans[_value_key(value)] = tracer.start_trace(
+                "paxos.request",
+                start_time=self.network.clock.now(),
+                attributes={"leader": self.leader.name},
+            )
         self.leader.client_request(value)
         return result
 
@@ -200,8 +214,20 @@ class PaxosCluster:
         for node in self.nodes:
             node.is_leader = False
         self.leader = self.nodes[index]
+        tracer = self.network.tracer
+        span = None
+        if tracer.enabled:
+            span = tracer.start_trace(
+                "paxos.election",
+                start_time=self.network.clock.now(),
+                attributes={"leader": self.leader.name},
+            )
         self.leader.start_election(ballot=self.leader.promised_ballot + 1)
         self.network.run()
+        if span is not None:
+            span.set_attribute("ballot", self.leader.ballot)
+            span.set_attribute("won", self.leader.is_leader)
+            span.end(self.network.clock.now())
 
     def crash(self, index: int) -> None:
         self.nodes[index].crashed = True
@@ -216,7 +242,7 @@ class PaxosCluster:
         return compute_stats(
             self._results,
             sim_duration=self.network.clock.now(),
-            messages=self.network.metrics.counter("net.messages").count,
+            messages=self.network.message_count,
         )
 
 

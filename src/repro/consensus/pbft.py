@@ -187,6 +187,16 @@ class PBFTNode(Node):
         if self.crashed or digest not in self._pending_requests:
             return
         new_view = self.view + 1
+        tracer = self.network.tracer
+        if tracer.enabled:
+            tracer.event(
+                "pbft.view_change",
+                timestamp=self.now(),
+                node=self.name,
+                view=self.view,
+                new_view=new_view,
+                request_digest=digest[:16],
+            )
         certificates = self._prepared_certificates()
         for peer in self.peers:
             self.send(peer, "view_change", {
@@ -232,6 +242,15 @@ class PBFTNode(Node):
         if message.src != self.peers[new_view % self.n] or new_view <= self.view:
             return
         self.view = new_view
+        tracer = self.network.tracer
+        if tracer.enabled:
+            tracer.event(
+                "pbft.new_view",
+                timestamp=self.now(),
+                node=self.name,
+                view=new_view,
+                primary=self.primary_name,
+            )
         self.prepared = {s for s in self.prepared if self.log.get(s) is not None}
         if self.is_primary and not self.crashed:
             certs = self._view_change_certs.get(new_view, {})
@@ -293,6 +312,7 @@ class PBFTCluster:
         self._results: List[ConsensusResult] = []
         self._by_digest: Dict[str, ConsensusResult] = {}
         self._decide_counts: Dict[int, Set[int]] = {}
+        self._request_spans: Dict[str, Any] = {}
 
     def _make_recorder(self, node_index: int):
         def record(seq: int, value: Any) -> None:
@@ -301,10 +321,15 @@ class PBFTCluster:
             voters = self._decide_counts.setdefault(seq, set())
             voters.add(node_index)
             if len(voters) == self.f + 1:
-                result = self._by_digest.get(_digest(value))
+                digest = _digest(value)
+                result = self._by_digest.get(digest)
                 if result is not None and result.decided_at is None:
                     result.sequence = seq
                     result.decided_at = self.network.clock.now()
+                span = self._request_spans.pop(digest, None)
+                if span is not None:
+                    span.set_attribute("seq", seq)
+                    span.end(self.network.clock.now())
         return record
 
     def submit(self, value: Any) -> ConsensusResult:
@@ -312,7 +337,18 @@ class PBFTCluster:
             value=value, sequence=-1, submitted_at=self.network.clock.now()
         )
         self._results.append(result)
-        self._by_digest[_digest(value)] = result
+        digest = _digest(value)
+        self._by_digest[digest] = result
+        tracer = self.network.tracer
+        if tracer.enabled:
+            # One span per decree, open from client submission until
+            # f+1 replicas executed; view changes show up as events on
+            # the same simulated timeline.
+            self._request_spans[digest] = tracer.start_trace(
+                "pbft.request",
+                start_time=self.network.clock.now(),
+                attributes={"digest": digest[:16], "n": self.n, "f": self.f},
+            )
         # The client broadcasts to all replicas (standard PBFT: request
         # goes to the primary, but replicas need it to detect primary
         # failure; broadcasting models that without a separate relay).
@@ -333,5 +369,5 @@ class PBFTCluster:
         return compute_stats(
             self._results,
             sim_duration=self.network.clock.now(),
-            messages=self.network.metrics.counter("net.messages").count,
+            messages=self.network.message_count,
         )

@@ -51,6 +51,7 @@ def single_private_database(
     policy: Optional[PrivacyPolicy] = None,
     dp_epsilon_total: float = 5.0,
     dp_epsilon_per_refresh: float = 0.25,
+    tracer=None,
 ) -> PReVer:
     """RC1 context: outsourced single database, untrusted manager."""
     constraints = list(constraints)
@@ -77,6 +78,7 @@ def single_private_database(
         engine=verifier,
         policy=policy or SUSTAINABILITY_POLICY,
         threat_model=ThreatModel.honest_but_curious_manager(),
+        tracer=tracer,
     )
     for constraint in constraints:
         if constraint.kind.value == "internal":

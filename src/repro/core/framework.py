@@ -38,6 +38,7 @@ from repro.crypto.group import SchnorrGroup
 from repro.crypto.signatures import cached_verifier
 from repro.ledger.central import CentralLedger
 from repro.model.constraints import Constraint, ConstraintKind
+from repro.obs.tracing import NOOP_TRACER, Span, Tracer
 from repro.model.participants import Authority
 from repro.model.policy import PrivacyPolicy, Visibility
 from repro.model.threat import ThreatModel
@@ -58,6 +59,7 @@ class PReVer:
         require_signed_updates: bool = False,
         metrics: Optional[MetricsRegistry] = None,
         max_results: Optional[int] = None,
+        tracer: Optional[Tracer] = None,
     ):
         if not databases:
             raise PReVerError("PReVer needs at least one database")
@@ -93,6 +95,16 @@ class PReVer:
         self._stage_timers: Dict[str, object] = {}
         self._auth_views: Dict[str, object] = {}
         self._router = ConstraintRouter()
+        # Tracing: the no-op tracer keeps the hot path branch-cheap;
+        # when a recording tracer is attached, bind it into the layers
+        # below so engine crypto and Merkle extension spans nest under
+        # the per-update trace.
+        self.tracer = tracer or NOOP_TRACER
+        if self.tracer.enabled:
+            if hasattr(self.ledger, "bind_tracer"):
+                self.ledger.bind_tracer(self.tracer)
+            if engine is not None and hasattr(engine, "bind_tracer"):
+                engine.bind_tracer(self.tracer)
 
     # -- step (0): constraint registration -------------------------------
 
@@ -147,8 +159,10 @@ class PReVer:
 
     def submit(self, update: Update) -> UpdateResult:
         """Run one update through the full Figure-2 pipeline."""
-        update, outcome, applied, timings = self._process_one(update)
-        return self._finish(update, outcome, applied=applied, timings=timings)
+        trace = self._start_update_trace(update) if self.tracer.enabled else None
+        update, outcome, applied, timings = self._process_one(update, trace=trace)
+        return self._finish(update, outcome, applied=applied, timings=timings,
+                            trace=trace)
 
     def submit_many(self, updates: Sequence[Update]) -> List[UpdateResult]:
         """Run a batch of updates through the pipeline, anchoring once.
@@ -165,6 +179,7 @@ class PReVer:
         if not updates:
             return []
         engine = self.engine
+        tracing = self.tracer.enabled
         # The framework-level cache backs ``_verify_plaintext``; engines
         # maintain their own via begin_batch/note_applied, so skip the
         # duplicate bookkeeping when one is plugged in.
@@ -172,9 +187,14 @@ class PReVer:
         if engine is not None and hasattr(engine, "begin_batch"):
             engine.begin_batch(len(updates))
         pending = []
+        traces: List[Optional[Span]] = []
         try:
             for update in updates:
-                pending.append(self._process_one(update, batch_cache=cache))
+                trace = self._start_update_trace(update) if tracing else None
+                traces.append(trace)
+                pending.append(
+                    self._process_one(update, batch_cache=cache, trace=trace)
+                )
         finally:
             if engine is not None and hasattr(engine, "end_batch"):
                 engine.end_batch()
@@ -182,27 +202,42 @@ class PReVer:
         # Amortized anchoring: one Merkle extension for the whole batch.
         start = self._wall.now()
         entries = self.ledger.append_batch(
-            [self._anchor_payload(u, o) for (u, o, _, _) in pending]
+            [self._anchor_payload(u, o, trace=t)
+             for (u, o, _, _), t in zip(pending, traces)]
         )
-        anchor_elapsed = self._wall.now() - start
+        anchor_end = self._wall.now()
+        anchor_elapsed = anchor_end - start
         self.metrics.timer("pipeline.anchor_batch").record(anchor_elapsed)
         anchor_share = anchor_elapsed / len(pending)
+        batch_digest = self.ledger.digest() if tracing else None
 
         results = []
-        for (update, outcome, applied, timings), entry in zip(pending, entries):
+        for (update, outcome, applied, timings), trace, entry in zip(
+            pending, traces, entries
+        ):
             timings["anchor"] = anchor_share
+            if trace is not None:
+                self._close_anchor_span(
+                    trace, update, entry, batch_digest,
+                    start=start, end=anchor_end, applied=applied, batched=True,
+                )
             results.append(self._record_result(
                 update, outcome, applied=applied, timings=timings,
                 sequence=entry.sequence,
+                trace_id=trace.trace_id if trace is not None else None,
             ))
         return results
 
-    def _process_one(self, update: Update, batch_cache=None):
+    def _process_one(self, update: Update, batch_cache=None,
+                     trace: Optional[Span] = None):
         """Authenticate, verify, and apply one update (no anchoring).
 
         Returns ``(update, outcome, applied, timings)``; the caller
         anchors — immediately (:meth:`submit`) or per batch
-        (:meth:`submit_many`).
+        (:meth:`submit_many`).  When ``trace`` is set, each stage gets
+        a child span (stages not reached end with status ``skipped``)
+        using the wall readings the stage timers already take, so
+        tracing adds no clock reads to the hot path.
         """
         timings: Dict[str, float] = {}
         now = self.clock.now()
@@ -210,28 +245,62 @@ class PReVer:
         start = wall()         # ends one stage and starts the next
 
         # (1) provenance: signature check on the incoming update.
+        auth_failure = None
         if self.require_signed_updates:
             if update.signature is None or update.signer_public_key is None:
-                timings["authenticate"] = wall() - start
-                return self._rejected(update, "unsigned update", timings)
-            verifier = cached_verifier(
-                SchnorrGroup.default(), update.signer_public_key
-            )
-            if not verifier.verify(update.body_bytes(), update.signature):
-                timings["authenticate"] = wall() - start
-                return self._rejected(update, "bad signature", timings)
+                auth_failure = "unsigned update"
+            else:
+                verifier = cached_verifier(
+                    SchnorrGroup.default(), update.signer_public_key
+                )
+                if not verifier.verify(update.body_bytes(), update.signature):
+                    auth_failure = "bad signature"
         t_auth = wall()
         timings["authenticate"] = t_auth - start
+        if trace is not None:
+            vspan = trace.child("validate", start_time=start)
+            if auth_failure is not None:
+                vspan.set_status("error").set_attribute("reason", auth_failure)
+            vspan.end(t_auth)
+        if auth_failure is not None:
+            if trace is not None:
+                self._skip_spans(trace, ("verify", "apply"), at=t_auth)
+            return self._rejected(update, auth_failure, timings)
 
         # (2) verification against constraints/regulations.
+        verify_span = None
+        if trace is not None:
+            verify_span = trace.child("verify", start_time=t_auth)
+            if self.engine is not None and hasattr(self.engine, "bind_span"):
+                # Engine crypto spans (Paillier encrypt/decrypt) nest here.
+                self.engine.bind_span(verify_span)
         if self.engine is not None:
             outcome = self.engine.verify(update, now)
         else:
             outcome = self._verify_plaintext(update, now, cache=batch_cache)
         t_verify = wall()
         timings["verify"] = t_verify - t_auth
+        if verify_span is not None:
+            verify_span.set_attribute("engine", outcome.engine)
+            if not outcome.accepted:
+                verify_span.set_status("error")
+                verify_span.set_attribute(
+                    "failed_constraint", outcome.failed_constraint
+                )
+            verify_span.end(t_verify)
+            self.tracer.event(
+                "constraint_verdict",
+                timestamp=t_verify,
+                trace_id=trace.trace_id,
+                update_id=update.update_id,
+                accepted=outcome.accepted,
+                constraint_ids=list(outcome.constraint_ids),
+                failed_constraint=outcome.failed_constraint,
+            )
         if not outcome.accepted:
             update.mark_rejected(outcome.failed_constraint or "constraint")
+            if trace is not None:
+                self._skip_spans(trace, ("apply",), at=t_verify)
             return update, outcome, False, timings
 
         # (3) incorporation into the target database.  Apply failures
@@ -241,7 +310,13 @@ class PReVer:
         try:
             self._apply(update)
         except (TableError, SchemaError) as exc:
-            timings["apply"] = wall() - t_verify
+            t_apply = wall()
+            timings["apply"] = t_apply - t_verify
+            if trace is not None:
+                trace.child("apply", start_time=t_verify) \
+                    .set_status("error") \
+                    .set_attribute("reason", str(exc)) \
+                    .end(t_apply)
             update.mark_rejected(f"apply failed: {exc}")
             failed = VerificationOutcome(
                 accepted=False, engine=outcome.engine,
@@ -250,12 +325,53 @@ class PReVer:
             )
             return update, failed, False, timings
         update.mark_applied()
-        timings["apply"] = wall() - t_verify
+        t_apply = wall()
+        timings["apply"] = t_apply - t_verify
+        if trace is not None:
+            trace.child("apply", start_time=t_verify).end(t_apply)
         if batch_cache is not None:
             batch_cache.note_applied(update)
         if self.engine is not None and hasattr(self.engine, "note_applied"):
             self.engine.note_applied(update, now)
         return update, outcome, True, timings
+
+    def _start_update_trace(self, update: Update) -> Span:
+        return self.tracer.start_trace(
+            "update",
+            start_time=self._wall.now(),
+            attributes={
+                "update_id": update.update_id,
+                "table": update.table,
+                "operation": update.operation.value,
+            },
+        )
+
+    def _skip_spans(self, trace: Span, names, at: float) -> None:
+        """Record unreached stages so every trace shows the full
+        validate → verify → apply → anchor shape."""
+        for name in names:
+            trace.child(name, start_time=at).set_status("skipped").end(at)
+
+    def _close_anchor_span(self, trace: Span, update: Update, entry,
+                           digest, start: float, end: float,
+                           applied: bool, batched: bool) -> None:
+        span = trace.child("anchor", start_time=start)
+        span.set_attribute("sequence", entry.sequence)
+        if batched:
+            span.set_attribute("batched", True)
+        span.end(end)
+        self.tracer.event(
+            "ledger_anchor",
+            timestamp=end,
+            trace_id=trace.trace_id,
+            update_id=update.update_id,
+            sequence=entry.sequence,
+            digest=digest.root.hex(),
+            ledger_size=digest.size,
+        )
+        trace.set_attribute("applied", applied)
+        trace.set_status("ok" if applied else "error")
+        trace.end(end)
 
     def _rejected(self, update: Update, reason: str, timings):
         update.mark_rejected(reason)
@@ -294,26 +410,46 @@ class PReVer:
                     return database
         return self.databases[0]
 
-    def _anchor_payload(self, update: Update, outcome: VerificationOutcome) -> dict:
-        return {
+    def _anchor_payload(self, update: Update, outcome: VerificationOutcome,
+                        trace: Optional[Span] = None) -> dict:
+        payload = {
             "update_id": update.update_id,
             "table": update.table,
             "status": update.status.value,
             "decision": outcome.to_dict(),
             "timestamp": self.clock.now(),
         }
+        # Only traced runs stamp the trace ID into the anchored record
+        # (it correlates ledger/audit entries with the event log); the
+        # untraced payload stays byte-identical to untraced runs, so
+        # digest-equivalence checks across configurations still hold.
+        if trace is not None:
+            payload["trace_id"] = trace.trace_id
+        return payload
 
     def _finish(self, update: Update, outcome: VerificationOutcome,
-                applied: bool, timings: Dict[str, float]) -> UpdateResult:
+                applied: bool, timings: Dict[str, float],
+                trace: Optional[Span] = None) -> UpdateResult:
         start = self._wall.now()
-        entry = self.ledger.append(self._anchor_payload(update, outcome))
-        timings["anchor"] = self._wall.now() - start
-        return self._record_result(update, outcome, applied=applied,
-                                   timings=timings, sequence=entry.sequence)
+        entry = self.ledger.append(self._anchor_payload(update, outcome,
+                                                        trace=trace))
+        anchor_end = self._wall.now()
+        timings["anchor"] = anchor_end - start
+        if trace is not None:
+            self._close_anchor_span(
+                trace, update, entry, self.ledger.digest(),
+                start=start, end=anchor_end, applied=applied, batched=False,
+            )
+        return self._record_result(
+            update, outcome, applied=applied, timings=timings,
+            sequence=entry.sequence,
+            trace_id=trace.trace_id if trace is not None else None,
+        )
 
     def _record_result(self, update: Update, outcome: VerificationOutcome,
                        applied: bool, timings: Dict[str, float],
-                       sequence: int) -> UpdateResult:
+                       sequence: int,
+                       trace_id: Optional[str] = None) -> UpdateResult:
         self._ctr_updates.add()
         (self._ctr_accepted if applied else self._ctr_rejected).add()
         timers = self._stage_timers
@@ -327,12 +463,21 @@ class PReVer:
         self._submitted_count += 1
         if applied:
             self._applied_count += 1
+        if trace_id is not None and not applied:
+            self.tracer.event(
+                "rejection",
+                trace_id=trace_id,
+                update_id=update.update_id,
+                reason=update.rejection_reason,
+                failed_constraint=outcome.failed_constraint,
+            )
         result = UpdateResult(
             update=update,
             outcome=outcome,
             applied=applied,
             ledger_sequence=sequence,
             stage_timings=timings,
+            trace_id=trace_id,
         )
         self.results.append(result)
         return result

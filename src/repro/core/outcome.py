@@ -34,6 +34,7 @@ class UpdateResult:
     applied: bool
     ledger_sequence: Optional[int] = None
     stage_timings: Dict[str, float] = field(default_factory=dict)
+    trace_id: Optional[str] = None
 
     @property
     def accepted(self) -> bool:

@@ -38,6 +38,7 @@ from repro.crypto.paillier import PaillierKeyPair, generate_paillier_keypair
 from repro.crypto import zkp
 from repro.model.constraints import Comparison, Constraint
 from repro.model.update import Update
+from repro.obs.tracing import NOOP_TRACER
 from repro.privacy import leakage as lk
 from repro.privacy.dp import DPIndex
 from repro.privacy.enclave import TrustedEnclaveSimulator
@@ -61,6 +62,18 @@ class BaseVerifier:
         self._router = ConstraintRouter(self.constraints)
         self._constraint_ids = [c.constraint_id for c in self.constraints]
         self._verifications = self.metrics.counter(f"{self.name}.verifications")
+        # Tracing hooks: the framework binds its tracer once and, per
+        # traced update, the "verify" span so engine crypto spans nest
+        # under it.  With the default no-op tracer both are free.
+        self.tracer = NOOP_TRACER
+        self._parent_span = None
+
+    def bind_tracer(self, tracer) -> None:
+        self.tracer = tracer
+
+    def bind_span(self, span) -> None:
+        """Parent span for crypto sub-spans of the current update."""
+        self._parent_span = span
 
     def _observe(self, item) -> None:
         """Record something the untrusted manager gets to see."""
@@ -215,7 +228,14 @@ class PaillierVerifier(BaseVerifier):
 
     def _check_one(self, constraint: Constraint, update: Update) -> bool:
         group = self._group_key(constraint, update)
-        ciphertext, _ = self._encrypt_contribution(constraint, update)
+        tracing = self.tracer.enabled
+        if tracing:
+            with self.tracer.span("paillier.encrypt",
+                                  parent=self._parent_span,
+                                  constraint=constraint.constraint_id):
+                ciphertext, _ = self._encrypt_contribution(constraint, update)
+        else:
+            ciphertext, _ = self._encrypt_contribution(constraint, update)
         # Manager side: homomorphic aggregation over ciphertexts.
         aggregates = self._cipher_aggregates[constraint.constraint_id]
         current = aggregates.get(group)
@@ -224,7 +244,13 @@ class PaillierVerifier(BaseVerifier):
         self._observe(("ciphertext", proposed.value))
         self.metrics.counter("paillier.homomorphic_ops").add()
         # Owner side: decrypt the proposed aggregate, compare, answer.
-        plaintext = self.keypair.private_key.decrypt_signed(proposed)
+        if tracing:
+            with self.tracer.span("paillier.decrypt",
+                                  parent=self._parent_span,
+                                  constraint=constraint.constraint_id):
+                plaintext = self.keypair.private_key.decrypt_signed(proposed)
+        else:
+            plaintext = self.keypair.private_key.decrypt_signed(proposed)
         accepted = constraint.comparison.apply(
             plaintext / self.scale, float(constraint.bound)
         )

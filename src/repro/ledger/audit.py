@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.ledger.central import CentralLedger, LedgerDigest
+from repro.obs.tracing import NOOP_TRACER
 
 
 class AuditOutcome(enum.Enum):
@@ -39,10 +40,11 @@ class AuditReport:
 class LedgerAuditor:
     """A participant that periodically verifies a ledger's integrity."""
 
-    def __init__(self, name: str = "auditor"):
+    def __init__(self, name: str = "auditor", tracer=None):
         self.name = name
         self.trusted_digest: Optional[LedgerDigest] = None
         self.audit_count = 0
+        self.tracer = tracer or NOOP_TRACER
 
     def audit(
         self,
@@ -52,6 +54,13 @@ class LedgerAuditor:
     ) -> AuditReport:
         """One audit round against a possibly-malicious ledger holder."""
         self.audit_count += 1
+        span = None
+        if self.tracer.enabled:
+            span = self.tracer.start_trace(
+                "audit.round",
+                attributes={"auditor": self.name, "ledger": ledger.name,
+                            "round": self.audit_count},
+            )
         new_digest = ledger.digest()
         failures: List[str] = []
         checked: List[int] = []
@@ -76,10 +85,23 @@ class LedgerAuditor:
             for index in indices:
                 entry = ledger.entry(index)
                 proof = ledger.prove_inclusion(index, new_digest.size)
-                if not CentralLedger.verify_entry(new_digest, entry, proof):
+                ok = CentralLedger.verify_entry(new_digest, entry, proof)
+                if not ok:
                     failures.append(f"inclusion failed for entry {index}")
                     outcome = AuditOutcome.TAMPERED
                 checked.append(index)
+                if span is not None:
+                    # Anchored pipeline decisions carry the update's
+                    # trace_id, so spot checks correlate with the
+                    # pipeline's event log entry for the same update.
+                    payload = entry.payload if isinstance(entry.payload, dict) else {}
+                    self.tracer.event(
+                        "audit.entry_check",
+                        trace_id=payload.get("trace_id"),
+                        auditor=self.name,
+                        sequence=index,
+                        ok=ok,
+                    )
 
         report = AuditReport(
             outcome=outcome,
@@ -90,6 +112,13 @@ class LedgerAuditor:
         )
         if report.ok:
             self.trusted_digest = new_digest
+        if span is not None:
+            span.set_attribute("outcome", outcome.value)
+            span.set_attribute("checked_entries", len(checked))
+            if failures:
+                span.set_status("error")
+                span.set_attribute("failures", list(failures))
+            span.end()
         return report
 
     def cross_check(self, other: "LedgerAuditor", ledger: CentralLedger) -> bool:

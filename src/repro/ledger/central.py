@@ -29,6 +29,7 @@ from repro.crypto.merkle import (
     verify_consistency,
     verify_inclusion,
 )
+from repro.obs.tracing import NOOP_TRACER
 
 
 @dataclass(frozen=True)
@@ -56,10 +57,16 @@ class LedgerDigest:
 class CentralLedger:
     """Append-only journal with Merkle anchoring."""
 
-    def __init__(self, name: str = "ledger"):
+    def __init__(self, name: str = "ledger", tracer=None):
         self.name = name
         self._entries: List[LedgerEntry] = []
         self._tree = MerkleTree()
+        self._tracer = tracer or NOOP_TRACER
+
+    def bind_tracer(self, tracer) -> None:
+        """Attach a tracer after construction (the framework does this
+        so Merkle-extension spans appear in pipeline traces)."""
+        self._tracer = tracer
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -84,7 +91,12 @@ class CentralLedger:
             for offset, payload in enumerate(payloads)
         ]
         self._entries.extend(entries)
-        self._tree.extend(entry.leaf_bytes() for entry in entries)
+        if self._tracer.enabled:
+            with self._tracer.span("merkle.extend", ledger=self.name,
+                                   leaves=len(entries), start=start):
+                self._tree.extend(entry.leaf_bytes() for entry in entries)
+        else:
+            self._tree.extend(entry.leaf_bytes() for entry in entries)
         return entries
 
     def entry(self, sequence: int) -> LedgerEntry:

@@ -17,6 +17,7 @@ from repro.common.clock import SimClock
 from repro.common.errors import ProtocolError
 from repro.common.metrics import MetricsRegistry
 from repro.common.randomness import deterministic_rng
+from repro.obs.tracing import NOOP_TRACER
 
 
 @dataclass(frozen=True)
@@ -84,11 +85,16 @@ class SimNetwork:
         seed: int = 11,
         metrics: Optional[MetricsRegistry] = None,
         per_message_cost: float = 0.0,
+        tracer=None,
     ):
         self.clock = SimClock()
         self.latency = latency or LatencyModel()
         self.loss_rate = loss_rate
         self.metrics = metrics or MetricsRegistry()
+        # Message hops/drops become tracer events (timestamped on the
+        # simulated clock); protocols on this network reuse the same
+        # tracer for their round and view-change spans.
+        self.tracer = tracer or NOOP_TRACER
         # Seconds of node compute consumed per handled message.  Zero
         # models infinitely fast nodes (protocol-logic experiments);
         # a positive value caps per-node throughput, which is what
@@ -137,17 +143,40 @@ class SimNetwork:
     # -- sending -----------------------------------------------------------
 
     def send(self, message: Message) -> None:
+        tracing = self.tracer.enabled
         self.metrics.counter("net.messages").add()
         self.metrics.counter("net.bytes").add(_approx_size(message))
         if self._blocked(message.src, message.dst):
             self.metrics.counter("net.partition_drops").add()
+            if tracing:
+                self._hop_event("net.drop", message, reason="partition")
             return
         if self.loss_rate > 0 and self._rng.randbelow(10_000) < self.loss_rate * 10_000:
             self.metrics.counter("net.losses").add()
+            if tracing:
+                self._hop_event("net.drop", message, reason="loss")
             return
-        deliver_at = self.clock.now() + self.latency.sample()
+        latency = self.latency.sample()
+        deliver_at = self.clock.now() + latency
+        if tracing:
+            self._hop_event("net.hop", message, latency=latency,
+                            deliver_at=deliver_at)
         heapq.heappush(
             self._queue, (deliver_at, next(self._sequence), ("msg", message))
+        )
+
+    def _hop_event(self, kind: str, message: Message, **extra) -> None:
+        # Protocol payloads that carry a trace_id (e.g. pipeline
+        # updates replicated through consensus) stay correlated with
+        # their pipeline trace across the wire.
+        self.tracer.event(
+            kind,
+            timestamp=self.clock.now(),
+            src=message.src,
+            dst=message.dst,
+            msg_kind=message.kind,
+            trace_id=message.body.get("trace_id"),
+            **extra,
         )
 
     def broadcast(
@@ -218,6 +247,28 @@ class SimNetwork:
 
     def pending(self) -> int:
         return len(self._queue)
+
+    # -- telemetry accessors ----------------------------------------------
+    #
+    # Reporting code (consensus ClusterStats, benchmarks) should read
+    # through these instead of reaching into ``network.metrics``.
+
+    @property
+    def message_count(self) -> int:
+        return self.metrics.counter_value("net.messages")
+
+    def telemetry(self) -> Dict[str, float]:
+        """The ``net.*`` counters as a sorted flat dict: ``messages``
+        and ``partition_drops``/``losses`` report counts; ``bytes``
+        reports the summed wire size."""
+        snapshot = self.metrics.snapshot()["counters"]
+        out: Dict[str, float] = {}
+        for name in sorted(snapshot):
+            if not name.startswith("net."):
+                continue
+            counter = snapshot[name]
+            out[name] = counter["total"] if name == "net.bytes" else counter["count"]
+        return out
 
 
 def _approx_size(message: Message) -> int:

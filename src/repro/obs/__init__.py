@@ -1,0 +1,38 @@
+"""Observability: tracing, structured events, and metric exporters.
+
+The pipeline (``repro.core.framework``), the simulated network, both
+consensus protocols, the ledger, and the crypto hot paths all accept a
+:class:`~repro.obs.tracing.Tracer`.  The default is the shared no-op
+tracer :data:`NOOP_TRACER`, which costs one attribute check on the hot
+path, so instrumented code runs at full speed unless a recording tracer
+is attached.
+
+* :mod:`repro.obs.tracing` — trace/span IDs (deterministic, counter
+  based), nested spans with attributes/events/status;
+* :mod:`repro.obs.events` — a structured JSONL event log that doubles
+  as a span sink, correlating spans, constraint verdicts, rejections,
+  and ledger anchors by ``trace_id``;
+* :mod:`repro.obs.export` — Prometheus text format and a stable JSON
+  schema for :class:`~repro.common.metrics.MetricsRegistry`.
+"""
+
+from repro.obs.events import EventLog
+from repro.obs.export import (
+    METRICS_SCHEMA_VERSION,
+    metrics_to_json,
+    to_prometheus,
+    write_metrics_json,
+)
+from repro.obs.tracing import NOOP_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "EventLog",
+    "METRICS_SCHEMA_VERSION",
+    "NOOP_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "metrics_to_json",
+    "to_prometheus",
+    "write_metrics_json",
+]

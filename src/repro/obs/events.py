@@ -1,0 +1,128 @@
+"""Structured JSONL event log — the pipeline's flight recorder.
+
+Every record is one JSON object per line with a monotonically
+increasing ``seq``, a ``kind``, a ``timestamp``, and kind-specific
+fields.  The log doubles as a :class:`~repro.obs.tracing.Tracer` sink:
+span opens/closes become ``span_open``/``span_close`` records, and
+freestanding tracer events (constraint verdicts, rejections, ledger
+anchors, network hops) keep their own kinds.  All records that belong
+to an update carry its ``trace_id``, which also appears in the
+corresponding :class:`~repro.ledger.central.CentralLedger` anchor
+payload, so a grep for one trace ID yields the update's full story:
+pipeline stages, the constraint verdict, and the anchored decision.
+"""
+
+import json
+import itertools
+from typing import Any, Dict, Iterable, List, Optional
+
+
+class EventLog:
+    """An in-memory, JSONL-serializable structured event log."""
+
+    def __init__(self):
+        self._events: List[dict] = []
+        self._seq = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    # -- recording --------------------------------------------------------
+
+    def emit(self, kind: str, timestamp: float = 0.0, **fields) -> dict:
+        record = {"seq": next(self._seq), "kind": kind,
+                  "timestamp": timestamp}
+        record.update(fields)
+        self._events.append(record)
+        return record
+
+    # -- tracer sink interface --------------------------------------------
+
+    def span_open(self, span) -> None:
+        self.emit(
+            "span_open",
+            timestamp=span.start_time,
+            trace_id=span.trace_id,
+            span_id=span.span_id,
+            parent_id=span.parent_id,
+            name=span.name,
+            attributes=dict(span.attributes),
+        )
+
+    def span_close(self, span) -> None:
+        self.emit(
+            "span_close",
+            timestamp=span.end_time,
+            trace_id=span.trace_id,
+            span_id=span.span_id,
+            parent_id=span.parent_id,
+            name=span.name,
+            status=span.status,
+            duration=span.duration,
+            attributes=dict(span.attributes),
+            events=list(span.events),
+        )
+
+    def event(self, name: str, attributes: Dict[str, Any],
+              timestamp: float) -> None:
+        self.emit(name, timestamp=timestamp, **attributes)
+
+    # -- queries ----------------------------------------------------------
+
+    def events(self, kind: Optional[str] = None) -> List[dict]:
+        if kind is None:
+            return list(self._events)
+        return [e for e in self._events if e["kind"] == kind]
+
+    def kinds(self) -> List[str]:
+        return sorted({e["kind"] for e in self._events})
+
+    def for_trace(self, trace_id: str) -> List[dict]:
+        return [e for e in self._events if e.get("trace_id") == trace_id]
+
+    def trace_ids(self) -> List[str]:
+        """Distinct trace IDs in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for event in self._events:
+            trace_id = event.get("trace_id")
+            if trace_id is not None:
+                seen.setdefault(trace_id, None)
+        return list(seen)
+
+    # -- (de)serialization -------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        return "\n".join(
+            json.dumps(e, sort_keys=True, default=_jsonify)
+            for e in self._events
+        )
+
+    def write(self, path: str) -> int:
+        """Write one JSON object per line; returns the record count."""
+        with open(path, "w", encoding="utf-8") as handle:
+            for event in self._events:
+                handle.write(json.dumps(event, sort_keys=True,
+                                        default=_jsonify) + "\n")
+        return len(self._events)
+
+    @staticmethod
+    def read_jsonl(path: str) -> List[dict]:
+        with open(path, "r", encoding="utf-8") as handle:
+            return [json.loads(line) for line in handle if line.strip()]
+
+    @classmethod
+    def from_records(cls, records: Iterable[dict]) -> "EventLog":
+        log = cls()
+        for record in records:
+            fields = {k: v for k, v in record.items()
+                      if k not in ("seq", "kind", "timestamp")}
+            log.emit(record["kind"], timestamp=record.get("timestamp", 0.0),
+                     **fields)
+        return log
+
+
+def _jsonify(value):
+    """Fallback for payload values JSON can't encode (bytes digests)."""
+    if isinstance(value, bytes):
+        return value.hex()
+    return repr(value)

@@ -1,0 +1,129 @@
+"""Metric exporters: Prometheus text format and a stable JSON schema.
+
+Both exporters read a :class:`~repro.common.metrics.MetricsRegistry`
+snapshot and emit metrics in sorted-name order, so two runs of the same
+experiment produce byte-identical artifacts modulo the measured values
+— the property ``benchmarks/bench_pipeline.py`` relies on when it
+embeds the batched pipeline's metrics in ``BENCH_pipeline.json``.
+
+The JSON schema is versioned (:data:`METRICS_SCHEMA_VERSION`); any
+field rename or semantic change must bump it so downstream consumers
+(CI artifact diffing, the benchmark) can detect the break.
+"""
+
+import json
+import math
+import re
+from typing import Optional
+
+from repro.common.metrics import MetricsRegistry
+
+METRICS_SCHEMA_VERSION = 1
+
+_PROM_NAME = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str, namespace: Optional[str]) -> str:
+    """Sanitize a dotted metric name into a Prometheus identifier."""
+    flat = _PROM_NAME.sub("_", name.replace(".", "_"))
+    return f"{namespace}_{flat}" if namespace else flat
+
+
+def _prom_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))
+
+
+def to_prometheus(registry: MetricsRegistry,
+                  namespace: Optional[str] = "repro") -> str:
+    """Render the registry in the Prometheus text exposition format.
+
+    Counters become ``<name>_total``; timers become summaries with
+    ``quantile`` labels plus ``_sum``/``_count``; histograms become
+    classic cumulative ``_bucket`` series with ``le`` labels.
+    """
+    snapshot = registry.snapshot()
+    lines = []
+
+    for name in sorted(snapshot["counters"]):
+        counter = snapshot["counters"][name]
+        metric = _prom_name(name, namespace) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_prom_value(counter['count'])}")
+
+    for name in sorted(snapshot["timers"]):
+        timer = snapshot["timers"][name]
+        metric = _prom_name(name, namespace) + "_seconds"
+        lines.append(f"# TYPE {metric} summary")
+        for label, key in (("0.5", "p50"), ("0.95", "p95")):
+            lines.append(
+                f'{metric}{{quantile="{label}"}} {_prom_value(timer[key])}'
+            )
+        lines.append(f"{metric}_sum {_prom_value(timer['total'])}")
+        lines.append(f"{metric}_count {_prom_value(timer['n'])}")
+
+    for name in sorted(snapshot["histograms"]):
+        histogram = snapshot["histograms"][name]
+        metric = _prom_name(name, namespace)
+        lines.append(f"# TYPE {metric} histogram")
+        for bucket in histogram["buckets"]:
+            lines.append(
+                f'{metric}_bucket{{le="{_prom_value(bucket["le"])}"}} '
+                f'{_prom_value(bucket["count"])}'
+            )
+        lines.append(f"{metric}_sum {_prom_value(histogram['total'])}")
+        lines.append(f"{metric}_count {_prom_value(histogram['count'])}")
+
+    return "\n".join(lines) + "\n"
+
+
+def metrics_to_json(registry: MetricsRegistry) -> dict:
+    """A stable, versioned JSON document for one registry.
+
+    Layout::
+
+        {"schema_version": 1,
+         "counters":   {name: {"count": int, "total": float}},
+         "timers":     {name: {"n", "mean", "total", "p50", "p95", "max"}},
+         "histograms": {name: {"count", "total", "buckets": [...]}}}
+
+    Names are sorted; ``+inf`` bucket bounds serialize as the string
+    ``"+Inf"`` (JSON has no infinity literal).
+    """
+    snapshot = registry.snapshot()
+    counters = {
+        name: {"count": c["count"], "total": c["total"]}
+        for name, c in snapshot["counters"].items()
+    }
+    timers = {
+        name: {key: t[key] for key in ("n", "mean", "total", "p50", "p95", "max")}
+        for name, t in snapshot["timers"].items()
+    }
+    histograms = {
+        name: {
+            "count": h["count"],
+            "total": h["total"],
+            "buckets": [
+                {"le": ("+Inf" if math.isinf(b["le"]) else b["le"]),
+                 "count": b["count"]}
+                for b in h["buckets"]
+            ],
+        }
+        for name, h in snapshot["histograms"].items()
+    }
+    return {
+        "schema_version": METRICS_SCHEMA_VERSION,
+        "counters": counters,
+        "timers": timers,
+        "histograms": histograms,
+    }
+
+
+def write_metrics_json(registry: MetricsRegistry, path: str) -> dict:
+    """Serialize :func:`metrics_to_json` to ``path``; returns the doc."""
+    document = metrics_to_json(registry)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return document

@@ -1,0 +1,289 @@
+"""Lightweight tracing: one trace per update, nested spans per stage.
+
+Design constraints, in order:
+
+1. **Zero cost when off.**  Every instrumented component defaults to
+   the shared :data:`NOOP_TRACER`; hot paths guard span creation with
+   ``tracer.enabled`` (a class attribute, one ``LOAD_ATTR``), so the
+   batched benchmark sees no measurable overhead.
+2. **Deterministic identifiers.**  Trace and span IDs come from
+   :func:`repro.common.ids.make_id` — counter based, no wall clock, no
+   randomness — so a seeded simulation produces the same IDs every run
+   and tests can assert on correlation without mocking time.
+3. **Explicit timestamps.**  Callers that already read a clock for
+   their own stage timers pass ``start_time``/``end_time`` through, so
+   tracing never adds clock reads to an instrumented hot path; spans
+   created without explicit times read the tracer's clock (wall by
+   default, injectable for tests).
+
+Spans form a tree via ``parent_id``; sinks (:class:`repro.obs.events.
+EventLog` or anything with ``span_open``/``span_close``/``event``)
+receive spans as they open and close, plus freestanding events.
+"""
+
+from contextlib import contextmanager
+from typing import Any, Dict, List, Optional
+
+from repro.common.clock import WallClock
+from repro.common.ids import make_id
+
+
+class Span:
+    """One timed operation within a trace."""
+
+    __slots__ = (
+        "tracer", "trace_id", "span_id", "parent_id", "name",
+        "start_time", "end_time", "status", "attributes", "events",
+    )
+
+    def __init__(self, tracer: "Tracer", trace_id: str, span_id: str,
+                 name: str, parent_id: Optional[str],
+                 start_time: float,
+                 attributes: Optional[Dict[str, Any]] = None):
+        self.tracer = tracer
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.start_time = start_time
+        self.end_time: Optional[float] = None
+        self.status = "ok"
+        self.attributes: Dict[str, Any] = dict(attributes) if attributes else {}
+        self.events: List[dict] = []
+
+    # -- recording --------------------------------------------------------
+
+    def set_attribute(self, key: str, value: Any) -> "Span":
+        self.attributes[key] = value
+        return self
+
+    def set_status(self, status: str) -> "Span":
+        """``ok`` | ``error`` | ``skipped`` (stage not reached)."""
+        self.status = status
+        return self
+
+    def add_event(self, name: str, **attributes) -> "Span":
+        self.events.append({"name": name, "attributes": attributes})
+        return self
+
+    def end(self, end_time: Optional[float] = None) -> "Span":
+        if self.end_time is None:  # idempotent: first end wins
+            self.end_time = (self.tracer.clock.now()
+                             if end_time is None else end_time)
+            self.tracer._on_end(self)
+        return self
+
+    @property
+    def duration(self) -> float:
+        if self.end_time is None:
+            return 0.0
+        return self.end_time - self.start_time
+
+    @property
+    def ended(self) -> bool:
+        return self.end_time is not None
+
+    def child(self, name: str, start_time: Optional[float] = None,
+              **attributes) -> "Span":
+        return self.tracer.start_span(
+            name, parent=self, start_time=start_time, attributes=attributes
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start_time": self.start_time,
+            "end_time": self.end_time,
+            "duration": self.duration,
+            "status": self.status,
+            "attributes": dict(self.attributes),
+            "events": list(self.events),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Span({self.name!r}, trace={self.trace_id}, "
+                f"status={self.status})")
+
+
+class Tracer:
+    """Creates spans, assigns IDs, and fans finished spans out to sinks."""
+
+    enabled = True
+
+    def __init__(self, clock=None):
+        self.clock = clock or WallClock()
+        self.sinks: List[Any] = []
+        self.finished_spans: List[Span] = []
+
+    # -- sinks ------------------------------------------------------------
+
+    def add_sink(self, sink) -> "Tracer":
+        """Attach anything with ``span_open``/``span_close``/``event``
+        methods (all optional); :class:`repro.obs.events.EventLog`
+        implements all three."""
+        self.sinks.append(sink)
+        return self
+
+    # -- span lifecycle ---------------------------------------------------
+
+    def start_trace(self, name: str, start_time: Optional[float] = None,
+                    attributes: Optional[Dict[str, Any]] = None) -> Span:
+        """Open a root span under a fresh trace ID."""
+        return self.start_span(name, parent=None, start_time=start_time,
+                               attributes=attributes)
+
+    def start_span(self, name: str, parent: Optional[Span] = None,
+                   trace_id: Optional[str] = None,
+                   start_time: Optional[float] = None,
+                   attributes: Optional[Dict[str, Any]] = None) -> Span:
+        if parent is not None:
+            trace_id = parent.trace_id
+            parent_id = parent.span_id
+        else:
+            trace_id = trace_id or make_id("trace")
+            parent_id = None
+        span = Span(
+            tracer=self,
+            trace_id=trace_id,
+            span_id=make_id("span"),
+            name=name,
+            parent_id=parent_id,
+            start_time=(self.clock.now() if start_time is None
+                        else start_time),
+            attributes=attributes,
+        )
+        for sink in self.sinks:
+            hook = getattr(sink, "span_open", None)
+            if hook is not None:
+                hook(span)
+        return span
+
+    @contextmanager
+    def span(self, name: str, parent: Optional[Span] = None, **attributes):
+        """``with tracer.span("paillier.decrypt"):`` convenience; marks
+        the span ``error`` (with the exception repr) on the way out of
+        a raising block."""
+        current = self.start_span(name, parent=parent, attributes=attributes)
+        try:
+            yield current
+        except BaseException as exc:
+            current.set_status("error")
+            current.set_attribute("exception", repr(exc))
+            raise
+        finally:
+            current.end()
+
+    def event(self, name: str, timestamp: Optional[float] = None,
+              **attributes) -> None:
+        """A freestanding structured event (no span), fanned to sinks."""
+        if timestamp is None:
+            timestamp = self.clock.now()
+        for sink in self.sinks:
+            hook = getattr(sink, "event", None)
+            if hook is not None:
+                hook(name, attributes, timestamp)
+
+    def _on_end(self, span: Span) -> None:
+        self.finished_spans.append(span)
+        for sink in self.sinks:
+            hook = getattr(sink, "span_close", None)
+            if hook is not None:
+                hook(span)
+
+    # -- queries (test/report helpers) ------------------------------------
+
+    def traces(self) -> Dict[str, List[Span]]:
+        """Finished spans grouped by trace, in end order."""
+        grouped: Dict[str, List[Span]] = {}
+        for span in self.finished_spans:
+            grouped.setdefault(span.trace_id, []).append(span)
+        return grouped
+
+    def spans_named(self, name: str) -> List[Span]:
+        return [s for s in self.finished_spans if s.name == name]
+
+
+class _NullSpan:
+    """Absorbs the whole Span API; every method returns self."""
+
+    __slots__ = ()
+
+    trace_id = None
+    span_id = None
+    parent_id = None
+    name = "null"
+    start_time = 0.0
+    end_time = 0.0
+    duration = 0.0
+    ended = True
+    status = "ok"
+    attributes: Dict[str, Any] = {}
+    events: List[dict] = []
+
+    def set_attribute(self, key, value):
+        return self
+
+    def set_status(self, status):
+        return self
+
+    def add_event(self, name, **attributes):
+        return self
+
+    def end(self, end_time=None):
+        return self
+
+    def child(self, name, start_time=None, **attributes):
+        return self
+
+    def to_dict(self) -> dict:
+        return {}
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The default tracer: every operation is a no-op.
+
+    Instrumented hot paths should branch on ``tracer.enabled`` and skip
+    span construction entirely; the methods exist so cold paths can
+    stay unconditional.
+    """
+
+    enabled = False
+    sinks: List[Any] = []
+    finished_spans: List[Span] = []
+
+    def add_sink(self, sink):
+        return self
+
+    def start_trace(self, name, start_time=None, attributes=None):
+        return NULL_SPAN
+
+    def start_span(self, name, parent=None, trace_id=None,
+                   start_time=None, attributes=None):
+        return NULL_SPAN
+
+    def span(self, name, parent=None, **attributes):
+        return NULL_SPAN  # usable directly as a context manager
+
+    def event(self, name, timestamp=None, **attributes):
+        return None
+
+    def traces(self) -> Dict[str, List[Span]]:
+        return {}
+
+    def spans_named(self, name: str) -> List[Span]:
+        return []
+
+
+NOOP_TRACER = NullTracer()

@@ -138,3 +138,69 @@ def test_metrics_count_messages():
     a.send("b", "ping")
     net.run()
     assert net.metrics.counter("net.messages").count == 2  # ping + pong
+
+
+# -- telemetry accessors ----------------------------------------------------
+
+
+def test_partition_drops_counted_separately_from_losses():
+    net, a, b = pair()
+    net.partition({"a"}, {"b"})
+    a.send("b", "ping")
+    a.send("b", "ping")
+    net.run()
+    assert net.metrics.counter_value("net.partition_drops") == 2
+    assert net.metrics.counter_value("net.losses") == 0
+    net.heal_partition()
+    a.send("b", "ping")
+    net.run()
+    assert net.metrics.counter_value("net.partition_drops") == 2
+
+
+def test_bytes_counter_accumulates_payload_size():
+    net, a, b = pair()
+    a.send("b", "ping", {"n": 1})
+    net.run()
+    telemetry = net.telemetry()
+    assert telemetry["net.bytes"] > 0
+    assert telemetry["net.bytes"] == net.metrics.counter("net.bytes").total
+
+
+def test_message_count_property_matches_counter():
+    net, a, b = pair()
+    assert net.message_count == 0
+    a.send("b", "ping")
+    net.run()
+    assert net.message_count == 2  # ping + pong
+    assert net.message_count == net.metrics.counter("net.messages").count
+
+
+def test_telemetry_reports_sorted_net_counters():
+    net = SimNetwork(loss_rate=1.0)
+    a, b = Echo("a"), Echo("b")
+    net.add_node(a)
+    net.add_node(b)
+    net.partition({"a"}, {"b"})
+    a.send("b", "ping")
+    net.heal_partition()
+    a.send("b", "ping")
+    net.run()
+    telemetry = net.telemetry()
+    assert list(telemetry) == sorted(telemetry)
+    assert telemetry["net.messages"] == 2
+    assert telemetry["net.partition_drops"] == 1
+    assert telemetry["net.losses"] == 1
+    # Dropped sends still count as messages and bytes on the wire.
+    assert telemetry["net.bytes"] > 0
+
+
+def test_cluster_stats_use_message_count_accessor():
+    from repro.consensus.pbft import PBFTCluster
+
+    net = SimNetwork()
+    cluster = PBFTCluster(f=1, network=net)
+    cluster.submit({"cmd": 1})
+    cluster.run()
+    stats = cluster.stats()
+    assert stats.messages == net.message_count
+    assert stats.messages > 0

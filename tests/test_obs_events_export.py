@@ -1,0 +1,176 @@
+"""The structured event log and the metric exporters."""
+
+import json
+
+from repro.common.metrics import Histogram, MetricsRegistry
+from repro.obs.events import EventLog
+from repro.obs.export import (
+    METRICS_SCHEMA_VERSION,
+    metrics_to_json,
+    to_prometheus,
+    write_metrics_json,
+)
+
+
+# -- event log ------------------------------------------------------------
+
+
+def test_event_log_records_and_queries():
+    log = EventLog()
+    log.emit("rejection", timestamp=1.0, trace_id="t-1", reason="cap")
+    log.emit("ledger_anchor", timestamp=2.0, trace_id="t-1", sequence=0)
+    log.emit("ledger_anchor", timestamp=3.0, trace_id="t-2", sequence=1)
+    assert len(log) == 3
+    assert [e["seq"] for e in log.events()] == [0, 1, 2]
+    assert log.kinds() == ["ledger_anchor", "rejection"]
+    assert [e["kind"] for e in log.for_trace("t-1")] == [
+        "rejection", "ledger_anchor",
+    ]
+    assert log.trace_ids() == ["t-1", "t-2"]
+
+
+def test_event_log_jsonl_roundtrip(tmp_path):
+    log = EventLog()
+    log.emit("anchor", timestamp=1.5, digest=b"\x00\xff", sequence=7)
+    path = tmp_path / "events.jsonl"
+    assert log.write(str(path)) == 1
+    records = EventLog.read_jsonl(str(path))
+    assert records[0]["kind"] == "anchor"
+    assert records[0]["digest"] == "00ff"  # bytes serialized as hex
+    rebuilt = EventLog.from_records(records)
+    assert rebuilt.events("anchor")[0]["sequence"] == 7
+
+
+def test_event_log_jsonl_is_one_object_per_line():
+    log = EventLog()
+    for i in range(3):
+        log.emit("tick", timestamp=float(i))
+    lines = log.to_jsonl().splitlines()
+    assert len(lines) == 3
+    assert all(json.loads(line)["kind"] == "tick" for line in lines)
+
+
+# -- histograms -----------------------------------------------------------
+
+
+def test_histogram_cumulative_buckets():
+    histogram = Histogram("latency", buckets=[0.1, 1.0])
+    for value in (0.05, 0.5, 0.7, 5.0):
+        histogram.observe(value)
+    assert histogram.count == 4
+    assert histogram.total == 6.25
+    assert histogram.cumulative_buckets() == [
+        (0.1, 1), (1.0, 3), (float("inf"), 4),
+    ]
+
+
+def test_histogram_via_registry_and_snapshot():
+    metrics = MetricsRegistry()
+    metrics.histogram("h", buckets=[1.0]).observe(0.5)
+    assert metrics.histogram("h") is metrics.histogram("h")
+    snap = metrics.snapshot()
+    assert snap["histograms"]["h"]["count"] == 1
+    assert snap["histograms"]["h"]["buckets"][-1]["le"] == float("inf")
+
+
+def test_counter_value_reads_without_creating():
+    metrics = MetricsRegistry()
+    assert metrics.counter_value("never.touched") == 0
+    assert "never.touched" not in metrics.snapshot()["counters"]
+    metrics.counter("hits").add()
+    assert metrics.counter_value("hits") == 1
+
+
+# -- satellite regressions: percentile + sorted snapshots -----------------
+
+
+def test_percentile_nearest_rank_regression():
+    timer = MetricsRegistry().timer("t")
+    for value in (1.0, 2.0, 3.0, 4.0):
+        timer.record(value)
+    assert timer.percentile(50) == 2.0  # was 3.0 before the fix
+    assert timer.percentile(25) == 1.0
+    assert timer.percentile(75) == 3.0
+    assert timer.percentile(100) == 4.0
+    assert timer.percentile(0) == 1.0
+
+
+def test_snapshot_keys_are_sorted():
+    metrics = MetricsRegistry()
+    for name in ("zulu", "alpha", "mike"):
+        metrics.counter(name).add()
+        metrics.timer(name).record(0.1)
+        metrics.histogram(name).observe(0.1)
+    snap = metrics.snapshot()
+    for section in ("counters", "timers", "histograms"):
+        assert list(snap[section]) == ["alpha", "mike", "zulu"]
+
+
+def test_throughput_report_stages_are_sorted():
+    metrics = MetricsRegistry()
+    metrics.counter("pipeline.updates").add()
+    for stage in ("verify", "anchor", "apply", "authenticate"):
+        metrics.timer(f"pipeline.stage.{stage}").record(0.1)
+    report = metrics.throughput_report()
+    assert list(report["stages"]) == [
+        "anchor", "apply", "authenticate", "verify",
+    ]
+
+
+# -- exporters ------------------------------------------------------------
+
+
+def populated_registry():
+    metrics = MetricsRegistry()
+    metrics.counter("net.messages").add()
+    metrics.counter("net.messages").add()
+    metrics.timer("pipeline.stage.verify").record(0.25)
+    metrics.histogram("hop.latency", buckets=[0.1, 1.0]).observe(0.5)
+    return metrics
+
+
+def test_metrics_to_json_schema():
+    doc = metrics_to_json(populated_registry())
+    assert doc["schema_version"] == METRICS_SCHEMA_VERSION
+    assert doc["counters"]["net.messages"]["count"] == 2
+    timer = doc["timers"]["pipeline.stage.verify"]
+    assert set(timer) == {"n", "mean", "total", "p50", "p95", "max"}
+    buckets = doc["histograms"]["hop.latency"]["buckets"]
+    assert buckets[-1] == {"le": "+Inf", "count": 1}
+    # The document must be JSON-serializable as-is (no inf, no bytes).
+    json.dumps(doc)
+
+
+def test_metrics_json_artifact_is_stable_across_runs(tmp_path):
+    def run():
+        metrics = MetricsRegistry()
+        # Register in different orders; artifacts must still match.
+        for name in ("b", "a", "c"):
+            metrics.counter(name).add()
+        return metrics
+
+    path_one, path_two = tmp_path / "one.json", tmp_path / "two.json"
+    write_metrics_json(run(), str(path_one))
+    write_metrics_json(run(), str(path_two))
+    assert path_one.read_text() == path_two.read_text()
+    assert list(json.loads(path_one.read_text())["counters"]) == ["a", "b", "c"]
+
+
+def test_prometheus_exposition_format():
+    text = to_prometheus(populated_registry())
+    assert "# TYPE repro_net_messages_total counter" in text
+    assert "repro_net_messages_total 2.0" in text
+    assert "# TYPE repro_pipeline_stage_verify_seconds summary" in text
+    assert 'repro_pipeline_stage_verify_seconds{quantile="0.5"} 0.25' in text
+    assert "repro_pipeline_stage_verify_seconds_count 1.0" in text
+    assert "# TYPE repro_hop_latency histogram" in text
+    assert 'repro_hop_latency_bucket{le="1.0"} 1.0' in text
+    assert 'repro_hop_latency_bucket{le="+Inf"} 1.0' in text
+    assert text.endswith("\n")
+
+
+def test_prometheus_namespace_and_sanitization():
+    metrics = MetricsRegistry()
+    metrics.counter("weird name-with.bits").add()
+    text = to_prometheus(metrics, namespace=None)
+    assert "weird_name_with_bits_total 1.0" in text

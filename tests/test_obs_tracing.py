@@ -1,0 +1,131 @@
+"""The tracing core: spans, IDs, sinks, and the no-op default."""
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.obs.events import EventLog
+from repro.obs.tracing import NOOP_TRACER, NullTracer, Tracer
+
+
+def sim_tracer():
+    return Tracer(clock=SimClock())
+
+
+def test_trace_and_span_ids_are_deterministic_counters():
+    tracer = sim_tracer()
+    root = tracer.start_trace("update")
+    child = root.child("verify")
+    assert root.trace_id.startswith("trace-")
+    assert root.span_id.startswith("span-")
+    assert child.trace_id == root.trace_id
+    assert child.parent_id == root.span_id
+
+
+def test_nested_spans_share_the_trace():
+    tracer = sim_tracer()
+    root = tracer.start_trace("update")
+    verify = root.child("verify")
+    crypto = verify.child("paillier.decrypt")
+    assert crypto.trace_id == root.trace_id
+    assert crypto.parent_id == verify.span_id
+    crypto.end()
+    verify.end()
+    root.end()
+    spans = tracer.traces()[root.trace_id]
+    assert [s.name for s in spans] == ["paillier.decrypt", "verify", "update"]
+
+
+def test_span_times_come_from_injected_clock():
+    clock = SimClock()
+    tracer = Tracer(clock=clock)
+    span = tracer.start_span("stage")
+    clock.advance(2.5)
+    span.end()
+    assert span.start_time == 0.0
+    assert span.end_time == 2.5
+    assert span.duration == 2.5
+
+
+def test_explicit_timestamps_bypass_the_clock():
+    tracer = sim_tracer()
+    span = tracer.start_span("stage", start_time=10.0)
+    span.end(end_time=12.0)
+    assert span.duration == 2.0
+
+
+def test_end_is_idempotent():
+    tracer = sim_tracer()
+    span = tracer.start_span("stage", start_time=1.0)
+    span.end(end_time=2.0)
+    span.end(end_time=99.0)
+    assert span.end_time == 2.0
+    assert len(tracer.finished_spans) == 1
+
+
+def test_attributes_status_and_events():
+    tracer = sim_tracer()
+    span = tracer.start_span("verify")
+    span.set_attribute("engine", "zkp").set_status("error")
+    span.add_event("proof_rejected", constraint="cst-1")
+    span.end()
+    assert span.attributes["engine"] == "zkp"
+    assert span.status == "error"
+    assert span.events == [
+        {"name": "proof_rejected", "attributes": {"constraint": "cst-1"}}
+    ]
+
+
+def test_context_manager_marks_errors_and_always_ends():
+    tracer = sim_tracer()
+    with pytest.raises(ValueError):
+        with tracer.span("stage") as span:
+            raise ValueError("boom")
+    assert span.ended
+    assert span.status == "error"
+    assert "boom" in span.attributes["exception"]
+    with tracer.span("fine"):
+        pass
+    assert tracer.finished_spans[-1].status == "ok"
+
+
+def test_sinks_see_opens_closes_and_events():
+    tracer = sim_tracer()
+    log = EventLog()
+    tracer.add_sink(log)
+    with tracer.span("stage"):
+        tracer.event("checkpoint", detail=1)
+    assert log.kinds() == ["checkpoint", "span_close", "span_open"]
+
+
+def test_spans_named():
+    tracer = sim_tracer()
+    for _ in range(3):
+        tracer.start_span("anchor").end()
+    tracer.start_span("verify").end()
+    assert len(tracer.spans_named("anchor")) == 3
+
+
+def test_null_tracer_is_disabled_and_absorbs_everything():
+    assert NOOP_TRACER.enabled is False
+    assert Tracer.enabled is True
+    span = NOOP_TRACER.start_trace("update")
+    # Full Span API, all no-ops, chainable, context-manager capable.
+    assert span.set_attribute("k", "v") is span
+    assert span.set_status("error") is span
+    assert span.add_event("x") is span
+    assert span.end() is span
+    assert span.child("nested") is span
+    with NOOP_TRACER.span("stage") as inner:
+        inner.set_attribute("k", "v")
+    NOOP_TRACER.event("ignored")
+    assert NOOP_TRACER.traces() == {}
+    assert NOOP_TRACER.spans_named("update") == []
+
+
+def test_null_tracer_sinks_are_ignored():
+    tracer = NullTracer()
+    log = EventLog()
+    tracer.add_sink(log)
+    tracer.start_trace("update").end()
+    tracer.event("x")
+    assert len(log) == 0
