@@ -160,6 +160,12 @@ class MetricsRegistry:
         counter = self._counters.get(name)
         return counter.count if counter is not None else 0
 
+    def timer_total(self, name: str) -> float:
+        """Total recorded seconds for ``name`` without creating the
+        timer (0.0 when it never fired) — the read-side accessor."""
+        timer = self._timers.get(name)
+        return timer.total if timer is not None else 0.0
+
     @contextmanager
     def timed(self, name: str):
         """Context manager recording wall time into ``timer(name)``."""
@@ -188,6 +194,14 @@ class MetricsRegistry:
     ) -> dict:
         """Summarize the instrumented pipeline: per-stage totals plus
         end-to-end updates/sec, for batched-vs-sequential comparisons.
+
+        Each stage's ``per_sec`` is computed from that stage's own
+        recorded wall time (``n / total``), *not* from the summed
+        elapsed across stages: under the parallel executor stages
+        overlap batch-prepared work, so dividing by the sum would
+        understate every stage's true rate.  ``updates_per_sec``
+        remains the conservative end-to-end figure over summed stage
+        time (an overlap-free lower bound).
         """
         updates = self._counters.get(updates_counter)
         count = updates.count if updates is not None else 0
@@ -198,11 +212,13 @@ class MetricsRegistry:
             if not name.startswith(stage_prefix):
                 continue
             stage = name[len(stage_prefix):]
+            n = len(timer.samples)
             stages[stage] = {
-                "n": len(timer.samples),
+                "n": n,
                 "mean": timer.mean,
                 "total": timer.total,
                 "p95": timer.percentile(95),
+                "per_sec": (n / timer.total) if timer.total else 0.0,
             }
             total_seconds += timer.total
         return {

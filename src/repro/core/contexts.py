@@ -52,6 +52,7 @@ def single_private_database(
     dp_epsilon_total: float = 5.0,
     dp_epsilon_per_refresh: float = 0.25,
     tracer=None,
+    executor=None,
 ) -> PReVer:
     """RC1 context: outsourced single database, untrusted manager."""
     constraints = list(constraints)
@@ -79,6 +80,7 @@ def single_private_database(
         policy=policy or SUSTAINABILITY_POLICY,
         threat_model=ThreatModel.honest_but_curious_manager(),
         tracer=tracer,
+        executor=executor,
     )
     for constraint in constraints:
         if constraint.kind.value == "internal":

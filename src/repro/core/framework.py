@@ -35,14 +35,20 @@ from repro.database.engine import Database
 from repro.database.schema import SchemaError
 from repro.database.table import TableError
 from repro.crypto.group import SchnorrGroup
-from repro.crypto.signatures import cached_verifier
+from repro.crypto.signatures import cached_verifier, verify_batch
 from repro.ledger.central import CentralLedger
+from repro.parallel.executors import resolve_executor
 from repro.model.constraints import Constraint, ConstraintKind
 from repro.obs.tracing import NOOP_TRACER, Span, Tracer
 from repro.model.participants import Authority
 from repro.model.policy import PrivacyPolicy, Visibility
 from repro.model.threat import ThreatModel
 from repro.model.update import Update, UpdateOperation
+
+
+# Sentinel distinguishing "provenance not yet checked" from a
+# precomputed verdict of None (= authenticated) in ``_process_one``.
+_UNCHECKED = object()
 
 
 class PReVer:
@@ -60,6 +66,7 @@ class PReVer:
         metrics: Optional[MetricsRegistry] = None,
         max_results: Optional[int] = None,
         tracer: Optional[Tracer] = None,
+        executor=None,
     ):
         if not databases:
             raise PReVerError("PReVer needs at least one database")
@@ -105,6 +112,19 @@ class PReVer:
                 self.ledger.bind_tracer(self.tracer)
             if engine is not None and hasattr(engine, "bind_tracer"):
                 engine.bind_tracer(self.tracer)
+        # Execution layer for the crypto-heavy stages: serial by
+        # default, a process pool when requested explicitly or via
+        # REPRO_EXECUTOR / REPRO_WORKERS.  Bound into the ledger
+        # (chunked Merkle leaf hashing) and the engine (e.g. parallel
+        # Paillier contribution encryption); decisions and digests are
+        # executor-independent by construction.
+        self.executor = resolve_executor(executor)
+        if self.tracer.enabled:
+            self.executor.bind_tracer(self.tracer)
+        if hasattr(self.ledger, "bind_executor"):
+            self.ledger.bind_executor(self.executor)
+        if engine is not None and hasattr(engine, "bind_executor"):
+            engine.bind_executor(self.executor)
 
     # -- step (0): constraint registration -------------------------------
 
@@ -164,7 +184,8 @@ class PReVer:
         return self._finish(update, outcome, applied=applied, timings=timings,
                             trace=trace)
 
-    def submit_many(self, updates: Sequence[Update]) -> List[UpdateResult]:
+    def submit_many(self, updates: Sequence[Update],
+                    executor=None) -> List[UpdateResult]:
         """Run a batch of updates through the pipeline, anchoring once.
 
         Decision-equivalent to calling :meth:`submit` per update in
@@ -174,27 +195,51 @@ class PReVer:
         per-update linear scans, an incremental aggregate cache
         replaces per-update table re-scans, and the ledger's Merkle
         tree is extended once per batch instead of once per decision.
+
+        ``executor`` overrides the framework's execution layer for this
+        batch only.  Under a parallel executor three crypto stages fan
+        out across workers — batch Schnorr authentication, engine
+        contribution encryption (via the ``prepare_batch`` hook), and
+        Merkle leaf hashing — with results still byte-identical to the
+        serial path.
         """
         updates = list(updates)
         if not updates:
             return []
+        executor = executor if executor is not None else self.executor
         engine = self.engine
         tracing = self.tracer.enabled
+        # Batched provenance: verify all signatures up front with the
+        # random-linear-combination batch check (workers pinpoint bad
+        # signatures on failure).  Failure reasons match the serial
+        # per-update path exactly.
+        auth_failures: Optional[List[Optional[str]]] = None
+        if self.require_signed_updates and len(updates) > 1:
+            with self.metrics.timed("pipeline.auth_batch"):
+                auth_failures = self._batch_authenticate(updates, executor)
         # The framework-level cache backs ``_verify_plaintext``; engines
         # maintain their own via begin_batch/note_applied, so skip the
         # duplicate bookkeeping when one is plugged in.
         cache = BatchAggregateCache(self.databases) if engine is None else None
         if engine is not None and hasattr(engine, "begin_batch"):
             engine.begin_batch(len(updates))
+        if engine is not None and hasattr(engine, "prepare_batch"):
+            # Timed separately: prepared work happens before the
+            # per-update stage timers, so stage totals alone would
+            # overstate the verify stage's parallel speedup.
+            with self.metrics.timed("pipeline.prepare_batch"):
+                engine.prepare_batch(updates, executor=executor)
         pending = []
         traces: List[Optional[Span]] = []
         try:
-            for update in updates:
+            for index, update in enumerate(updates):
                 trace = self._start_update_trace(update) if tracing else None
                 traces.append(trace)
-                pending.append(
-                    self._process_one(update, batch_cache=cache, trace=trace)
-                )
+                pending.append(self._process_one(
+                    update, batch_cache=cache, trace=trace,
+                    auth_failure=(auth_failures[index]
+                                  if auth_failures is not None else _UNCHECKED),
+                ))
         finally:
             if engine is not None and hasattr(engine, "end_batch"):
                 engine.end_batch()
@@ -203,7 +248,8 @@ class PReVer:
         start = self._wall.now()
         entries = self.ledger.append_batch(
             [self._anchor_payload(u, o, trace=t)
-             for (u, o, _, _), t in zip(pending, traces)]
+             for (u, o, _, _), t in zip(pending, traces)],
+            executor=executor,
         )
         anchor_end = self._wall.now()
         anchor_elapsed = anchor_end - start
@@ -228,8 +274,32 @@ class PReVer:
             ))
         return results
 
+    def _batch_authenticate(self, updates: Sequence[Update],
+                            executor) -> List[Optional[str]]:
+        """Provenance for a whole batch: one failure reason (or None)
+        per update, equal to what the per-update check would produce.
+        Signed updates go through :func:`verify_batch`, which fans the
+        work across executor workers."""
+        failures: List[Optional[str]] = [None] * len(updates)
+        items, positions = [], []
+        for index, update in enumerate(updates):
+            if update.signature is None or update.signer_public_key is None:
+                failures[index] = "unsigned update"
+            else:
+                items.append((update.signer_public_key, update.body_bytes(),
+                              update.signature))
+                positions.append(index)
+        if items:
+            verdicts = verify_batch(items, group=SchnorrGroup.default(),
+                                    executor=executor)
+            for position, ok in zip(positions, verdicts):
+                if not ok:
+                    failures[position] = "bad signature"
+        return failures
+
     def _process_one(self, update: Update, batch_cache=None,
-                     trace: Optional[Span] = None):
+                     trace: Optional[Span] = None,
+                     auth_failure=_UNCHECKED):
         """Authenticate, verify, and apply one update (no anchoring).
 
         Returns ``(update, outcome, applied, timings)``; the caller
@@ -238,6 +308,11 @@ class PReVer:
         a child span (stages not reached end with status ``skipped``)
         using the wall readings the stage timers already take, so
         tracing adds no clock reads to the hot path.
+
+        ``auth_failure`` carries a precomputed provenance verdict from
+        :meth:`_batch_authenticate` (None = authenticated, a string =
+        the rejection reason); the sentinel default means "not
+        precomputed, check here".
         """
         timings: Dict[str, float] = {}
         now = self.clock.now()
@@ -245,16 +320,18 @@ class PReVer:
         start = wall()         # ends one stage and starts the next
 
         # (1) provenance: signature check on the incoming update.
-        auth_failure = None
-        if self.require_signed_updates:
-            if update.signature is None or update.signer_public_key is None:
-                auth_failure = "unsigned update"
-            else:
-                verifier = cached_verifier(
-                    SchnorrGroup.default(), update.signer_public_key
-                )
-                if not verifier.verify(update.body_bytes(), update.signature):
-                    auth_failure = "bad signature"
+        if auth_failure is _UNCHECKED:
+            auth_failure = None
+            if self.require_signed_updates:
+                if update.signature is None or update.signer_public_key is None:
+                    auth_failure = "unsigned update"
+                else:
+                    verifier = cached_verifier(
+                        SchnorrGroup.default(), update.signer_public_key
+                    )
+                    if not verifier.verify(update.body_bytes(),
+                                           update.signature):
+                        auth_failure = "bad signature"
         t_auth = wall()
         timings["authenticate"] = t_auth - start
         if trace is not None:

@@ -34,8 +34,13 @@ from repro.core.routing import (
     check_constraint,
 )
 from repro.crypto.commitments import PedersenCommitter
-from repro.crypto.paillier import PaillierKeyPair, generate_paillier_keypair
+from repro.crypto.paillier import (
+    PaillierKeyPair,
+    encrypt_batch,
+    generate_paillier_keypair,
+)
 from repro.crypto import zkp
+from repro.parallel.executors import SERIAL_EXECUTOR
 from repro.model.constraints import Comparison, Constraint
 from repro.model.update import Update
 from repro.obs.tracing import NOOP_TRACER
@@ -67,9 +72,17 @@ class BaseVerifier:
         # under it.  With the default no-op tracer both are free.
         self.tracer = NOOP_TRACER
         self._parent_span = None
+        # Execution layer: serial unless the framework (or a test)
+        # binds a parallel executor; engines use it for order-free
+        # crypto work only (e.g. contribution encryption), never for
+        # the order-dependent aggregate state machine.
+        self.executor = SERIAL_EXECUTOR
 
     def bind_tracer(self, tracer) -> None:
         self.tracer = tracer
+
+    def bind_executor(self, executor) -> None:
+        self.executor = executor
 
     def bind_span(self, span) -> None:
         """Parent span for crypto sub-spans of the current update."""
@@ -199,6 +212,10 @@ class PaillierVerifier(BaseVerifier):
         self._cipher_aggregates: Dict[str, Dict[tuple, object]] = {
             c.constraint_id: {} for c in self.constraints
         }
+        # Batch-prepared contribution ciphertexts, keyed by
+        # (constraint_id, update_id); filled by :meth:`prepare_batch`
+        # under a parallel executor, drained by :meth:`_check_one`.
+        self._prepared: Dict[tuple, object] = {}
 
     def _group_key(self, constraint: Constraint, update: Update) -> tuple:
         return tuple(
@@ -210,13 +227,62 @@ class PaillierVerifier(BaseVerifier):
         fixed = int(round(contribution * self.scale))
         return self.keypair.public_key.encrypt_signed(fixed), fixed
 
-    def precompute(self, updates_expected: int, rng=None) -> int:
+    def precompute(self, updates_expected: int, rng=None,
+                   executor=None) -> int:
         """Offline phase: bank ``r^n mod n²`` obfuscators for the next
         ``updates_expected`` updates (one encryption per constraint
-        each).  Returns the resulting pool size."""
+        each).  Returns the resulting pool size.  The exponentiations
+        chunk across the engine's executor workers by default; the
+        resulting pool stays in this process."""
+        executor = executor if executor is not None else self.executor
         return self.keypair.public_key.precompute_randomness(
-            updates_expected * max(1, len(self.constraints)), rng=rng
+            updates_expected * max(1, len(self.constraints)), rng=rng,
+            executor=executor,
         )
+
+    # -- batch hooks ------------------------------------------------------
+
+    def begin_batch(self, expected: int = 0) -> None:
+        self._prepared = {}
+
+    def end_batch(self) -> None:
+        self._prepared = {}
+
+    def prepare_batch(self, updates: Sequence[Update],
+                      executor=None) -> None:
+        """Encrypt every update's per-constraint contribution up front,
+        chunked across executor workers.
+
+        Contribution encryption is the order-independent half of the
+        Paillier check (the decrypt-and-compare half walks the running
+        aggregate and stays serial), so fanning it out preserves
+        decision equivalence exactly: ciphertext *randomness* differs,
+        but decisions depend only on decrypted sums.  Contributions out
+        of signed range are left unprepared so the serial path raises
+        at the same point it always did.
+        """
+        executor = executor if executor is not None else self.executor
+        if not getattr(executor, "parallel", False):
+            return  # inline encryption is already optimal serially
+        keys, values = [], []
+        half = self.keypair.public_key.n // 2
+        for update in updates:
+            for constraint in self.constraints_for(update):
+                contribution = constraint.aggregate.contribution_of(
+                    update.payload
+                )
+                fixed = int(round(contribution * self.scale))
+                if abs(fixed) >= half:
+                    continue
+                keys.append((constraint.constraint_id, update.update_id))
+                values.append(fixed)
+        if not keys:
+            return
+        ciphertexts = encrypt_batch(
+            self.keypair.public_key, values, signed=True, executor=executor
+        )
+        self.metrics.counter("paillier.prepared_contributions").add(len(keys))
+        self._prepared.update(zip(keys, ciphertexts))
 
     def verify(self, update: Update, now: float) -> VerificationOutcome:
         for constraint in self.constraints_for(update):
@@ -229,7 +295,12 @@ class PaillierVerifier(BaseVerifier):
     def _check_one(self, constraint: Constraint, update: Update) -> bool:
         group = self._group_key(constraint, update)
         tracing = self.tracer.enabled
-        if tracing:
+        prepared = self._prepared.pop(
+            (constraint.constraint_id, update.update_id), None
+        ) if self._prepared else None
+        if prepared is not None:
+            ciphertext = prepared
+        elif tracing:
             with self.tracer.span("paillier.encrypt",
                                   parent=self._parent_span,
                                   constraint=constraint.constraint_id):

@@ -9,7 +9,7 @@ generators (for Pedersen's second base ``h``).
 from dataclasses import dataclass
 
 from repro.common.randomness import SystemRandomSource
-from repro.crypto.numbers import generate_safe_prime
+from repro.crypto.numbers import generate_safe_prime, jacobi
 from repro.crypto.hashing import hash_to_int
 from repro.crypto.numbers import int_to_bytes
 
@@ -78,9 +78,19 @@ class SchnorrGroup:
         return (a * b) % self.p
 
     def is_member(self, element: int) -> bool:
-        """Check membership in the order-q subgroup."""
+        """Check membership in the order-q subgroup.
+
+        For a safe-prime group (p = 2q + 1, the only kind this module
+        constructs) the order-q subgroup is exactly the quadratic
+        residues, so Euler's criterion ``e^q == 1`` is equivalent to
+        Legendre symbol 1 — computable by quadratic reciprocity without
+        a full-size modular exponentiation.  Non-safe moduli (possible
+        via direct dataclass construction) keep the generic check.
+        """
         if not 1 <= element < self.p:
             return False
+        if self.p == 2 * self.q + 1:
+            return jacobi(element, self.p) == 1
         return pow(element, self.q, self.p) == 1
 
     def independent_generator(self, label: bytes) -> int:

@@ -57,16 +57,24 @@ class LedgerDigest:
 class CentralLedger:
     """Append-only journal with Merkle anchoring."""
 
-    def __init__(self, name: str = "ledger", tracer=None):
+    def __init__(self, name: str = "ledger", tracer=None, executor=None):
         self.name = name
         self._entries: List[LedgerEntry] = []
         self._tree = MerkleTree()
         self._tracer = tracer or NOOP_TRACER
+        self._executor = executor
 
     def bind_tracer(self, tracer) -> None:
         """Attach a tracer after construction (the framework does this
         so Merkle-extension spans appear in pipeline traces)."""
         self._tracer = tracer
+
+    def bind_executor(self, executor) -> None:
+        """Attach an execution layer; batch appends then hash their
+        leaf chunks across its workers (roots stay bit-identical —
+        only the leaf hashing parallelizes, the tree combines
+        serially)."""
+        self._executor = executor
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -77,14 +85,18 @@ class CentralLedger:
         self._tree.append(entry.leaf_bytes())
         return entry
 
-    def append_batch(self, payloads: Sequence[Any]) -> List[LedgerEntry]:
+    def append_batch(self, payloads: Sequence[Any],
+                     executor=None) -> List[LedgerEntry]:
         """Append many payloads under one amortized Merkle extension.
 
         Entries get the same consecutive sequence numbers (and hence
         the same leaf bytes, digests, inclusion and consistency proofs)
         as if each payload had been :meth:`append`-ed individually —
         the tree is simply extended in bulk instead of leaf-by-leaf.
+        ``executor`` overrides the bound execution layer for this batch
+        (leaf-chunk hashing only; results are digest-identical).
         """
+        executor = executor if executor is not None else self._executor
         start = len(self._entries)
         entries = [
             LedgerEntry(sequence=start + offset, payload=payload)
@@ -94,9 +106,11 @@ class CentralLedger:
         if self._tracer.enabled:
             with self._tracer.span("merkle.extend", ledger=self.name,
                                    leaves=len(entries), start=start):
-                self._tree.extend(entry.leaf_bytes() for entry in entries)
+                self._tree.extend((entry.leaf_bytes() for entry in entries),
+                                  executor=executor)
         else:
-            self._tree.extend(entry.leaf_bytes() for entry in entries)
+            self._tree.extend((entry.leaf_bytes() for entry in entries),
+                              executor=executor)
         return entries
 
     def entry(self, sequence: int) -> LedgerEntry:

@@ -1,0 +1,213 @@
+"""Executor implementations for chunked crypto work.
+
+The contract all call sites rely on:
+
+* ``map_chunks(fn, items)`` splits ``items`` into contiguous chunks,
+  applies ``fn(chunk) -> list`` to each, and returns the concatenation
+  in input order.  ``fn`` must be a top-level function and chunks must
+  pickle; per-item results must pickle back.
+* The serial executor applies ``fn`` to the whole item list in the
+  calling process — identical arithmetic, identical ordering — so any
+  correctly chunk-local ``fn`` is execution-equivalent across
+  executors.
+
+Process pools are cached per worker count and shared across executor
+instances (one fork-server-style warm pool per process), so tests and
+short-lived frameworks do not pay pool startup per batch.  Pools are
+torn down atexit.
+"""
+
+import atexit
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.common.errors import PReVerError
+from repro.obs.tracing import NOOP_TRACER
+
+#: Below this many items a process round-trip costs more than it saves;
+#: ``ParallelExecutor`` runs such batches inline.
+DEFAULT_MIN_ITEMS = 8
+
+_ENV_EXECUTOR = "REPRO_EXECUTOR"
+_ENV_WORKERS = "REPRO_WORKERS"
+
+
+def split_chunks(items: Sequence, n_chunks: int) -> List[List]:
+    """Split ``items`` into at most ``n_chunks`` contiguous, near-even
+    chunks (never empty ones), preserving order."""
+    items = list(items)
+    if not items:
+        return []
+    n_chunks = max(1, min(n_chunks, len(items)))
+    base, extra = divmod(len(items), n_chunks)
+    chunks = []
+    start = 0
+    for i in range(n_chunks):
+        size = base + (1 if i < extra else 0)
+        chunks.append(items[start:start + size])
+        start += size
+    return chunks
+
+
+class Executor:
+    """Interface: chunked map over picklable items."""
+
+    name = "abstract"
+    workers = 1
+    #: True when chunks may run in other processes (call sites that are
+    #: order-sensitive or unpicklable should check this).
+    parallel = False
+
+    def bind_tracer(self, tracer) -> None:
+        """Attach a tracer; parallel maps then record ``parallel.map``
+        spans with worker/chunk counts."""
+
+    def map_chunks(self, fn: Callable[[list], list], items: Sequence,
+                   label: str = "map") -> list:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release resources (shared pools survive; see module notes)."""
+
+    def describe(self) -> dict:
+        return {"executor": self.name, "workers": self.workers}
+
+
+class SerialExecutor(Executor):
+    """Run every chunk function inline — the default execution mode."""
+
+    name = "serial"
+    workers = 1
+    parallel = False
+
+    def map_chunks(self, fn: Callable[[list], list], items: Sequence,
+                   label: str = "map") -> list:
+        items = list(items)
+        if not items:
+            return []
+        return list(fn(items))
+
+
+#: Shared default instance; stateless, safe to reuse everywhere.
+SERIAL_EXECUTOR = SerialExecutor()
+
+
+# -- shared process pools ---------------------------------------------------
+
+_POOL_CACHE: Dict[int, ProcessPoolExecutor] = {}
+
+
+def _shared_pool(workers: int) -> ProcessPoolExecutor:
+    pool = _POOL_CACHE.get(workers)
+    if pool is None:
+        pool = ProcessPoolExecutor(max_workers=workers)
+        _POOL_CACHE[workers] = pool
+    return pool
+
+
+def _shutdown_pools() -> None:
+    while _POOL_CACHE:
+        _, pool = _POOL_CACHE.popitem()
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+atexit.register(_shutdown_pools)
+
+
+class ParallelExecutor(Executor):
+    """Fan chunks out to a process pool, reassemble in input order.
+
+    ``workers`` defaults to the host CPU count.  Batches smaller than
+    ``min_items`` run inline (the pool round-trip would dominate).
+    Worker processes are plain CPython interpreters: chunk functions
+    re-derive any per-process state (Paillier key caches, randomness
+    pools) locally — nothing in this repo shares mutable state across
+    workers.
+    """
+
+    name = "process"
+    parallel = True
+
+    def __init__(self, workers: Optional[int] = None,
+                 min_items: int = DEFAULT_MIN_ITEMS,
+                 tracer=None):
+        if workers is not None and workers <= 0:
+            raise PReVerError("ParallelExecutor needs a positive worker count")
+        self.workers = workers or os.cpu_count() or 1
+        self.min_items = min_items
+        self.tracer = tracer or NOOP_TRACER
+
+    def bind_tracer(self, tracer) -> None:
+        self.tracer = tracer
+
+    def map_chunks(self, fn: Callable[[list], list], items: Sequence,
+                   label: str = "map") -> list:
+        items = list(items)
+        if not items:
+            return []
+        if len(items) < max(2, self.min_items) or self.workers == 1:
+            # Inline fast path: identical arithmetic, no pool traffic.
+            return list(fn(items))
+        chunks = split_chunks(items, self.workers)
+        if self.tracer.enabled:
+            return self._map_traced(fn, chunks, len(items), label)
+        pool = _shared_pool(self.workers)
+        futures = [pool.submit(fn, chunk) for chunk in chunks]
+        out: List[Any] = []
+        for future in futures:
+            out.extend(future.result())
+        return out
+
+    def _map_traced(self, fn, chunks, n_items: int, label: str) -> list:
+        """Same fan-out, wrapped in a ``parallel.map`` span with one
+        ``parallel.chunk`` child per submitted chunk."""
+        pool = _shared_pool(self.workers)
+        with self.tracer.span(
+            "parallel.map", label=label, workers=self.workers,
+            chunks=len(chunks), items=n_items,
+        ) as span:
+            futures = []
+            for i, chunk in enumerate(chunks):
+                child = span.child(
+                    "parallel.chunk", chunk=i, items=len(chunk)
+                )
+                futures.append((pool.submit(fn, chunk), child))
+            out: List[Any] = []
+            for future, child in futures:
+                try:
+                    out.extend(future.result())
+                except BaseException as exc:
+                    child.set_status("error")
+                    child.set_attribute("exception", repr(exc))
+                    raise
+                finally:
+                    child.end()
+        return out
+
+
+# -- selection --------------------------------------------------------------
+
+def make_executor(kind: str, workers: Optional[int] = None) -> Executor:
+    """Build an executor by name (``serial`` | ``process``)."""
+    if kind == "serial":
+        return SERIAL_EXECUTOR
+    if kind == "process":
+        return ParallelExecutor(workers=workers)
+    raise PReVerError(f"unknown executor kind {kind!r}")
+
+
+def executor_from_env(environ=None) -> Executor:
+    """Resolve the default executor from ``REPRO_EXECUTOR`` /
+    ``REPRO_WORKERS`` (serial when unset), so CI can run the whole
+    suite over the process-pool path without code changes."""
+    environ = os.environ if environ is None else environ
+    kind = environ.get(_ENV_EXECUTOR, "serial").strip().lower() or "serial"
+    workers_raw = environ.get(_ENV_WORKERS, "").strip()
+    workers = int(workers_raw) if workers_raw else None
+    return make_executor(kind, workers=workers)
+
+
+def resolve_executor(executor: Optional[Executor]) -> Executor:
+    """``executor`` if given, else the environment default."""
+    return executor if executor is not None else executor_from_env()
