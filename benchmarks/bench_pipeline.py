@@ -10,11 +10,15 @@ routing, incremental aggregate cache, one Merkle anchor per batch,
 Paillier offline randomness) against sequential ``submit`` on the same
 update stream, asserting decision/digest equivalence, and compares the
 multicore execution layer (``--executor process --workers N``) against
-serial ``submit_many`` on the crypto-heavy Paillier path.  Everything
-is written to ``BENCH_pipeline.json``.  Standalone:
+serial ``submit_many`` on the crypto-heavy Paillier path.  With
+``--durability`` it additionally prices the crash-safety layer: the
+same stream under durability off / wal (group-commit) / wal with an
+fsync per record / wal+snapshot, asserting the ledger root is
+identical in every mode.  Everything is written to
+``BENCH_pipeline.json``.  Standalone:
 
     PYTHONPATH=src python benchmarks/bench_pipeline.py [--smoke]
-        [--executor {serial,process}] [--workers N]
+        [--executor {serial,process}] [--workers N] [--durability]
 """
 
 import argparse
@@ -22,11 +26,13 @@ import gc
 import itertools
 import json
 import os
+import tempfile
 import time
 
 from repro.core.contexts import single_private_database
 from repro.database.engine import Database
 from repro.database.schema import ColumnType, TableSchema
+from repro.durability import Durability
 from repro.model.constraints import upper_bound_regulation
 from repro.model.update import Update, UpdateOperation
 from repro.obs.export import metrics_to_json
@@ -39,7 +45,7 @@ BATCH_ENGINES = ["plaintext", "paillier"]
 _ids = itertools.count()
 
 
-def build(engine, executor=None):
+def build(engine, executor=None, durability=None):
     db = Database("mgr")
     db.create_table(TableSchema.build(
         "emissions",
@@ -51,10 +57,10 @@ def build(engine, executor=None):
         "cap", "emissions", "co2", 10**7, ["org"]
     )
     # Deterministic id so independently built frameworks (sequential vs
-    # batched) anchor byte-identical decision records.
+    # batched, durable vs not) anchor byte-identical decision records.
     regulation.constraint_id = "cst-emissions-cap"
     return single_private_database(db, [regulation], engine=engine,
-                                   executor=executor)
+                                   executor=executor, durability=durability)
 
 
 def one_update(framework):
@@ -215,9 +221,76 @@ def compare_parallel_vs_serial(engine="paillier", n_updates=300, workers=4):
     }
 
 
+#: Durability pricing menu: label -> policy factory (None = off).
+#: ``wal`` is the group-commit default (fsync once per anchored batch);
+#: ``wal-fsync-each`` additionally fsyncs every update record (the
+#: power-cut-safe worst case); ``wal+snapshot`` adds checkpoints.
+DURABILITY_MODES = [
+    ("off", None),
+    ("wal", lambda d: Durability.wal(d)),
+    ("wal-fsync-each", lambda d: Durability.wal(d, fsync_every=1)),
+    ("wal+snapshot",
+     lambda d: Durability.wal_with_snapshots(d, snapshot_every=100)),
+]
+
+
+def compare_durability(engine="plaintext", n_updates=600, chunk=100):
+    """Price the crash-safety layer on the batched pipeline.
+
+    Runs the same chunked ``submit_many`` stream under each durability
+    mode, asserting the ledger root matches the durability-off run in
+    every mode (the layer must not change a single decision or anchor),
+    then reports per-mode throughput, overhead vs off, and the fsync /
+    WAL-byte counters that explain it.
+    """
+    results = []
+    baseline_root = None
+    for label, make_policy in DURABILITY_MODES:
+        with tempfile.TemporaryDirectory(prefix="bench-durable-") as tmp:
+            durability = make_policy(tmp) if make_policy else None
+            framework = build(engine, durability=durability)
+            stream = make_stream(n_updates)
+            gc.collect()
+            gc.disable()
+            try:
+                start = time.perf_counter()
+                for i in range(0, n_updates, chunk):
+                    framework.submit_many(stream[i:i + chunk])
+                elapsed = time.perf_counter() - start
+            finally:
+                gc.enable()
+            root = framework.ledger.digest().root
+            if baseline_root is None:
+                baseline_root = root
+            assert root == baseline_root, \
+                f"durability mode {label!r} changed the ledger root"
+            metrics = framework.metrics
+            results.append({
+                "mode": label,
+                "engine": engine,
+                "updates": n_updates,
+                "chunk": chunk,
+                "seconds": elapsed,
+                "per_sec": n_updates / elapsed,
+                "fsyncs": metrics.counter_value("durability.fsyncs"),
+                "wal_records": metrics.counter_value("durability.wal_records"),
+                "wal_bytes": metrics.counter_total("durability.wal_bytes"),
+                "snapshots": metrics.counter_value("durability.snapshots"),
+                "wal_append_seconds":
+                    metrics.timer_total("durability.wal_append"),
+                "fsync_seconds": metrics.timer_total("durability.fsync"),
+            })
+            framework.close()
+    base = results[0]["seconds"]
+    for result in results:
+        result["overhead_vs_off"] = result["seconds"] / base
+    return results
+
+
 def run_batch_comparison(plaintext_updates=1000, paillier_updates=300,
                          out_path="BENCH_pipeline.json", workers=4,
-                         parallel_updates=None, include_parallel=True):
+                         parallel_updates=None, include_parallel=True,
+                         include_durability=False, durability_updates=600):
     results = []
     for engine in BATCH_ENGINES:
         n = plaintext_updates if engine == "plaintext" else paillier_updates
@@ -229,14 +302,19 @@ def run_batch_comparison(plaintext_updates=1000, paillier_updates=300,
             n_updates=parallel_updates or paillier_updates,
             workers=workers,
         ))
+    durability = []
+    if include_durability:
+        durability = compare_durability(n_updates=durability_updates)
     artifact = {
         "experiment": "E1-batched",
         "description": "batched (submit_many) vs sequential (submit) "
                        "Figure-2 pipeline throughput, plus the multicore "
                        "execution layer (process pool) vs serial on the "
-                       "Paillier verify path",
+                       "Paillier verify path, plus (opt-in) the durability "
+                       "layer's fsync cost per mode",
         "results": results,
         "parallel": parallel,
+        "durability": durability,
     }
     if out_path:
         with open(out_path, "w", encoding="utf-8") as handle:
@@ -284,6 +362,32 @@ def print_parallel_table(artifact):
     for r in artifact.get("parallel", []):
         if r.get("note"):
             print(f"note: {r['note']}")
+
+
+def durability_rows(artifact):
+    return [
+        [
+            r["mode"], r["updates"],
+            f"{r['per_sec']:.0f}/s",
+            f"{r['overhead_vs_off']:.2f}x",
+            str(r["fsyncs"]),
+            f"{r['wal_bytes'] / 1024:.0f}KiB" if r["wal_bytes"] else "-",
+            str(r["snapshots"]) if r["snapshots"] else "-",
+        ]
+        for r in artifact.get("durability", [])
+    ]
+
+
+def print_durability_table(artifact):
+    rows = durability_rows(artifact)
+    if not rows:
+        return
+    print_table(
+        "E1-durability: crash-safety cost per mode (submit_many, plaintext)",
+        ["mode", "updates", "throughput", "overhead", "fsyncs",
+         "wal-bytes", "snapshots"],
+        rows,
+    )
 
 
 try:
@@ -376,10 +480,18 @@ def main(argv=None):
     parser.add_argument("--metrics-out", default="",
                         help="also write the batched plaintext run's "
                              "metrics in the repro.obs.export JSON schema")
+    parser.add_argument("--durability", action="store_true",
+                        help="also price the crash-safety layer: the same "
+                             "stream under durability off / wal / "
+                             "wal-fsync-each / wal+snapshot, asserting the "
+                             "ledger root never changes")
+    parser.add_argument("--durability-updates", type=int, default=600,
+                        help="stream length for the durability comparison")
     parser.add_argument("--smoke", action="store_true",
                         help="small streams; assert batched is not slower")
     args = parser.parse_args(argv)
-    if args.updates <= 0 or args.paillier_updates <= 0:
+    if args.updates <= 0 or args.paillier_updates <= 0 \
+            or args.durability_updates <= 0:
         parser.error("stream lengths must be positive")
     if args.workers <= 0:
         parser.error("--workers must be positive")
@@ -387,6 +499,7 @@ def main(argv=None):
     if args.smoke:
         args.updates = min(args.updates, 300)
         args.paillier_updates = min(args.paillier_updates, 100)
+        args.durability_updates = min(args.durability_updates, 200)
 
     artifact = run_batch_comparison(
         plaintext_updates=args.updates,
@@ -394,6 +507,8 @@ def main(argv=None):
         out_path=args.out,
         workers=args.workers,
         include_parallel=(args.executor == "process"),
+        include_durability=args.durability,
+        durability_updates=args.durability_updates,
     )
     print_table(
         "E1-batched: submit_many vs submit",
@@ -401,6 +516,7 @@ def main(argv=None):
         batch_rows(artifact),
     )
     print_parallel_table(artifact)
+    print_durability_table(artifact)
     if args.out:
         print(f"\nwrote {args.out}")
     if args.metrics_out:

@@ -72,6 +72,12 @@ from repro.obs import (
     metrics_to_json,
     to_prometheus,
 )
+from repro.durability import (
+    Durability,
+    RecoveryManager,
+    RecoveryReport,
+    SimulatedCrash,
+)
 
 __version__ = "1.0.0"
 
@@ -114,5 +120,9 @@ __all__ = [
     "Tracer",
     "metrics_to_json",
     "to_prometheus",
+    "Durability",
+    "RecoveryManager",
+    "RecoveryReport",
+    "SimulatedCrash",
     "__version__",
 ]

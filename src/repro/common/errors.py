@@ -53,3 +53,19 @@ class BudgetExhausted(PReVerError):
 
 class SerializationError(PReVerError):
     """A value could not be canonically serialized or deserialized."""
+
+
+class DurabilityError(PReVerError):
+    """The durability layer (WAL, snapshots, recovery) was misused or
+    hit an unrecoverable persistence failure."""
+
+
+class WalCorruptionError(DurabilityError):
+    """The write-ahead log is damaged in a way recovery must refuse to
+    repair silently.
+
+    A *torn tail* (an interrupted final write) is expected after a
+    crash and is truncated automatically; this error means something
+    worse: a CRC-corrupt record with valid records after it, a
+    missing/out-of-order LSN, or a damaged non-final segment — all
+    signs of bit rot or tampering rather than a clean crash."""

@@ -160,6 +160,13 @@ class MetricsRegistry:
         counter = self._counters.get(name)
         return counter.count if counter is not None else 0
 
+    def counter_total(self, name: str) -> float:
+        """Summed value for ``name`` (0.0 when it never fired) — the
+        read-side accessor for value-carrying counters like byte
+        counts, where ``count`` is just the number of ``add`` calls."""
+        counter = self._counters.get(name)
+        return counter.total if counter is not None else 0.0
+
     def timer_total(self, name: str) -> float:
         """Total recorded seconds for ``name`` without creating the
         timer (0.0 when it never fired) — the read-side accessor."""

@@ -53,8 +53,12 @@ def single_private_database(
     dp_epsilon_per_refresh: float = 0.25,
     tracer=None,
     executor=None,
+    durability=None,
 ) -> PReVer:
-    """RC1 context: outsourced single database, untrusted manager."""
+    """RC1 context: outsourced single database, untrusted manager.
+
+    ``durability`` takes a :class:`repro.durability.Durability` policy
+    (default off — nothing persisted)."""
     constraints = list(constraints)
     if engine == "paillier":
         verifier = PaillierVerifier(constraints)
@@ -81,6 +85,7 @@ def single_private_database(
         threat_model=ThreatModel.honest_but_curious_manager(),
         tracer=tracer,
         executor=executor,
+        durability=durability,
     )
     for constraint in constraints:
         if constraint.kind.value == "internal":

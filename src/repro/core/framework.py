@@ -23,12 +23,14 @@ Two submission paths share the same per-update semantics:
   preserving per-entry sequence numbers, digests and inclusion proofs.
 """
 
+import os
 from collections import deque
 from typing import Dict, List, Optional, Sequence
 
 from repro.common.clock import SimClock, WallClock
-from repro.common.errors import IntegrityError, PReVerError
+from repro.common.errors import DurabilityError, IntegrityError, PReVerError
 from repro.common.metrics import MetricsRegistry
+from repro.durability.policy import Durability, SimulatedCrash
 from repro.core.outcome import UpdateResult, VerificationOutcome
 from repro.core.routing import BatchAggregateCache, ConstraintRouter, check_constraint
 from repro.database.engine import Database
@@ -67,6 +69,7 @@ class PReVer:
         max_results: Optional[int] = None,
         tracer: Optional[Tracer] = None,
         executor=None,
+        durability: Optional[Durability] = None,
     ):
         if not databases:
             raise PReVerError("PReVer needs at least one database")
@@ -125,10 +128,39 @@ class PReVer:
             self.ledger.bind_executor(self.executor)
         if engine is not None and hasattr(engine, "bind_executor"):
             engine.bind_executor(self.executor)
+        # Durability: off by default, which keeps every code path (and
+        # so every decision, digest, and benchmark number) identical to
+        # the pre-durability framework.  When on, the WAL opens now —
+        # repairing any torn tail from a previous crash — so
+        # :meth:`recover` can run before the first submit.
+        self.durability = durability or Durability.off()
+        self._crash_after = self.durability.crash_after
+        self._wal = None
+        self._snapshotter = None
+        if self.durability.enabled:
+            from repro.durability.snapshot import Snapshotter
+            from repro.durability.wal import WriteAheadLog
+
+            self._wal = WriteAheadLog(
+                os.path.join(self.durability.directory, "wal"),
+                fsync_every=self.durability.fsync_every,
+                segment_max_bytes=self.durability.segment_max_bytes,
+                metrics=self.metrics,
+                tracer=self.tracer,
+            )
+            if self.durability.snapshots_enabled:
+                self._snapshotter = Snapshotter(
+                    os.path.join(self.durability.directory, "snapshots"),
+                    snapshot_every=self.durability.snapshot_every,
+                    keep=self.durability.keep_snapshots,
+                    metrics=self.metrics,
+                    tracer=self.tracer,
+                )
 
     # -- step (0): constraint registration -------------------------------
 
     def register_authority(self, authority: Authority) -> None:
+        """Register an external authority that can issue regulations."""
         self._authorities[authority.name] = authority
 
     def register_constraint(self, constraint: Constraint,
@@ -246,16 +278,16 @@ class PReVer:
 
         # Amortized anchoring: one Merkle extension for the whole batch.
         start = self._wall.now()
-        entries = self.ledger.append_batch(
-            [self._anchor_payload(u, o, trace=t)
-             for (u, o, _, _), t in zip(pending, traces)],
-            executor=executor,
-        )
+        payloads = [self._anchor_payload(u, o, trace=t)
+                    for (u, o, _, _), t in zip(pending, traces)]
+        entries = self.ledger.append_batch(payloads, executor=executor)
         anchor_end = self._wall.now()
         anchor_elapsed = anchor_end - start
         self.metrics.timer("pipeline.anchor_batch").record(anchor_elapsed)
         anchor_share = anchor_elapsed / len(pending)
         batch_digest = self.ledger.digest() if tracing else None
+        if self._wal is not None:
+            self._durable_anchor(payloads, digest=batch_digest)
 
         results = []
         for (update, outcome, applied, timings), trace, entry in zip(
@@ -384,6 +416,13 @@ class PReVer:
         # (duplicate key, missing row) reject the update rather than
         # crash the pipeline; the rejection is anchored like any other.
         update.mark_verified()
+        # Log-before-apply: the WAL record must exist before the
+        # database mutates, so a crash mid-apply can replay (or drop)
+        # the update but never half-remember it.
+        if self._wal is not None:
+            self._wal.append_update(self._wal_update_record(update, now))
+            if self._crash_after is not None:
+                self._crash_point("wal_update")
         try:
             self._apply(update)
         except (TableError, SchemaError) as exc:
@@ -410,6 +449,8 @@ class PReVer:
             batch_cache.note_applied(update)
         if self.engine is not None and hasattr(self.engine, "note_applied"):
             self.engine.note_applied(update, now)
+        if self._crash_after is not None:
+            self._crash_point("apply")
         return update, outcome, True, timings
 
     def _start_update_trace(self, update: Update) -> Span:
@@ -504,14 +545,89 @@ class PReVer:
             payload["trace_id"] = trace.trace_id
         return payload
 
+    # -- durability (see repro.durability) --------------------------------
+
+    def _wal_update_record(self, update: Update, now: float) -> dict:
+        """Everything recovery needs to reconstruct and re-apply the
+        update, mirroring :meth:`Update.body_bytes` plus the engine
+        clock reading the decision was made under."""
+        return {
+            "table": update.table,
+            "operation": update.operation.value,
+            "payload": update.payload,
+            "key": list(update.key) if update.key is not None else None,
+            "visibility": update.visibility.value,
+            "producers": update.producers,
+            "managers": update.managers,
+            "update_id": update.update_id,
+            "now": now,
+        }
+
+    def _durable_anchor(self, payloads: List[dict],
+                        digest=None) -> None:
+        """Write the batch's anchor marker (the group-commit fsync that
+        makes the whole batch durable), then maybe checkpoint."""
+        if self._crash_after is not None:
+            self._crash_point("anchor_append")
+        digest = digest if digest is not None else self.ledger.digest()
+        self._wal.append_anchor(
+            {
+                "payloads": payloads,
+                "size": digest.size,
+                "root": digest.root.hex(),
+            },
+            sync=self.durability.sync_anchors,
+        )
+        if self._crash_after is not None:
+            self._crash_point("anchor_marker")
+        if self._snapshotter is not None:
+            taken = self._snapshotter.maybe_take(
+                self, self._wal.last_lsn, len(payloads)
+            )
+            if taken is not None:
+                self._wal.prune(self._wal.last_lsn)
+
+    def _crash_point(self, name: str) -> None:
+        """Fault injection: die here if the policy says so."""
+        if self._crash_after == name:
+            raise SimulatedCrash(name)
+
+    def recover(self):
+        """Run crash recovery (snapshot + WAL replay + root check) on
+        this freshly built framework; see
+        :class:`repro.durability.recovery.RecoveryManager`.  Returns
+        the :class:`~repro.durability.recovery.RecoveryReport`."""
+        from repro.durability.recovery import RecoveryManager
+
+        return RecoveryManager(self).recover()
+
+    def snapshot_now(self) -> str:
+        """Checkpoint on demand (and prune WAL segments the snapshot
+        covers); returns the snapshot file path."""
+        if self._snapshotter is None or self._wal is None:
+            raise DurabilityError(
+                "snapshot_now() needs durability mode 'wal+snapshot'"
+            )
+        path = self._snapshotter.take(self, self._wal.last_lsn)
+        self._wal.prune(self._wal.last_lsn)
+        return path
+
+    def close(self) -> None:
+        """Flush and fsync the WAL; call before discarding the
+        instance (a no-op with durability off)."""
+        if self._wal is not None:
+            self._wal.close()
+
     def _finish(self, update: Update, outcome: VerificationOutcome,
                 applied: bool, timings: Dict[str, float],
                 trace: Optional[Span] = None) -> UpdateResult:
         start = self._wall.now()
-        entry = self.ledger.append(self._anchor_payload(update, outcome,
-                                                        trace=trace))
+        payload = self._anchor_payload(update, outcome, trace=trace)
+        entry = self.ledger.append(payload)
         anchor_end = self._wall.now()
         timings["anchor"] = anchor_end - start
+        if self._wal is not None:
+            self._durable_anchor([payload])
         if trace is not None:
             self._close_anchor_span(
                 trace, update, entry, self.ledger.digest(),
@@ -615,4 +731,5 @@ class PReVer:
         )
 
     def decision_history(self) -> List[dict]:
+        """Every anchored decision payload, in ledger order."""
         return [entry.payload for entry in self.ledger.entries()]

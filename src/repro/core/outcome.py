@@ -17,6 +17,8 @@ class VerificationOutcome:
     failed_constraint: Optional[str] = None
 
     def to_dict(self) -> dict:
+        """The decision fields anchored on the ledger (evidence is
+        kept out: it may contain ciphertexts or proofs)."""
         return {
             "accepted": self.accepted,
             "engine": self.engine,
@@ -38,4 +40,5 @@ class UpdateResult:
 
     @property
     def accepted(self) -> bool:
+        """Shorthand for ``outcome.accepted``."""
         return self.outcome.accepted

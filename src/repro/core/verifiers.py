@@ -50,7 +50,7 @@ from repro.privacy.enclave import TrustedEnclaveSimulator
 
 
 class EngineError(PReVerError):
-    pass
+    """A verification engine failed or was misconfigured."""
 
 
 class BaseVerifier:
@@ -120,6 +120,30 @@ class BaseVerifier:
 
     def note_applied(self, update: Update, now: float) -> None:
         pass
+
+    # -- durability hooks (see repro.durability) --------------------------
+    #
+    # Engines whose verification state is *not* derivable from the
+    # shared databases (e.g. Paillier's ciphertext aggregates) override
+    # these three so snapshots capture the state and WAL replay rebuilds
+    # it.  The defaults declare "nothing beyond the databases".
+
+    def durable_state(self) -> Optional[dict]:
+        """Engine state a snapshot must persist (None = nothing —
+        everything this engine needs lives in the shared databases)."""
+        return None
+
+    def restore_durable_state(self, state: Optional[dict]) -> None:
+        """Load :meth:`durable_state` output during recovery."""
+        if state is not None:
+            raise EngineError(
+                f"engine {self.name!r} cannot restore durable state"
+            )
+
+    def replay_applied(self, update: Update, now: float) -> None:
+        """Re-apply one anchored-as-applied update's effect on engine
+        state during WAL replay (the decision is already made; no
+        verification or transcript observation happens here)."""
 
     def _outcome(self, accepted: bool, failed: Optional[str] = None,
                  **evidence) -> VerificationOutcome:
@@ -331,6 +355,71 @@ class PaillierVerifier(BaseVerifier):
 
     def apply_to_store(self, update: Update) -> None:
         """Hook for contexts that also maintain an encrypted table."""
+
+    # -- durability hooks --------------------------------------------------
+
+    def durable_state(self) -> dict:
+        """Ciphertext aggregates, as integers — never decrypted totals.
+
+        The snapshot holds only what the untrusted manager already
+        sees (ciphertext values and group keys), so persisting it adds
+        no leakage.  The keypair is deliberately absent: the operator
+        re-supplies the same key material when rebuilding the engine,
+        and ``n`` is stored to fail closed on a mismatch.
+        """
+        return {
+            "n": self.keypair.public_key.n,
+            "scale": self.scale,
+            "aggregates": {
+                constraint_id: [
+                    [list(group), ciphertext.value]
+                    for group, ciphertext in sorted(
+                        groups.items(), key=lambda item: repr(item[0])
+                    )
+                ]
+                for constraint_id, groups in self._cipher_aggregates.items()
+            },
+        }
+
+    def restore_durable_state(self, state: Optional[dict]) -> None:
+        """Rebuild ciphertext aggregates from :meth:`durable_state`."""
+        from repro.crypto.paillier import PaillierCiphertext
+
+        if state is None:
+            return
+        if state["n"] != self.keypair.public_key.n:
+            raise EngineError(
+                "snapshot was taken under a different Paillier keypair"
+            )
+        if state["scale"] != self.scale:
+            raise EngineError("snapshot fixed-point scale mismatch")
+        public_key = self.keypair.public_key
+        for constraint_id, pairs in state["aggregates"].items():
+            if constraint_id not in self._cipher_aggregates:
+                raise EngineError(
+                    f"snapshot aggregates name unknown constraint "
+                    f"{constraint_id!r}"
+                )
+            aggregates = self._cipher_aggregates[constraint_id]
+            for group, value in pairs:
+                aggregates[tuple(group)] = PaillierCiphertext(public_key, value)
+
+    def replay_applied(self, update: Update, now: float) -> None:
+        """Fold a replayed update into the running aggregates.
+
+        Re-encrypts the contribution and adds it homomorphically — no
+        decryption: the accept decision was already made and anchored,
+        and decisions depend only on decrypted *sums*, so the fresh
+        ciphertext randomness changes nothing observable.
+        """
+        for constraint in self.constraints_for(update):
+            group = self._group_key(constraint, update)
+            ciphertext, _ = self._encrypt_contribution(constraint, update)
+            aggregates = self._cipher_aggregates[constraint.constraint_id]
+            current = aggregates.get(group)
+            aggregates[group] = (
+                ciphertext if current is None else current + ciphertext
+            )
 
 
 class ZKPVerifier(BaseVerifier):

@@ -1,0 +1,24 @@
+"""Crash-safe durability: write-ahead log, snapshots, recovery.
+
+See :mod:`repro.durability.policy` for the :class:`Durability` knob
+handed to :class:`~repro.core.framework.PReVer`, and
+``docs/OPERATIONS.md`` for the fsync-cost tradeoffs between modes.
+"""
+
+from repro.common.errors import DurabilityError, WalCorruptionError
+from repro.durability.policy import CRASH_POINTS, Durability, SimulatedCrash
+from repro.durability.recovery import RecoveryManager, RecoveryReport
+from repro.durability.snapshot import Snapshotter
+from repro.durability.wal import WriteAheadLog
+
+__all__ = [
+    "CRASH_POINTS",
+    "Durability",
+    "DurabilityError",
+    "RecoveryManager",
+    "RecoveryReport",
+    "SimulatedCrash",
+    "Snapshotter",
+    "WalCorruptionError",
+    "WriteAheadLog",
+]

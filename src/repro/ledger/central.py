@@ -40,6 +40,7 @@ class LedgerEntry:
     payload: Any
 
     def leaf_bytes(self) -> bytes:
+        """Canonical bytes hashed into the Merkle tree for this entry."""
         return canonical_bytes({"sequence": self.sequence, "payload": self.payload})
 
 
@@ -51,6 +52,8 @@ class LedgerDigest:
     root: bytes
 
     def to_dict(self) -> dict:
+        """Serializable form (``root`` stays raw bytes; the canonical
+        JSON encoder hex-tags it)."""
         return {"size": self.size, "root": self.root}
 
 
@@ -80,6 +83,8 @@ class CentralLedger:
         return len(self._entries)
 
     def append(self, payload: Any) -> LedgerEntry:
+        """Append one opaque payload; returns the new journal entry
+        (its ``sequence`` doubles as the Merkle leaf index)."""
         entry = LedgerEntry(sequence=len(self._entries), payload=payload)
         self._entries.append(entry)
         self._tree.append(entry.leaf_bytes())
@@ -114,22 +119,29 @@ class CentralLedger:
         return entries
 
     def entry(self, sequence: int) -> LedgerEntry:
+        """The entry at ``sequence``; :class:`IntegrityError` if absent."""
         try:
             return self._entries[sequence]
         except IndexError:
             raise IntegrityError(f"no entry {sequence} in {self.name!r}") from None
 
     def entries(self, since: int = 0) -> List[LedgerEntry]:
+        """All entries from sequence ``since`` onward (a shallow copy)."""
         return list(self._entries[since:])
 
     def digest(self, size: Optional[int] = None) -> LedgerDigest:
+        """The commitment to the first ``size`` entries (default: all)."""
         size = len(self._entries) if size is None else size
         return LedgerDigest(size=size, root=self._tree.root(size))
 
     def prove_inclusion(self, sequence: int, size: Optional[int] = None) -> InclusionProof:
+        """Audit path showing entry ``sequence`` is under the size-``size``
+        digest (default: the current one)."""
         return self._tree.inclusion_proof(sequence, size)
 
     def prove_consistency(self, old_size: int, new_size: Optional[int] = None) -> ConsistencyProof:
+        """Proof that the ``old_size``-entry history is an untouched
+        prefix of the ``new_size``-entry history (default: current)."""
         return self._tree.consistency_proof(old_size, new_size)
 
     # -- static verification (no ledger access needed) -------------------
@@ -138,6 +150,7 @@ class CentralLedger:
     def verify_entry(
         digest: LedgerDigest, entry: LedgerEntry, proof: InclusionProof
     ) -> bool:
+        """Check an inclusion proof against a published digest."""
         if proof.tree_size != digest.size:
             return False
         return verify_inclusion(digest.root, entry.leaf_bytes(), proof)
@@ -146,9 +159,52 @@ class CentralLedger:
     def verify_extension(
         old: LedgerDigest, new: LedgerDigest, proof: ConsistencyProof
     ) -> bool:
+        """Check a consistency proof between two published digests."""
         if proof.old_size != old.size or proof.new_size != new.size:
             return False
         return verify_consistency(old.root, new.root, proof)
+
+    # -- durability hooks --------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Serializable ledger state for the durability snapshotter.
+
+        Includes the leaf-hash vector so :meth:`restore_state` can
+        rebuild the Merkle tree without rehashing, plus the root as a
+        self-check, and the raw payloads so audits keep working after
+        recovery.
+        """
+        digest = self.digest()
+        return {
+            "name": self.name,
+            "size": digest.size,
+            "root": digest.root.hex(),
+            "leaf_hashes": [h.hex() for h in self._tree.leaf_hashes()],
+            "entries": [entry.payload for entry in self._entries],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore from :meth:`snapshot_state` output into an empty
+        ledger, verifying the rebuilt tree's root against the stored
+        one (fail-closed: :class:`IntegrityError` on any mismatch)."""
+        if self._entries:
+            raise IntegrityError(
+                f"refusing to restore into non-empty ledger {self.name!r}"
+            )
+        entries = state["entries"]
+        leaf_hashes = [bytes.fromhex(h) for h in state["leaf_hashes"]]
+        if len(entries) != len(leaf_hashes) or len(entries) != state["size"]:
+            raise IntegrityError("ledger snapshot size mismatch")
+        self._entries = [
+            LedgerEntry(sequence=index, payload=payload)
+            for index, payload in enumerate(entries)
+        ]
+        self._tree = MerkleTree.from_leaf_hashes(leaf_hashes)
+        root = self._tree.root()
+        if root.hex() != state["root"]:
+            raise IntegrityError(
+                "ledger snapshot root mismatch: snapshot tampered or corrupt"
+            )
 
     # -- persistence -------------------------------------------------------
 

@@ -30,6 +30,7 @@ class EventLog:
     # -- recording --------------------------------------------------------
 
     def emit(self, kind: str, timestamp: float = 0.0, **fields) -> dict:
+        """Append one record (auto-assigned ``seq``); returns it."""
         record = {"seq": next(self._seq), "kind": kind,
                   "timestamp": timestamp}
         record.update(fields)
@@ -39,6 +40,7 @@ class EventLog:
     # -- tracer sink interface --------------------------------------------
 
     def span_open(self, span) -> None:
+        """Tracer-sink hook: record a span opening."""
         self.emit(
             "span_open",
             timestamp=span.start_time,
@@ -50,6 +52,8 @@ class EventLog:
         )
 
     def span_close(self, span) -> None:
+        """Tracer-sink hook: record a span closing, with status and
+        duration."""
         self.emit(
             "span_close",
             timestamp=span.end_time,
@@ -65,19 +69,25 @@ class EventLog:
 
     def event(self, name: str, attributes: Dict[str, Any],
               timestamp: float) -> None:
+        """Tracer-sink hook: record a freestanding tracer event under
+        its own kind."""
         self.emit(name, timestamp=timestamp, **attributes)
 
     # -- queries ----------------------------------------------------------
 
     def events(self, kind: Optional[str] = None) -> List[dict]:
+        """All records, or only those of one ``kind``, in seq order."""
         if kind is None:
             return list(self._events)
         return [e for e in self._events if e["kind"] == kind]
 
     def kinds(self) -> List[str]:
+        """Distinct record kinds present, sorted."""
         return sorted({e["kind"] for e in self._events})
 
     def for_trace(self, trace_id: str) -> List[dict]:
+        """Every record carrying the given ``trace_id`` — one update's
+        full story across pipeline, verdict, and anchor."""
         return [e for e in self._events if e.get("trace_id") == trace_id]
 
     def trace_ids(self) -> List[str]:
@@ -92,6 +102,7 @@ class EventLog:
     # -- (de)serialization -------------------------------------------------
 
     def to_jsonl(self) -> str:
+        """The whole log as JSONL text (bytes values hex-encoded)."""
         return "\n".join(
             json.dumps(e, sort_keys=True, default=_jsonify)
             for e in self._events
@@ -107,11 +118,13 @@ class EventLog:
 
     @staticmethod
     def read_jsonl(path: str) -> List[dict]:
+        """Parse a JSONL file back into a list of record dicts."""
         with open(path, "r", encoding="utf-8") as handle:
             return [json.loads(line) for line in handle if line.strip()]
 
     @classmethod
     def from_records(cls, records: Iterable[dict]) -> "EventLog":
+        """Rebuild a log from record dicts (``seq`` is reassigned)."""
         log = cls()
         for record in records:
             fields = {k: v for k, v in record.items()

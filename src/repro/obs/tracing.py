@@ -54,6 +54,7 @@ class Span:
     # -- recording --------------------------------------------------------
 
     def set_attribute(self, key: str, value: Any) -> "Span":
+        """Attach one key/value to the span; returns self for chaining."""
         self.attributes[key] = value
         return self
 
@@ -63,10 +64,13 @@ class Span:
         return self
 
     def add_event(self, name: str, **attributes) -> "Span":
+        """Record a point-in-time event inside this span."""
         self.events.append({"name": name, "attributes": attributes})
         return self
 
     def end(self, end_time: Optional[float] = None) -> "Span":
+        """Close the span (at ``end_time``, or the tracer clock's now)
+        and hand it to the tracer's sinks; idempotent."""
         if self.end_time is None:  # idempotent: first end wins
             self.end_time = (self.tracer.clock.now()
                              if end_time is None else end_time)
@@ -75,21 +79,25 @@ class Span:
 
     @property
     def duration(self) -> float:
+        """Seconds between start and end; 0.0 while still open."""
         if self.end_time is None:
             return 0.0
         return self.end_time - self.start_time
 
     @property
     def ended(self) -> bool:
+        """True once :meth:`end` has run."""
         return self.end_time is not None
 
     def child(self, name: str, start_time: Optional[float] = None,
               **attributes) -> "Span":
+        """Open a child span nested under this one (same trace)."""
         return self.tracer.start_span(
             name, parent=self, start_time=start_time, attributes=attributes
         )
 
     def to_dict(self) -> dict:
+        """Serializable form, as exported to JSON trace dumps."""
         return {
             "trace_id": self.trace_id,
             "span_id": self.span_id,
@@ -139,6 +147,8 @@ class Tracer:
                    trace_id: Optional[str] = None,
                    start_time: Optional[float] = None,
                    attributes: Optional[Dict[str, Any]] = None) -> Span:
+        """Open a span — under ``parent`` when given, else as a root of
+        a new (or the supplied) ``trace_id`` — and notify sinks."""
         if parent is not None:
             trace_id = parent.trace_id
             parent_id = parent.span_id
@@ -203,6 +213,7 @@ class Tracer:
         return grouped
 
     def spans_named(self, name: str) -> List[Span]:
+        """Finished spans with the given name, in end order."""
         return [s for s in self.finished_spans if s.name == name]
 
 
@@ -224,21 +235,27 @@ class _NullSpan:
     events: List[dict] = []
 
     def set_attribute(self, key, value):
+        """No-op; returns self."""
         return self
 
     def set_status(self, status):
+        """No-op; returns self."""
         return self
 
     def add_event(self, name, **attributes):
+        """No-op; returns self."""
         return self
 
     def end(self, end_time=None):
+        """No-op; returns self."""
         return self
 
     def child(self, name, start_time=None, **attributes):
+        """No-op; returns self (children of a null span are itself)."""
         return self
 
     def to_dict(self) -> dict:
+        """Always empty."""
         return {}
 
     def __enter__(self):
@@ -264,25 +281,32 @@ class NullTracer:
     finished_spans: List[Span] = []
 
     def add_sink(self, sink):
+        """Discard the sink (nothing will ever be emitted)."""
         return self
 
     def start_trace(self, name, start_time=None, attributes=None):
+        """Return the shared null span."""
         return NULL_SPAN
 
     def start_span(self, name, parent=None, trace_id=None,
                    start_time=None, attributes=None):
+        """Return the shared null span."""
         return NULL_SPAN
 
     def span(self, name, parent=None, **attributes):
-        return NULL_SPAN  # usable directly as a context manager
+        """Return the shared null span (itself a context manager)."""
+        return NULL_SPAN
 
     def event(self, name, timestamp=None, **attributes):
+        """Discard the event."""
         return None
 
     def traces(self) -> Dict[str, List[Span]]:
+        """Always empty."""
         return {}
 
     def spans_named(self, name: str) -> List[Span]:
+        """Always empty."""
         return []
 
 

@@ -65,12 +65,15 @@ class Executor:
 
     def map_chunks(self, fn: Callable[[list], list], items: Sequence,
                    label: str = "map") -> list:
+        """Apply ``fn(chunk) -> list`` across chunks of ``items`` and
+        return the concatenated results in input order."""
         raise NotImplementedError
 
     def close(self) -> None:
         """Release resources (shared pools survive; see module notes)."""
 
     def describe(self) -> dict:
+        """Identification for bench artifacts and reports."""
         return {"executor": self.name, "workers": self.workers}
 
 
@@ -83,6 +86,7 @@ class SerialExecutor(Executor):
 
     def map_chunks(self, fn: Callable[[list], list], items: Sequence,
                    label: str = "map") -> list:
+        """Apply ``fn`` to the whole list in the calling process."""
         items = list(items)
         if not items:
             return []
@@ -139,10 +143,13 @@ class ParallelExecutor(Executor):
         self.tracer = tracer or NOOP_TRACER
 
     def bind_tracer(self, tracer) -> None:
+        """Attach a tracer: maps then emit ``parallel.map`` spans."""
         self.tracer = tracer
 
     def map_chunks(self, fn: Callable[[list], list], items: Sequence,
                    label: str = "map") -> list:
+        """Fan chunks out to the shared process pool (inline below
+        ``min_items``); results come back in input order."""
         items = list(items)
         if not items:
             return []
