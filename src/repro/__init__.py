@@ -56,6 +56,7 @@ from repro.model.participants import (
 from repro.model.policy import PrivacyPolicy, Visibility
 from repro.model.threat import AdversaryClass, CollusionStructure, ThreatModel
 from repro.core.framework import PReVer
+from repro.core.sharded import ShardedDigest, ShardedPReVer, ShardPlan, ShardSpec
 from repro.core.contexts import (
     single_private_database,
     federated_private_databases,
@@ -107,6 +108,10 @@ __all__ = [
     "CollusionStructure",
     "ThreatModel",
     "PReVer",
+    "ShardedPReVer",
+    "ShardSpec",
+    "ShardPlan",
+    "ShardedDigest",
     "single_private_database",
     "federated_private_databases",
     "public_database",

@@ -10,6 +10,12 @@
 * :mod:`repro.core.framework` — the Figure-2 pipeline: constraints
   registered by authorities, updates verified, applied, and anchored
   on an append-only ledger (RC4);
+* :mod:`repro.core.pipeline` — the update path itself as composable
+  stages (auth → route → verify → durability → apply → anchor) with
+  uniform ``run_one`` / ``run_batch`` interfaces;
+* :mod:`repro.core.sharded` — table-partitioned scale-out:
+  :class:`ShardedPReVer` over N independent shards with a combined
+  root-of-roots commitment and fail-closed cross-shard escalation;
 * :mod:`repro.core.contexts` — factory functions for the canonical
   instantiations (single private / federated private / public);
 * :mod:`repro.core.separ` — the Separ instantiation (Section 5).
@@ -26,6 +32,22 @@ from repro.core.verifiers import (
 from repro.core.federated import MPCVerifier, TokenVerifier
 from repro.core.pir_engine import PIRVerifier
 from repro.core.framework import PReVer
+from repro.core.pipeline import (
+    AnchorStage,
+    ApplyStage,
+    AuthStage,
+    DurabilityStage,
+    Pipeline,
+    RouteStage,
+    UpdateContext,
+    VerifyStage,
+)
+from repro.core.sharded import (
+    ShardedDigest,
+    ShardedPReVer,
+    ShardPlan,
+    ShardSpec,
+)
 from repro.core.contexts import (
     single_private_database,
     federated_private_databases,
@@ -45,6 +67,18 @@ __all__ = [
     "TokenVerifier",
     "PIRVerifier",
     "PReVer",
+    "Pipeline",
+    "UpdateContext",
+    "AuthStage",
+    "RouteStage",
+    "VerifyStage",
+    "DurabilityStage",
+    "ApplyStage",
+    "AnchorStage",
+    "ShardedPReVer",
+    "ShardSpec",
+    "ShardPlan",
+    "ShardedDigest",
     "single_private_database",
     "federated_private_databases",
     "public_database",

@@ -13,7 +13,11 @@ routes applies to the database named in ``update.managers`` (or the
 first database), and appends an attestation record per decision to the
 ledger so any participant can audit the full decision history.
 
-Two submission paths share the same per-update semantics:
+The pipeline itself — the stage sequence, its tracing, timing,
+durability, and batch amortizations — lives in
+:mod:`repro.core.pipeline`; :class:`PReVer` holds the configuration
+(databases, engine, ledger, policy, durability) and delegates both
+submission paths to one shared :class:`~repro.core.pipeline.Pipeline`:
 
 * :meth:`PReVer.submit` — one update, anchored immediately;
 * :meth:`PReVer.submit_many` — a batch: constraint checks are routed
@@ -21,6 +25,10 @@ Two submission paths share the same per-update semantics:
   batch is anchored with one Merkle extension
   (:meth:`~repro.ledger.central.CentralLedger.append_batch`), while
   preserving per-entry sequence numbers, digests and inclusion proofs.
+
+To scale past one instance, see
+:class:`repro.core.sharded.ShardedPReVer`, which partitions tables
+across several ``PReVer`` shards behind the same submit API.
 """
 
 import os
@@ -32,12 +40,9 @@ from repro.common.errors import DurabilityError, IntegrityError, PReVerError
 from repro.common.metrics import MetricsRegistry
 from repro.durability.policy import Durability, SimulatedCrash
 from repro.core.outcome import UpdateResult, VerificationOutcome
-from repro.core.routing import BatchAggregateCache, ConstraintRouter, check_constraint
+from repro.core.pipeline import Pipeline
+from repro.core.routing import ConstraintRouter
 from repro.database.engine import Database
-from repro.database.schema import SchemaError
-from repro.database.table import TableError
-from repro.crypto.group import SchnorrGroup
-from repro.crypto.signatures import cached_verifier, verify_batch
 from repro.ledger.central import CentralLedger
 from repro.parallel.executors import resolve_executor
 from repro.model.constraints import Constraint, ConstraintKind
@@ -46,11 +51,6 @@ from repro.model.participants import Authority
 from repro.model.policy import PrivacyPolicy, Visibility
 from repro.model.threat import ThreatModel
 from repro.model.update import Update, UpdateOperation
-
-
-# Sentinel distinguishing "provenance not yet checked" from a
-# precomputed verdict of None (= authenticated) in ``_process_one``.
-_UNCHECKED = object()
 
 
 class PReVer:
@@ -156,6 +156,9 @@ class PReVer:
                     metrics=self.metrics,
                     tracer=self.tracer,
                 )
+        # The staged update path (repro.core.pipeline): both submit
+        # APIs below are thin drivers over this one stage sequence.
+        self.pipeline = Pipeline(self)
 
     # -- step (0): constraint registration -------------------------------
 
@@ -185,14 +188,25 @@ class PReVer:
         self.invalidate_routing()
 
     def invalidate_routing(self) -> None:
-        """Force a routing-index rebuild (call after mutating
-        ``constraints`` directly, e.g. changing a ``tables`` scope)."""
+        """Force a routing-index rebuild on the next routed check.
+
+        Usually unnecessary: the router re-syncs itself whenever the
+        ``constraints`` list's content fingerprint moves — appends,
+        removals, reorders, in-place replacement of an entry, or an
+        entry's ``tables`` scope changing are all detected
+        automatically.  Call this only after a mutation the
+        fingerprint deliberately ignores needs to drop memoized
+        per-table sublists anyway (it never does today: bounds,
+        predicates, and windows are re-read on every check).
+        """
         self._router.rebuild(())
 
     def _routed_constraints(self, table: str) -> List[Constraint]:
-        # ``constraints`` is a public list some callers append to
-        # directly, so re-sync the index whenever the list size moved.
-        if len(self._router) != len(self.constraints):
+        # ``constraints`` is a public list some callers mutate
+        # directly, so re-sync the index whenever its content
+        # fingerprint moved — not just its length, which misses
+        # in-place replacement and ``tables``-scope changes.
+        if not self._router.in_sync_with(self.constraints):
             self._router.rebuild(self.constraints)
         return self._router.route(table)
 
@@ -211,10 +225,7 @@ class PReVer:
 
     def submit(self, update: Update) -> UpdateResult:
         """Run one update through the full Figure-2 pipeline."""
-        trace = self._start_update_trace(update) if self.tracer.enabled else None
-        update, outcome, applied, timings = self._process_one(update, trace=trace)
-        return self._finish(update, outcome, applied=applied, timings=timings,
-                            trace=trace)
+        return self.pipeline.run_one(update)
 
     def submit_many(self, updates: Sequence[Update],
                     executor=None) -> List[UpdateResult]:
@@ -239,276 +250,7 @@ class PReVer:
         if not updates:
             return []
         executor = executor if executor is not None else self.executor
-        engine = self.engine
-        tracing = self.tracer.enabled
-        # Batched provenance: verify all signatures up front with the
-        # random-linear-combination batch check (workers pinpoint bad
-        # signatures on failure).  Failure reasons match the serial
-        # per-update path exactly.
-        auth_failures: Optional[List[Optional[str]]] = None
-        if self.require_signed_updates and len(updates) > 1:
-            with self.metrics.timed("pipeline.auth_batch"):
-                auth_failures = self._batch_authenticate(updates, executor)
-        # The framework-level cache backs ``_verify_plaintext``; engines
-        # maintain their own via begin_batch/note_applied, so skip the
-        # duplicate bookkeeping when one is plugged in.
-        cache = BatchAggregateCache(self.databases) if engine is None else None
-        if engine is not None and hasattr(engine, "begin_batch"):
-            engine.begin_batch(len(updates))
-        if engine is not None and hasattr(engine, "prepare_batch"):
-            # Timed separately: prepared work happens before the
-            # per-update stage timers, so stage totals alone would
-            # overstate the verify stage's parallel speedup.
-            with self.metrics.timed("pipeline.prepare_batch"):
-                engine.prepare_batch(updates, executor=executor)
-        pending = []
-        traces: List[Optional[Span]] = []
-        try:
-            for index, update in enumerate(updates):
-                trace = self._start_update_trace(update) if tracing else None
-                traces.append(trace)
-                pending.append(self._process_one(
-                    update, batch_cache=cache, trace=trace,
-                    auth_failure=(auth_failures[index]
-                                  if auth_failures is not None else _UNCHECKED),
-                ))
-        finally:
-            if engine is not None and hasattr(engine, "end_batch"):
-                engine.end_batch()
-
-        # Amortized anchoring: one Merkle extension for the whole batch.
-        start = self._wall.now()
-        payloads = [self._anchor_payload(u, o, trace=t)
-                    for (u, o, _, _), t in zip(pending, traces)]
-        entries = self.ledger.append_batch(payloads, executor=executor)
-        anchor_end = self._wall.now()
-        anchor_elapsed = anchor_end - start
-        self.metrics.timer("pipeline.anchor_batch").record(anchor_elapsed)
-        anchor_share = anchor_elapsed / len(pending)
-        batch_digest = self.ledger.digest() if tracing else None
-        if self._wal is not None:
-            self._durable_anchor(payloads, digest=batch_digest)
-
-        results = []
-        for (update, outcome, applied, timings), trace, entry in zip(
-            pending, traces, entries
-        ):
-            timings["anchor"] = anchor_share
-            if trace is not None:
-                self._close_anchor_span(
-                    trace, update, entry, batch_digest,
-                    start=start, end=anchor_end, applied=applied, batched=True,
-                )
-            results.append(self._record_result(
-                update, outcome, applied=applied, timings=timings,
-                sequence=entry.sequence,
-                trace_id=trace.trace_id if trace is not None else None,
-            ))
-        return results
-
-    def _batch_authenticate(self, updates: Sequence[Update],
-                            executor) -> List[Optional[str]]:
-        """Provenance for a whole batch: one failure reason (or None)
-        per update, equal to what the per-update check would produce.
-        Signed updates go through :func:`verify_batch`, which fans the
-        work across executor workers."""
-        failures: List[Optional[str]] = [None] * len(updates)
-        items, positions = [], []
-        for index, update in enumerate(updates):
-            if update.signature is None or update.signer_public_key is None:
-                failures[index] = "unsigned update"
-            else:
-                items.append((update.signer_public_key, update.body_bytes(),
-                              update.signature))
-                positions.append(index)
-        if items:
-            verdicts = verify_batch(items, group=SchnorrGroup.default(),
-                                    executor=executor)
-            for position, ok in zip(positions, verdicts):
-                if not ok:
-                    failures[position] = "bad signature"
-        return failures
-
-    def _process_one(self, update: Update, batch_cache=None,
-                     trace: Optional[Span] = None,
-                     auth_failure=_UNCHECKED):
-        """Authenticate, verify, and apply one update (no anchoring).
-
-        Returns ``(update, outcome, applied, timings)``; the caller
-        anchors — immediately (:meth:`submit`) or per batch
-        (:meth:`submit_many`).  When ``trace`` is set, each stage gets
-        a child span (stages not reached end with status ``skipped``)
-        using the wall readings the stage timers already take, so
-        tracing adds no clock reads to the hot path.
-
-        ``auth_failure`` carries a precomputed provenance verdict from
-        :meth:`_batch_authenticate` (None = authenticated, a string =
-        the rejection reason); the sentinel default means "not
-        precomputed, check here".
-        """
-        timings: Dict[str, float] = {}
-        now = self.clock.now()
-        wall = self._wall.now  # chained timestamps: each reading both
-        start = wall()         # ends one stage and starts the next
-
-        # (1) provenance: signature check on the incoming update.
-        if auth_failure is _UNCHECKED:
-            auth_failure = None
-            if self.require_signed_updates:
-                if update.signature is None or update.signer_public_key is None:
-                    auth_failure = "unsigned update"
-                else:
-                    verifier = cached_verifier(
-                        SchnorrGroup.default(), update.signer_public_key
-                    )
-                    if not verifier.verify(update.body_bytes(),
-                                           update.signature):
-                        auth_failure = "bad signature"
-        t_auth = wall()
-        timings["authenticate"] = t_auth - start
-        if trace is not None:
-            vspan = trace.child("validate", start_time=start)
-            if auth_failure is not None:
-                vspan.set_status("error").set_attribute("reason", auth_failure)
-            vspan.end(t_auth)
-        if auth_failure is not None:
-            if trace is not None:
-                self._skip_spans(trace, ("verify", "apply"), at=t_auth)
-            return self._rejected(update, auth_failure, timings)
-
-        # (2) verification against constraints/regulations.
-        verify_span = None
-        if trace is not None:
-            verify_span = trace.child("verify", start_time=t_auth)
-            if self.engine is not None and hasattr(self.engine, "bind_span"):
-                # Engine crypto spans (Paillier encrypt/decrypt) nest here.
-                self.engine.bind_span(verify_span)
-        if self.engine is not None:
-            outcome = self.engine.verify(update, now)
-        else:
-            outcome = self._verify_plaintext(update, now, cache=batch_cache)
-        t_verify = wall()
-        timings["verify"] = t_verify - t_auth
-        if verify_span is not None:
-            verify_span.set_attribute("engine", outcome.engine)
-            if not outcome.accepted:
-                verify_span.set_status("error")
-                verify_span.set_attribute(
-                    "failed_constraint", outcome.failed_constraint
-                )
-            verify_span.end(t_verify)
-            self.tracer.event(
-                "constraint_verdict",
-                timestamp=t_verify,
-                trace_id=trace.trace_id,
-                update_id=update.update_id,
-                accepted=outcome.accepted,
-                constraint_ids=list(outcome.constraint_ids),
-                failed_constraint=outcome.failed_constraint,
-            )
-        if not outcome.accepted:
-            update.mark_rejected(outcome.failed_constraint or "constraint")
-            if trace is not None:
-                self._skip_spans(trace, ("apply",), at=t_verify)
-            return update, outcome, False, timings
-
-        # (3) incorporation into the target database.  Apply failures
-        # (duplicate key, missing row) reject the update rather than
-        # crash the pipeline; the rejection is anchored like any other.
-        update.mark_verified()
-        # Log-before-apply: the WAL record must exist before the
-        # database mutates, so a crash mid-apply can replay (or drop)
-        # the update but never half-remember it.
-        if self._wal is not None:
-            self._wal.append_update(self._wal_update_record(update, now))
-            if self._crash_after is not None:
-                self._crash_point("wal_update")
-        try:
-            self._apply(update)
-        except (TableError, SchemaError) as exc:
-            t_apply = wall()
-            timings["apply"] = t_apply - t_verify
-            if trace is not None:
-                trace.child("apply", start_time=t_verify) \
-                    .set_status("error") \
-                    .set_attribute("reason", str(exc)) \
-                    .end(t_apply)
-            update.mark_rejected(f"apply failed: {exc}")
-            failed = VerificationOutcome(
-                accepted=False, engine=outcome.engine,
-                constraint_ids=outcome.constraint_ids,
-                failed_constraint="apply-failure",
-            )
-            return update, failed, False, timings
-        update.mark_applied()
-        t_apply = wall()
-        timings["apply"] = t_apply - t_verify
-        if trace is not None:
-            trace.child("apply", start_time=t_verify).end(t_apply)
-        if batch_cache is not None:
-            batch_cache.note_applied(update)
-        if self.engine is not None and hasattr(self.engine, "note_applied"):
-            self.engine.note_applied(update, now)
-        if self._crash_after is not None:
-            self._crash_point("apply")
-        return update, outcome, True, timings
-
-    def _start_update_trace(self, update: Update) -> Span:
-        return self.tracer.start_trace(
-            "update",
-            start_time=self._wall.now(),
-            attributes={
-                "update_id": update.update_id,
-                "table": update.table,
-                "operation": update.operation.value,
-            },
-        )
-
-    def _skip_spans(self, trace: Span, names, at: float) -> None:
-        """Record unreached stages so every trace shows the full
-        validate → verify → apply → anchor shape."""
-        for name in names:
-            trace.child(name, start_time=at).set_status("skipped").end(at)
-
-    def _close_anchor_span(self, trace: Span, update: Update, entry,
-                           digest, start: float, end: float,
-                           applied: bool, batched: bool) -> None:
-        span = trace.child("anchor", start_time=start)
-        span.set_attribute("sequence", entry.sequence)
-        if batched:
-            span.set_attribute("batched", True)
-        span.end(end)
-        self.tracer.event(
-            "ledger_anchor",
-            timestamp=end,
-            trace_id=trace.trace_id,
-            update_id=update.update_id,
-            sequence=entry.sequence,
-            digest=digest.root.hex(),
-            ledger_size=digest.size,
-        )
-        trace.set_attribute("applied", applied)
-        trace.set_status("ok" if applied else "error")
-        trace.end(end)
-
-    def _rejected(self, update: Update, reason: str, timings):
-        update.mark_rejected(reason)
-        outcome = VerificationOutcome(
-            accepted=False, engine="framework-auth", failed_constraint=reason
-        )
-        return update, outcome, False, timings
-
-    def _verify_plaintext(self, update: Update, now: float,
-                          cache=None) -> VerificationOutcome:
-        for constraint in self._routed_constraints(update.table):
-            if not check_constraint(constraint, self.databases, update, now,
-                                    cache=cache):
-                return VerificationOutcome(
-                    accepted=False,
-                    engine="framework-plaintext",
-                    failed_constraint=constraint.constraint_id,
-                )
-        return VerificationOutcome(accepted=True, engine="framework-plaintext")
+        return self.pipeline.run_batch(updates, executor)
 
     def _apply(self, update: Update) -> None:
         database = self._target_database(update)
@@ -563,30 +305,6 @@ class PReVer:
             "now": now,
         }
 
-    def _durable_anchor(self, payloads: List[dict],
-                        digest=None) -> None:
-        """Write the batch's anchor marker (the group-commit fsync that
-        makes the whole batch durable), then maybe checkpoint."""
-        if self._crash_after is not None:
-            self._crash_point("anchor_append")
-        digest = digest if digest is not None else self.ledger.digest()
-        self._wal.append_anchor(
-            {
-                "payloads": payloads,
-                "size": digest.size,
-                "root": digest.root.hex(),
-            },
-            sync=self.durability.sync_anchors,
-        )
-        if self._crash_after is not None:
-            self._crash_point("anchor_marker")
-        if self._snapshotter is not None:
-            taken = self._snapshotter.maybe_take(
-                self, self._wal.last_lsn, len(payloads)
-            )
-            if taken is not None:
-                self._wal.prune(self._wal.last_lsn)
-
     def _crash_point(self, name: str) -> None:
         """Fault injection: die here if the policy says so."""
         if self._crash_after == name:
@@ -617,27 +335,6 @@ class PReVer:
         instance (a no-op with durability off)."""
         if self._wal is not None:
             self._wal.close()
-
-    def _finish(self, update: Update, outcome: VerificationOutcome,
-                applied: bool, timings: Dict[str, float],
-                trace: Optional[Span] = None) -> UpdateResult:
-        start = self._wall.now()
-        payload = self._anchor_payload(update, outcome, trace=trace)
-        entry = self.ledger.append(payload)
-        anchor_end = self._wall.now()
-        timings["anchor"] = anchor_end - start
-        if self._wal is not None:
-            self._durable_anchor([payload])
-        if trace is not None:
-            self._close_anchor_span(
-                trace, update, entry, self.ledger.digest(),
-                start=start, end=anchor_end, applied=applied, batched=False,
-            )
-        return self._record_result(
-            update, outcome, applied=applied, timings=timings,
-            sequence=entry.sequence,
-            trace_id=trace.trace_id if trace is not None else None,
-        )
 
     def _record_result(self, update: Update, outcome: VerificationOutcome,
                        applied: bool, timings: Dict[str, float],

@@ -37,6 +37,10 @@ class UpdateResult:
     ledger_sequence: Optional[int] = None
     stage_timings: Dict[str, float] = field(default_factory=dict)
     trace_id: Optional[str] = None
+    #: Name of the shard that processed the update (set by
+    #: :class:`~repro.core.sharded.ShardedPReVer`; None for a
+    #: standalone framework or a coordinator-side escalation decision).
+    shard: Optional[str] = None
 
     @property
     def accepted(self) -> bool:

@@ -44,15 +44,40 @@ class ConstraintRouter:
     def __init__(self, constraints: Sequence[Constraint] = ()):
         self._constraints: List[Constraint] = list(constraints)
         self._by_table: Dict[str, List[Constraint]] = {}
+        self._fingerprint: tuple = self.fingerprint(self._constraints)
 
     def __len__(self) -> int:
         return len(self._constraints)
 
+    @staticmethod
+    def fingerprint(constraints: Sequence[Constraint]) -> tuple:
+        """Cheap content fingerprint of a constraint list, covering
+        everything routing depends on: list length and order, entry
+        identity (so replacing a constraint in place is detected, not
+        just appends), and each entry's ``tables`` scope (so widening
+        or narrowing a scope is detected).  Mutating a constraint's
+        *check* — bound, predicate, window — deliberately does not
+        change the fingerprint: the router holds object references and
+        re-reads those fields on every check, so no rebuild is needed.
+        """
+        return tuple((id(c), c.tables) for c in constraints)
+
+    def in_sync_with(self, constraints: Sequence[Constraint]) -> bool:
+        """Whether the index still matches ``constraints`` (by
+        :meth:`fingerprint`); when False the caller must
+        :meth:`rebuild` before routing."""
+        return self._fingerprint == self.fingerprint(constraints)
+
     def rebuild(self, constraints: Sequence[Constraint]) -> None:
+        """Re-index from ``constraints``, dropping every memoized
+        per-table sublist."""
         self._constraints = list(constraints)
         self._by_table.clear()
+        self._fingerprint = self.fingerprint(self._constraints)
 
     def route(self, table: str) -> List[Constraint]:
+        """Return, in registration order, the constraints that can
+        apply to ``table`` (unscoped constraints apply everywhere)."""
         routed = self._by_table.get(table)
         if routed is None:
             routed = [
@@ -92,6 +117,8 @@ class BatchAggregateCache:
         )
 
     def current(self, constraint: Constraint, update, now: float) -> float:
+        """Running aggregate total for the update's group, scanning
+        the databases only on the first check of that group."""
         group = self._group_of(constraint, update.payload)
         key = (constraint.constraint_id, update.table, group)
         total = self._totals.get(key)
@@ -129,6 +156,7 @@ class BatchAggregateCache:
                     self._totals[key] += float(value)
 
     def clear(self) -> None:
+        """Drop every cached total and constraint reference."""
         self._totals.clear()
         self._constraints.clear()
 

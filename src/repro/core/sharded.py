@@ -1,0 +1,511 @@
+"""Sharded front-end: table-partitioned scale-out over ``PReVer``.
+
+The ROADMAP's production north star — millions of users — does not fit
+one pipeline instance: a single ``PReVer`` serializes every verify,
+apply, and Merkle append.  VAMS scales verifiable audit by
+partitioning the authenticated log; :class:`ShardedPReVer` does the
+same to the Figure-2 pipeline.  Tables are partitioned across N
+independent shards, each a full :class:`~repro.core.framework.PReVer`
+with its **own** ledger, durability policy, and executor:
+
+* a single-table update routes to its home shard and runs the
+  unmodified staged pipeline there — one shard's stream of decisions,
+  digests, and WAL bytes is identical to a standalone framework fed
+  the same substream;
+* a batch is partitioned by home shard (order preserved within each
+  shard) and dispatched shard-parallel: in-process under
+  ``dispatch="serial"``, or across dedicated per-shard worker
+  processes (:class:`~repro.parallel.shards.ShardWorker`) under
+  ``dispatch="process"`` — real multicore scaling, since each shard
+  runs in its own interpreter;
+* constraints whose scope spans shards cannot be checked by any one
+  shard.  They must be registered coordinator-side with an RC2
+  federated verifier (:class:`~repro.core.federated.TokenVerifier`,
+  or :class:`~repro.core.federated.MPCVerifier` when the shard
+  databases are reachable in-process) — **fail-closed**: registering
+  without one, or registering a single-shard constraint here, raises.
+  Escalation rejections are anchored on the coordinator's own ledger,
+  so shard ledgers stay clean substream-equivalents;
+* the combined commitment is a Merkle **root-of-roots** over the
+  per-shard ledger roots (:meth:`ShardedPReVer.digest`), and
+  :meth:`ShardedPReVer.recover` recovers every shard from its own
+  WAL/snapshots and re-verifies each root before the front-end
+  serves.
+
+Durability note: the coordinator's escalation ledger is in-memory —
+cross-shard *rejections* never mutate shard state, so crash recovery
+reconstructs exactly the applied state from the per-shard WALs; the
+root-of-roots deliberately covers only the shard roots.
+"""
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.common.clock import SimClock
+from repro.common.errors import IntegrityError, PReVerError
+from repro.common.metrics import MetricsRegistry
+from repro.core.federated import MPCVerifier, TokenVerifier
+from repro.core.framework import PReVer
+from repro.core.outcome import UpdateResult
+from repro.crypto.merkle import MerkleTree
+from repro.ledger.central import CentralLedger
+from repro.model.constraints import Constraint
+from repro.model.update import Update
+from repro.obs.tracing import NOOP_TRACER, Tracer
+from repro.parallel.shards import ShardWorker
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Recipe for one shard: a name, the tables it owns, and a
+    zero-argument builder returning the shard's fully configured
+    :class:`~repro.core.framework.PReVer`.
+
+    Under ``dispatch="process"`` the builder runs inside the shard's
+    dedicated worker process, so it must be picklable — a module-level
+    function or a ``functools.partial`` over one — and must build
+    everything (databases, constraints, engine, durability) itself.
+    """
+
+    name: str
+    tables: Tuple[str, ...]
+    build: Callable[[], PReVer]
+
+
+class ShardPlan:
+    """The table → shard routing map, validated at construction:
+    every table belongs to exactly one shard (fail-closed on overlap),
+    and routing an unknown table raises instead of guessing."""
+
+    def __init__(self, specs: Sequence[ShardSpec]):
+        if not specs:
+            raise PReVerError("ShardedPReVer needs at least one shard")
+        names = [spec.name for spec in specs]
+        if len(set(names)) != len(names):
+            raise PReVerError(f"duplicate shard names in {names}")
+        self.specs = list(specs)
+        self._home: Dict[str, int] = {}
+        for index, spec in enumerate(specs):
+            if not spec.tables:
+                raise PReVerError(f"shard {spec.name!r} owns no tables")
+            for table in spec.tables:
+                if table in self._home:
+                    other = specs[self._home[table]].name
+                    raise PReVerError(
+                        f"table {table!r} claimed by shards "
+                        f"{other!r} and {spec.name!r}"
+                    )
+                self._home[table] = index
+
+    def shard_for(self, table: str) -> int:
+        """Home shard index for ``table`` (raises on unknown tables)."""
+        index = self._home.get(table)
+        if index is None:
+            raise PReVerError(f"no shard owns table {table!r}")
+        return index
+
+    def shards_for(self, tables: Sequence[str]) -> Tuple[int, ...]:
+        """Sorted, de-duplicated shard indexes covering ``tables``;
+        an empty scope means *all* shards (unscoped constraints apply
+        everywhere)."""
+        if not tables:
+            return tuple(range(len(self.specs)))
+        return tuple(sorted({self.shard_for(table) for table in tables}))
+
+
+class _Immediate:
+    """Future-alike wrapping an already computed value, so serial and
+    process dispatch share one scatter/gather code path."""
+
+    def __init__(self, value):
+        self._value = value
+
+    def result(self):
+        """The wrapped value."""
+        return self._value
+
+
+class _SerialShard:
+    """In-process shard handle: the framework lives in this
+    interpreter (so :class:`MPCVerifier` escalation can reach its
+    databases), and "async" dispatch just runs inline."""
+
+    def __init__(self, spec: ShardSpec):
+        self.framework = spec.build()
+
+    def submit(self, update: Update) -> UpdateResult:
+        """Route one update through the shard's pipeline."""
+        return self.framework.submit(update)
+
+    def submit_many_async(self, updates: Sequence[Update]):
+        """Run the shard's batch inline; returns an immediate future."""
+        return _Immediate(self.framework.submit_many(updates))
+
+    def digest(self):
+        """The shard ledger's digest."""
+        return self.framework.ledger.digest()
+
+    def recover(self):
+        """Run the shard's crash recovery."""
+        return self.framework.recover()
+
+    def throughput_report(self) -> dict:
+        """The shard's per-stage throughput report."""
+        return self.framework.throughput_report()
+
+    def metrics_snapshot(self) -> dict:
+        """The shard's metrics snapshot."""
+        return self.framework.metrics.snapshot()
+
+    def counters(self) -> dict:
+        """Submitted/applied/ledger-size counters."""
+        return {
+            "submitted": self.framework._submitted_count,
+            "applied": self.framework._applied_count,
+            "ledger_size": len(self.framework.ledger),
+        }
+
+    def close(self) -> None:
+        """Flush the shard's WAL."""
+        self.framework.close()
+
+
+class _ProcessShard:
+    """Worker-process shard handle: every call crosses into the
+    shard's pinned child process via
+    :class:`~repro.parallel.shards.ShardWorker`."""
+
+    def __init__(self, spec: ShardSpec):
+        self.worker = ShardWorker(spec.name, spec.build)
+
+    def submit(self, update: Update) -> UpdateResult:
+        """Route one update through the shard's pipeline."""
+        return self.worker.call("submit", update)
+
+    def submit_many_async(self, updates: Sequence[Update]):
+        """Dispatch the shard's batch to its worker; returns the
+        future so other shards' batches run concurrently."""
+        return self.worker.call_async("submit_many", updates)
+
+    def digest(self):
+        """The shard ledger's digest."""
+        return self.worker.digest()
+
+    def recover(self):
+        """Run the shard's crash recovery inside its worker."""
+        return self.worker.call("recover")
+
+    def throughput_report(self) -> dict:
+        """The shard's per-stage throughput report."""
+        return self.worker.call("throughput_report")
+
+    def metrics_snapshot(self) -> dict:
+        """The shard's metrics snapshot."""
+        return self.worker.metrics_snapshot()
+
+    def counters(self) -> dict:
+        """Submitted/applied/ledger-size counters."""
+        return self.worker.counters()
+
+    def close(self) -> None:
+        """Flush the shard's WAL and stop its worker."""
+        self.worker.shutdown()
+
+
+@dataclass(frozen=True)
+class ShardedDigest:
+    """The combined commitment: a Merkle root over the per-shard
+    ledger roots, in shard order, plus the roots themselves so any
+    shard's inclusion can be checked independently."""
+
+    root: bytes
+    shard_roots: Tuple[bytes, ...]
+    shard_sizes: Tuple[int, ...]
+
+    def to_dict(self) -> dict:
+        """Serializable form, for artifacts and the event log."""
+        return {
+            "root": self.root.hex(),
+            "shard_roots": [r.hex() for r in self.shard_roots],
+            "shard_sizes": list(self.shard_sizes),
+        }
+
+
+class ShardedPReVer:
+    """N independent ``PReVer`` shards behind one submit API.
+
+    ``dispatch="serial"`` builds every shard in this process (use for
+    tests, recovery drills, and MPC escalation); ``dispatch="process"``
+    pins each shard to a dedicated worker process for real multicore
+    batch throughput.  Decisions are dispatch-independent.
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[ShardSpec],
+        dispatch: str = "serial",
+        clock: Optional[SimClock] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+        escalation_ledger: Optional[CentralLedger] = None,
+    ):
+        if dispatch not in ("serial", "process"):
+            raise PReVerError(f"unknown dispatch mode {dispatch!r}")
+        self.plan = ShardPlan(specs)
+        self.specs = self.plan.specs
+        self.dispatch = dispatch
+        self.clock = clock or SimClock()
+        self.metrics = metrics or MetricsRegistry()
+        self.tracer = tracer or NOOP_TRACER
+        #: Cross-shard escalation decisions are anchored here — never
+        #: on a shard's ledger, which stays substream-equivalent to a
+        #: standalone framework.
+        self.escalation_ledger = escalation_ledger or CentralLedger(
+            name="shard-coordinator"
+        )
+        if self.tracer.enabled:
+            self.escalation_ledger.bind_tracer(self.tracer)
+        self._cross: List[Tuple[Constraint, object]] = []
+        self._closed = False
+        handle_cls = _SerialShard if dispatch == "serial" else _ProcessShard
+        self.shards = [handle_cls(spec) for spec in self.specs]
+        self._ctr_updates = self.metrics.counter("sharded.updates")
+        self._ctr_escalations = self.metrics.counter("sharded.escalations")
+        self._ctr_escalation_rejections = self.metrics.counter(
+            "sharded.escalation_rejections"
+        )
+
+    # -- cross-shard constraints (fail-closed) ---------------------------
+
+    def register_cross_shard_constraint(self, constraint: Constraint,
+                                        verifier=None) -> None:
+        """Register a constraint whose scope spans shards.
+
+        Fail-closed on every degenerate configuration: a constraint
+        that fits inside one shard must be registered *on* that shard
+        (its pipeline checks it with full local state); a spanning
+        constraint without an RC2 federated verifier is refused rather
+        than checked partially; an :class:`MPCVerifier` is refused
+        under process dispatch, where the shard databases it aggregates
+        over are not reachable from the coordinator.
+        """
+        covering = self.plan.shards_for(constraint.tables)
+        if len(covering) <= 1:
+            home = self.specs[covering[0]].name
+            raise PReVerError(
+                f"constraint {constraint.name!r} fits inside shard "
+                f"{home!r}; register it there, not on the coordinator"
+            )
+        if verifier is None:
+            raise PReVerError(
+                f"cross-shard constraint {constraint.name!r} needs an RC2 "
+                "federated verifier (TokenVerifier or MPCVerifier) — "
+                "no single shard can see enough state to check it"
+            )
+        if isinstance(verifier, MPCVerifier):
+            if self.dispatch != "serial":
+                raise PReVerError(
+                    "MPCVerifier escalation aggregates over the shard "
+                    "databases and needs them in-process; use "
+                    'dispatch="serial" or a TokenVerifier'
+                )
+        elif not isinstance(verifier, TokenVerifier):
+            raise PReVerError(
+                f"unsupported cross-shard verifier {type(verifier).__name__}; "
+                "use TokenVerifier or MPCVerifier"
+            )
+        self._cross.append((constraint, verifier))
+
+    def _escalate(self, update: Update) -> Optional[UpdateResult]:
+        """Check the cross-shard constraints covering this update's
+        table; a rejection is anchored on the coordinator ledger and
+        the update never reaches its home shard."""
+        now = self.clock.now()
+        for constraint, verifier in self._cross:
+            if constraint.tables and update.table not in constraint.tables:
+                continue
+            self._ctr_escalations.add()
+            outcome = verifier.verify(update, now)
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "shard.escalation",
+                    update_id=update.update_id,
+                    table=update.table,
+                    constraint_id=constraint.constraint_id,
+                    verifier=type(verifier).__name__,
+                    accepted=outcome.accepted,
+                )
+            if not outcome.accepted:
+                self._ctr_escalation_rejections.add()
+                update.mark_rejected(
+                    outcome.failed_constraint or constraint.constraint_id
+                )
+                entry = self.escalation_ledger.append({
+                    "update_id": update.update_id,
+                    "table": update.table,
+                    "status": update.status.value,
+                    "decision": outcome.to_dict(),
+                    "scope": "cross-shard",
+                    "timestamp": now,
+                })
+                result = UpdateResult(
+                    update=update, outcome=outcome, applied=False,
+                    ledger_sequence=entry.sequence,
+                )
+                result.shard = None
+                return result
+        return None
+
+    # -- the submit API ---------------------------------------------------
+
+    def submit(self, update: Update) -> UpdateResult:
+        """Route one update: escalate cross-shard constraints, then
+        run it through its home shard's pipeline."""
+        index = self.plan.shard_for(update.table)
+        self._ctr_updates.add()
+        rejected = self._escalate(update)
+        if rejected is not None:
+            return rejected
+        result = self.shards[index].submit(update)
+        result.shard = self.specs[index].name
+        return result
+
+    def submit_many(self, updates: Sequence[Update]) -> List[UpdateResult]:
+        """Partition a batch by home shard and dispatch shard-parallel.
+
+        Order is preserved within each shard (so per-shard decisions
+        match a standalone framework fed that substream) and the
+        returned list is in the original submission order.  Escalation
+        runs coordinator-side first, in submission order — token
+        budgets are order-sensitive — and escalation rejections never
+        reach a shard.
+        """
+        updates = list(updates)
+        if not updates:
+            return []
+        # Route everything up front: an unknown table fails the whole
+        # batch before any shard state mutates.
+        homes = [self.plan.shard_for(update.table) for update in updates]
+        self._ctr_updates.add(len(updates))
+        results: List[Optional[UpdateResult]] = [None] * len(updates)
+        per_shard: Dict[int, List[int]] = {}
+        for position, (update, home) in enumerate(zip(updates, homes)):
+            rejected = self._escalate(update) if self._cross else None
+            if rejected is not None:
+                results[position] = rejected
+            else:
+                per_shard.setdefault(home, []).append(position)
+        with self.metrics.timed("sharded.dispatch"):
+            scattered = []
+            for home in sorted(per_shard):
+                positions = per_shard[home]
+                batch = [updates[p] for p in positions]
+                if self.tracer.enabled:
+                    self.tracer.event(
+                        "shard.dispatch",
+                        shard=self.specs[home].name,
+                        items=len(batch),
+                        dispatch=self.dispatch,
+                    )
+                scattered.append(
+                    (home, positions,
+                     self.shards[home].submit_many_async(batch))
+                )
+            for home, positions, future in scattered:
+                name = self.specs[home].name
+                for position, result in zip(positions, future.result()):
+                    result.shard = name
+                    results[position] = result
+        return results
+
+    # -- commitment, recovery, reporting ---------------------------------
+
+    def shard_digests(self) -> Dict[str, object]:
+        """Per-shard ledger digests, keyed by shard name."""
+        return {
+            spec.name: shard.digest()
+            for spec, shard in zip(self.specs, self.shards)
+        }
+
+    def digest(self) -> ShardedDigest:
+        """The Merkle root-of-roots over the per-shard ledger roots
+        (shard order).  Any participant holding one shard's digest can
+        verify it against this combined commitment."""
+        digests = [shard.digest() for shard in self.shards]
+        tree = MerkleTree([d.root for d in digests])
+        return ShardedDigest(
+            root=tree.root(),
+            shard_roots=tuple(d.root for d in digests),
+            shard_sizes=tuple(d.size for d in digests),
+        )
+
+    def recover(self) -> Dict[str, object]:
+        """Recover every shard from its own WAL/snapshots and
+        re-verify each recovered root (fail-closed: any shard whose
+        replayed root does not match its last durable anchor aborts
+        the whole front-end).  Returns per-shard
+        :class:`~repro.durability.recovery.RecoveryReport`s."""
+        reports = {}
+        for spec, shard in zip(self.specs, self.shards):
+            report = shard.recover()
+            if not report.verified_against_anchor and report.final_size:
+                raise IntegrityError(
+                    f"shard {spec.name!r} recovered root does not match "
+                    "its last durable anchor"
+                )
+            reports[spec.name] = report
+        return reports
+
+    def throughput_report(self) -> dict:
+        """Per-shard throughput reports plus a combined summary.
+
+        Combined ``updates_per_sec`` sums the per-shard rates: shards
+        run concurrently under process dispatch, so rates add (under
+        serial dispatch this is an upper bound; the per-shard reports
+        carry the honest per-instance numbers).
+        """
+        shards = {
+            spec.name: shard.throughput_report()
+            for spec, shard in zip(self.specs, self.shards)
+        }
+        return {
+            "dispatch": self.dispatch,
+            "shards": shards,
+            "combined": {
+                "updates": sum(r["updates"] for r in shards.values()),
+                "updates_per_sec": sum(
+                    r["updates_per_sec"] for r in shards.values()
+                ),
+            },
+        }
+
+    def metrics_snapshot(self) -> dict:
+        """Coordinator metrics plus every shard's snapshot, merged
+        under per-shard keys."""
+        merged = {"coordinator": self.metrics.snapshot()}
+        for spec, shard in zip(self.specs, self.shards):
+            merged[spec.name] = shard.metrics_snapshot()
+        return merged
+
+    def acceptance_rate(self) -> float:
+        """Applied / submitted across all shards *and* coordinator
+        escalation rejections (which were submitted but never
+        applied)."""
+        submitted = applied = 0
+        for shard in self.shards:
+            counters = shard.counters()
+            submitted += counters["submitted"]
+            applied += counters["applied"]
+        submitted += self._ctr_escalation_rejections.count
+        if not submitted:
+            return 0.0
+        return applied / submitted
+
+    def close(self) -> None:
+        """Flush every shard's WAL (and stop worker processes under
+        process dispatch); idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for shard in self.shards:
+            shard.close()

@@ -32,12 +32,14 @@ from repro.parallel.executors import (
     resolve_executor,
     split_chunks,
 )
+from repro.parallel.shards import ShardWorker
 
 __all__ = [
     "Executor",
     "SerialExecutor",
     "ParallelExecutor",
     "SERIAL_EXECUTOR",
+    "ShardWorker",
     "executor_from_env",
     "make_executor",
     "resolve_executor",

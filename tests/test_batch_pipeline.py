@@ -253,3 +253,44 @@ def test_empty_batch():
     framework = build_framework()
     assert framework.submit_many([]) == []
     assert len(framework.ledger) == 0
+
+
+# -- constraint router staleness (regression) --------------------------------
+#
+# The router index used to be rebuilt only when len(framework.constraints)
+# changed, so replacing a constraint in place (same count) or mutating a
+# constraint's table scope kept routing the stale version.  The router now
+# fingerprints (identity, tables) per constraint and rebuilds on any drift.
+
+
+def test_router_detects_in_place_constraint_replacement():
+    framework = build_framework()
+    assert framework.submit(make_update(0, amount=20)).applied
+
+    strict = Constraint(name="positive", kind=ConstraintKind.INTERNAL,
+                        predicate=update_field("amount") > lit(100),
+                        constraint_id="cst-positive-strict")
+    index = next(i for i, c in enumerate(framework.constraints)
+                 if c.constraint_id == "cst-positive")
+    framework.constraints[index] = strict
+
+    result = framework.submit(make_update(1, amount=20))
+    assert not result.applied
+    assert result.outcome.failed_constraint == "cst-positive-strict"
+
+
+def test_router_detects_table_scope_mutation():
+    framework = PReVer([make_db()])
+    elsewhere = Constraint(name="blocker", kind=ConstraintKind.INTERNAL,
+                           predicate=update_field("amount") > lit(100),
+                           tables=("other_table",),
+                           constraint_id="cst-blocker")
+    framework.register_constraint(elsewhere)
+    # Scoped away from "events": it must not fire here.
+    assert framework.submit(make_update(0, amount=20)).applied
+
+    # Widen the scope in place — no add/remove, same object identity.
+    elsewhere.tables = ("events",)
+    result = framework.submit(make_update(1, amount=20))
+    assert not result.applied
+    assert result.outcome.failed_constraint == "cst-blocker"

@@ -1,0 +1,263 @@
+"""Golden equivalence suite for the staged-pipeline refactor.
+
+The stage decomposition (``repro.core.pipeline``) must be invisible:
+``submit`` and ``submit_many`` have to produce the *same bytes* the
+monolithic pre-refactor framework produced — same decisions, same
+ledger digests, same inclusion proofs, and the same WAL bytes.  The
+streams below are fully deterministic (pinned update/constraint ids,
+``SimClock`` timestamps), so the expected roots and WAL hashes were
+captured once against the pre-refactor framework and pinned here as
+golden constants.  If a refactor changes any of them, it changed
+observable behavior, not just structure.
+
+Traced runs stamp counter-based trace ids into anchored payloads, so
+their digests depend on global id-counter state; those are checked
+structurally instead (payloads identical after stripping ``trace_id``,
+spans have the full validate → verify → apply → anchor shape).
+
+Regenerate goldens (only after an *intentional* format change):
+
+    PYTHONPATH=src python tests/test_pipeline_stages.py
+"""
+
+import hashlib
+import os
+
+import pytest
+
+from repro.core.contexts import single_private_database
+from repro.core.framework import PReVer
+from repro.database.engine import Database
+from repro.database.expr import lit, update_field
+from repro.database.schema import ColumnType, TableSchema
+from repro.durability import Durability
+from repro.ledger.central import CentralLedger
+from repro.model.constraints import (
+    Constraint,
+    ConstraintKind,
+    upper_bound_regulation,
+)
+from repro.model.update import Update, UpdateOperation
+from repro.obs.events import EventLog
+from repro.obs.tracing import Tracer
+
+
+# -- the deterministic workload ---------------------------------------------
+
+def make_db(name="db"):
+    db = Database(name)
+    db.create_table(
+        TableSchema.build(
+            "events",
+            [("id", ColumnType.INT), ("who", ColumnType.TEXT),
+             ("amount", ColumnType.INT)],
+            primary_key=["id"],
+        )
+    )
+    return db
+
+
+def pinned_constraints():
+    """The cap + predicate pair with ids pinned for reproducibility."""
+    template = upper_bound_regulation("cap", "events", "amount", 50, ["who"])
+    cap = Constraint(
+        name="cap", kind=ConstraintKind.INTERNAL,
+        aggregate=template.aggregate, comparison=template.comparison,
+        bound=50, tables=("events",), constraint_id="cst-cap",
+    )
+    positive = Constraint(
+        name="positive", kind=ConstraintKind.INTERNAL,
+        predicate=update_field("amount") > lit(0),
+        constraint_id="cst-positive",
+    )
+    return [positive, cap]
+
+
+def golden_stream():
+    """Accepts, aggregate rejections, predicate rejections, a duplicate
+    key (apply failure), and a MODIFY (cache invalidation) — every
+    decision path the pipeline has."""
+    stream = []
+    for i in range(10):
+        who = "alice" if i % 2 == 0 else "bob"
+        amount = 20 if i < 6 else -5
+        stream.append(Update(
+            table="events", operation=UpdateOperation.INSERT,
+            payload={"id": i, "who": who, "amount": amount},
+            update_id=f"g-{i:04d}",
+        ))
+    stream.append(Update(  # duplicate primary key -> apply failure
+        table="events", operation=UpdateOperation.INSERT,
+        payload={"id": 0, "who": "alice", "amount": 5},
+        update_id="g-dup",
+    ))
+    stream.append(Update(  # MODIFY mid-stream -> aggregate cache drop
+        table="events", operation=UpdateOperation.MODIFY,
+        payload={"amount": 1}, key=(1,), update_id="g-mod",
+    ))
+    stream.extend(Update(
+        table="events", operation=UpdateOperation.INSERT,
+        payload={"id": i, "who": "bob", "amount": 10},
+        update_id=f"g-{i:04d}",
+    ) for i in range(20, 24))
+    return stream
+
+
+def build_plaintext(durability=None, tracer=None):
+    framework = PReVer([make_db()], durability=durability, tracer=tracer)
+    for constraint in pinned_constraints():
+        framework.register_constraint(constraint)
+    return framework
+
+
+def build_paillier(durability=None, tracer=None):
+    db = make_db("mgr")
+    regulation = upper_bound_regulation("cap", "events", "amount", 55, ["who"])
+    regulation.constraint_id = "cst-cap"
+    return single_private_database(
+        db, [regulation], engine="paillier",
+        durability=durability, tracer=tracer,
+    )
+
+
+BUILDERS = {"plaintext": build_plaintext, "paillier": build_paillier}
+
+#: Golden constants captured against the pre-refactor monolithic
+#: framework (PR 4 tree).  Keys: (engine, path); values: the ledger
+#: root hex and the sha256 over the concatenated WAL segment bytes.
+GOLDEN = {
+    ("plaintext", "sequential"): {
+        "root": "b961e7e0dd4f66b293c935fec090952a09a1d43ddae84782e1657415387c9bc7",
+        "wal_sha256":
+            "31468952bae8915e5c540347e7243b7a22a84d569794e1c4768e4d4f984eea5a",
+    },
+    ("plaintext", "batched"): {
+        "root": "b961e7e0dd4f66b293c935fec090952a09a1d43ddae84782e1657415387c9bc7",
+        "wal_sha256":
+            "902eb907f554e3597916c34177851b6e2aa32da637139d6bc3b8ca6f95e94fa3",
+    },
+    ("paillier", "sequential"): {
+        "root": "af2bcb005c02dd6135868fa20bfa37e1c4dad260e09d934b00479c52279a0ccb",
+        "wal_sha256":
+            "a13f7ae339a383aa4c9689231a62fa9a29ae4b67db5836c696d15621d0ef5da4",
+    },
+    ("paillier", "batched"): {
+        "root": "af2bcb005c02dd6135868fa20bfa37e1c4dad260e09d934b00479c52279a0ccb",
+        "wal_sha256":
+            "5bb508a36c779ccedc129f33c5f8ac38838c8cd5c9a1b4318c10916aaedfedf0",
+    },
+}
+
+
+def wal_sha256(state_dir):
+    """sha256 over every WAL segment's bytes, oldest segment first."""
+    wal_dir = os.path.join(state_dir, "wal")
+    digest = hashlib.sha256()
+    for name in sorted(os.listdir(wal_dir)):
+        with open(os.path.join(wal_dir, name), "rb") as handle:
+            digest.update(handle.read())
+    return digest.hexdigest()
+
+
+def run_path(engine, path, state_dir, tracer=None):
+    """One engine x submission-path run under WAL durability; returns
+    (framework, results)."""
+    framework = BUILDERS[engine](
+        durability=Durability.wal(state_dir), tracer=tracer
+    )
+    if path == "sequential":
+        results = [framework.submit(u) for u in golden_stream()]
+    else:
+        stream = golden_stream()
+        results = []
+        # Two chunks so the batched WAL holds two anchor markers.
+        results.extend(framework.submit_many(stream[:8]))
+        results.extend(framework.submit_many(stream[8:]))
+    framework.close()
+    return framework, results
+
+
+# -- golden tests ------------------------------------------------------------
+
+@pytest.mark.parametrize("engine", ["plaintext", "paillier"])
+@pytest.mark.parametrize("path", ["sequential", "batched"])
+def test_pipeline_matches_pre_refactor_goldens(engine, path, tmp_path):
+    framework, results = run_path(engine, path, str(tmp_path))
+    golden = GOLDEN[(engine, path)]
+    assert framework.ledger.digest().root.hex() == golden["root"], \
+        "stage decomposition changed the anchored decision bytes"
+    assert wal_sha256(str(tmp_path)) == golden["wal_sha256"], \
+        "stage decomposition changed the WAL bytes"
+    # The stream exercises every path.
+    assert any(r.applied for r in results)
+    assert any(r.outcome.failed_constraint == "apply-failure" for r in results)
+    assert any(not r.accepted for r in results)
+
+
+@pytest.mark.parametrize("engine", ["plaintext", "paillier"])
+def test_sequential_and_batched_digests_interchange(engine, tmp_path):
+    seq_fw, seq_results = run_path(engine, "sequential",
+                                   str(tmp_path / "seq"))
+    bat_fw, bat_results = run_path(engine, "batched", str(tmp_path / "bat"))
+    assert len(seq_results) == len(bat_results)
+    for s, b in zip(seq_results, bat_results):
+        assert (s.accepted, s.applied) == (b.accepted, b.applied)
+        assert s.ledger_sequence == b.ledger_sequence
+        assert s.outcome.failed_constraint == b.outcome.failed_constraint
+    seq_digest = seq_fw.ledger.digest()
+    assert seq_digest.root == bat_fw.ledger.digest().root
+    for sequence in range(len(bat_fw.ledger)):
+        proof = bat_fw.ledger.prove_inclusion(sequence)
+        entry = bat_fw.ledger.entry(sequence)
+        assert CentralLedger.verify_entry(seq_digest, entry, proof)
+
+
+# -- traced runs: structural equivalence -------------------------------------
+
+def strip_trace_ids(framework):
+    payloads = []
+    for entry in framework.ledger.entries():
+        payload = dict(entry.payload)
+        assert payload.pop("trace_id", None) is not None, \
+            "traced runs must stamp trace_id into anchored payloads"
+        payloads.append(payload)
+    return payloads
+
+
+@pytest.mark.parametrize("engine", ["plaintext", "paillier"])
+def test_traced_runs_match_untraced_payloads(engine, tmp_path):
+    """With a recording tracer the anchored payloads must differ from
+    the untraced ones *only* by the stamped trace_id, on both paths."""
+    untraced_fw, _ = run_path(engine, "sequential", str(tmp_path / "u"))
+    reference = [entry.payload for entry in untraced_fw.ledger.entries()]
+    for path in ("sequential", "batched"):
+        tracer = Tracer()
+        log = EventLog()
+        tracer.add_sink(log)
+        framework, results = run_path(engine, path, str(tmp_path / path),
+                                      tracer=tracer)
+        assert strip_trace_ids(framework) == reference
+        # Every update got a full-shape trace.
+        spans_by_trace = {}
+        for record in log.events("span_close"):
+            spans_by_trace.setdefault(record["trace_id"], []).append(
+                record["name"]
+            )
+        for result in results:
+            names = spans_by_trace[result.trace_id]
+            assert {"validate", "verify", "apply", "anchor"} <= set(names)
+
+
+if __name__ == "__main__":
+    import json
+    out = {}
+    import tempfile
+    for engine in BUILDERS:
+        for path in ("sequential", "batched"):
+            with tempfile.TemporaryDirectory() as tmp:
+                framework, _ = run_path(engine, path, tmp)
+                out[f"{engine}/{path}"] = {
+                    "root": framework.ledger.digest().root.hex(),
+                    "wal_sha256": wal_sha256(tmp),
+                }
+    print(json.dumps(out, indent=2))
