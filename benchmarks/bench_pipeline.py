@@ -29,14 +29,20 @@ Everything is written to ``BENCH_pipeline.json``.  Standalone:
 import argparse
 import functools
 import gc
+import hashlib
 import itertools
 import json
 import os
+import random
 import tempfile
 import time
 
 from repro.core.contexts import single_private_database
 from repro.core.sharded import ShardedPReVer, ShardSpec
+from repro.crypto import backend as math_backend
+from repro.crypto.backend import FixedBaseTable, multi_exp
+from repro.crypto.group import SchnorrGroup
+from repro.crypto.paillier import generate_paillier_keypair
 from repro.database.engine import Database
 from repro.database.schema import ColumnType, TableSchema
 from repro.durability import Durability
@@ -130,6 +136,15 @@ def compare_batched_vs_sequential(engine, n_updates):
     assert seq_fw.ledger.digest().root == bat_fw.ledger.digest().root, \
         "batched anchoring must reproduce the sequential digest"
 
+    stage_totals = {
+        stage: stats["total"]
+        for stage, stats in bat_fw.throughput_report()["stages"].items()
+    }
+    # Verify-stage share of the batched wall clock, charging the
+    # batch-prepare phase (front-loaded contribution encryption) to
+    # verify — the figure the fast-math backend attacks.
+    verify_seconds = stage_totals.get("verify", 0.0) + \
+        bat_fw.metrics.timer_total("pipeline.prepare_batch")
     return {
         "engine": engine,
         "updates": n_updates,
@@ -138,10 +153,9 @@ def compare_batched_vs_sequential(engine, n_updates):
         "sequential_per_sec": n_updates / seq_elapsed,
         "batched_per_sec": n_updates / bat_elapsed,
         "speedup": seq_elapsed / bat_elapsed,
-        "batched_stage_totals": {
-            stage: stats["total"]
-            for stage, stats in bat_fw.throughput_report()["stages"].items()
-        },
+        "verify_seconds": verify_seconds,
+        "verify_share": verify_seconds / bat_elapsed,
+        "batched_stage_totals": stage_totals,
         # Stable, versioned exporter schema (repro.obs.export): the
         # batched framework's full counter/timer telemetry, sorted so
         # consecutive artifacts diff cleanly.
@@ -364,6 +378,257 @@ def compare_sharded(shard_counts, n_updates):
     return results
 
 
+# -- fast-math backend and exponentiation kernels ---------------------------
+
+def _available_backends():
+    """``["python"]`` plus ``"gmpy2"`` when importable."""
+    names = ["python"]
+    if math_backend._load_gmpy2() is not None:
+        names.append("gmpy2")
+    return names
+
+
+def _timed_loop(fn, values):
+    gc.collect()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        out = [fn(v) for v in values]
+        return time.perf_counter() - start, out
+    finally:
+        gc.enable()
+
+
+def compare_backends(paillier_updates=200, kernel_ops=400, seed=1234):
+    """Price the fast-math layer: backends x kernels x the Paillier path.
+
+    Three comparisons, every one with a value-equality assert:
+
+    * **kernels** (per backend): fixed-base table vs builtin ``pow``
+      on the Schnorr-generator shape, and Straus ``multi_exp`` vs a
+      product of independent ``pow`` calls on the RLC shape;
+    * **verify kernel** (per backend): the Paillier CRT decrypt inner
+      exponentiation on a full-size (512-bit) key — the operation the
+      gmpy2 2x acceptance gate is measured on;
+    * **end-to-end** (per backend): the batched Paillier pipeline on
+      the same stream, asserting every backend reaches the identical
+      ledger root.
+    """
+    rng = random.Random(seed)
+    group = SchnorrGroup.default()
+    exponents = [rng.randrange(1, group.q) for _ in range(kernel_ops)]
+    rlc_pairs = [
+        (rng.randrange(2, group.p), rng.randrange(1, 1 << 384))
+        for _ in range(64)
+    ]
+    keypair = generate_paillier_keypair(512, rng=None)
+    n_sq = keypair.public_key.n_squared
+    decrypt_inputs = [
+        keypair.public_key.encrypt(rng.randrange(0, 1 << 64)).value
+        for _ in range(max(24, kernel_ops // 8))
+    ]
+
+    kernels, verify_kernel, paillier_rows = [], [], []
+    baseline_root = None
+    for name in _available_backends():
+        math_backend.set_backend(name)
+
+        # Kernel 1: fixed-base windowed table vs builtin pow, same base.
+        table = FixedBaseTable(group.g, group.p, group.q.bit_length())
+        pow_elapsed, pow_out = _timed_loop(
+            lambda e: pow(group.g, e, group.p), exponents)
+        fb_elapsed, fb_out = _timed_loop(table.pow, exponents)
+        assert fb_out == pow_out, "fixed-base kernel diverged from pow"
+
+        # Kernel 2: Straus multi-exp vs independent pows (RLC shape).
+        def naive_rlc(_):
+            acc = 1
+            for base, exponent in rlc_pairs:
+                acc = acc * pow(base, exponent, group.p) % group.p
+            return acc
+
+        naive_elapsed, naive_out = _timed_loop(naive_rlc, range(8))
+        straus_elapsed, straus_out = _timed_loop(
+            lambda _: multi_exp(rlc_pairs, group.p), range(8))
+        assert straus_out == naive_out, "multi_exp diverged from pow product"
+
+        kernels.append({
+            "backend": name,
+            "ops": kernel_ops,
+            "pow_seconds": pow_elapsed,
+            "fixed_base_seconds": fb_elapsed,
+            "fixed_base_speedup": pow_elapsed / fb_elapsed,
+            "fixed_base_entries": table.entries,
+            "multi_exp_speedup": naive_elapsed / straus_elapsed,
+        })
+
+        # The Paillier verify inner op: CRT decrypt on a 512-bit key.
+        dec_elapsed, dec_out = _timed_loop(
+            keypair.private_key._decrypt_crt_value, decrypt_inputs)
+        verify_kernel.append({
+            "backend": name,
+            "key_bits": 512,
+            "ops": len(decrypt_inputs),
+            "seconds": dec_elapsed,
+            "decrypts_per_sec": len(decrypt_inputs) / dec_elapsed,
+            "outputs_digest": hashlib.sha256(
+                repr(dec_out).encode()).hexdigest()[:16],
+        })
+
+        # End-to-end: the batched Paillier pipeline under this backend.
+        framework = build("paillier")
+        framework.engine.precompute(paillier_updates)
+        stream = make_stream(paillier_updates)
+        gc.collect()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            framework.submit_many(stream)
+            elapsed = time.perf_counter() - start
+        finally:
+            gc.enable()
+        root = framework.ledger.digest().root
+        if baseline_root is None:
+            baseline_root = root
+        assert root == baseline_root, \
+            f"backend {name!r} changed the ledger root"
+        verify_seconds = (
+            framework.throughput_report()["stages"]
+            .get("verify", {}).get("total", 0.0)
+            + framework.metrics.timer_total("pipeline.prepare_batch")
+        )
+        paillier_rows.append({
+            "backend": name,
+            "updates": paillier_updates,
+            "seconds": elapsed,
+            "per_sec": paillier_updates / elapsed,
+            "verify_seconds": verify_seconds,
+            "root": root.hex(),
+        })
+    math_backend.set_backend(None)  # back to the environment's choice
+
+    by_backend = {r["backend"]: r for r in verify_kernel}
+    assert len({r["outputs_digest"] for r in verify_kernel}) == 1, \
+        "backends disagreed on decrypted plaintexts"
+    result = {
+        "backends": [r["backend"] for r in kernels],
+        "kernels": kernels,
+        "verify_kernel": verify_kernel,
+        "paillier": paillier_rows,
+    }
+    if "gmpy2" in by_backend:
+        result["gmpy2_verify_kernel_speedup"] = (
+            by_backend["python"]["seconds"] / by_backend["gmpy2"]["seconds"]
+        )
+        end_to_end = {r["backend"]: r for r in paillier_rows}
+        result["gmpy2_pipeline_speedup"] = (
+            end_to_end["python"]["seconds"] / end_to_end["gmpy2"]["seconds"]
+        )
+    return result
+
+
+# -- verify <-> anchor overlap ----------------------------------------------
+
+def _wal_sha256(state_dir):
+    """sha256 over every WAL segment, oldest first (byte-equality
+    pinning between schedules)."""
+    wal_dir = os.path.join(state_dir, "wal")
+    digest = hashlib.sha256()
+    for name in sorted(os.listdir(wal_dir)):
+        with open(os.path.join(wal_dir, name), "rb") as handle:
+            digest.update(handle.read())
+    return digest.hexdigest()
+
+
+#: Overlap pricing menu: the group-commit WAL and the snapshotting
+#: variant (snapshots run inside the deferred commit, so they are the
+#: best case for hiding commit latency behind verify work).
+OVERLAP_MODES = [
+    ("wal", lambda d: Durability.wal(d)),
+    ("wal+snapshot",
+     lambda d: Durability.wal_with_snapshots(d, snapshot_every=100)),
+]
+
+
+def _run_overlap_schedule(engine, make_policy, n_updates, chunk, pipelined):
+    """One timed run of either schedule over a fresh state directory.
+
+    Returns ``(seconds, root, wal_sha, extras)`` where extras carries
+    the schedule-specific counters (fsync time resp. overlap count).
+    """
+    with tempfile.TemporaryDirectory(prefix="bench-overlap-") as tmp:
+        framework = build(engine, durability=make_policy(tmp))
+        if engine == "paillier":
+            framework.engine.precompute(n_updates)
+        stream = make_stream(n_updates)
+        batches = [stream[i:i + chunk] for i in range(0, n_updates, chunk)]
+        gc.collect()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            if pipelined:
+                framework.submit_pipelined(batches)
+            else:
+                for batch in batches:
+                    framework.submit_many(batch)
+            seconds = time.perf_counter() - start
+        finally:
+            gc.enable()
+        framework.close()
+        root = framework.ledger.digest().root
+        wal_sha = _wal_sha256(tmp)
+        if pipelined:
+            extras = {"overlapped_commits": framework.metrics.counter_value(
+                "pipeline.overlapped_commits")}
+        else:
+            extras = {"fsync_seconds": framework.metrics.timer_total(
+                "durability.fsync")}
+    return seconds, root, wal_sha, extras
+
+
+def compare_overlap(engine="paillier", n_updates=240, chunk=40, repeats=3):
+    """Price the pipelined scheduler: ``submit_pipelined`` (batch N+1's
+    verify prep overlapping batch N's commit fsync) vs the serial
+    chunked ``submit_many`` schedule, per durability mode.
+
+    Asserts *every* overlapped run reproduces the serial schedule's
+    ledger root *and its exact WAL bytes* — the overlap must be
+    invisible to everything but the clock.  Timing takes the best of
+    ``repeats`` runs per schedule: fsync latency on shared hosts is
+    the noisiest input here, and a single unlucky serial (or lucky
+    pipelined) sample would otherwise swing the ratio both ways.
+    """
+    results = []
+    for label, make_policy in OVERLAP_MODES:
+        row = {"mode": label, "engine": engine, "updates": n_updates,
+               "chunk": chunk, "repeats": repeats}
+        serial_root = serial_wal = None
+        for schedule, key in (("serial", "serial_seconds"),
+                              ("pipelined", "pipelined_seconds")):
+            best = None
+            for _ in range(repeats):
+                seconds, root, wal_sha, extras = _run_overlap_schedule(
+                    engine, make_policy, n_updates, chunk,
+                    pipelined=schedule == "pipelined")
+                if schedule == "serial" and serial_root is None:
+                    serial_root, serial_wal = root, wal_sha
+                assert root == serial_root, \
+                    f"{schedule} run changed the ledger root under {label!r}"
+                assert wal_sha == serial_wal, \
+                    f"{schedule} run changed the WAL bytes under {label!r}"
+                if best is None or seconds < best:
+                    best = seconds
+                    row.update(extras)
+            row[key] = best
+
+        row["serial_per_sec"] = n_updates / row["serial_seconds"]
+        row["pipelined_per_sec"] = n_updates / row["pipelined_seconds"]
+        row["speedup"] = row["serial_seconds"] / row["pipelined_seconds"]
+        row["root"] = serial_root.hex()
+        results.append(row)
+    return results
+
+
 #: Durability pricing menu: label -> policy factory (None = off).
 #: ``wal`` is the group-commit default (fsync once per anchored batch);
 #: ``wal-fsync-each`` additionally fsyncs every update record (the
@@ -434,7 +699,10 @@ def run_batch_comparison(plaintext_updates=1000, paillier_updates=300,
                          out_path="BENCH_pipeline.json", workers=4,
                          parallel_updates=None, include_parallel=True,
                          include_durability=False, durability_updates=600,
-                         shard_counts=(), sharded_updates=2000):
+                         shard_counts=(), sharded_updates=2000,
+                         include_backends=True, backend_updates=200,
+                         include_overlap=False, overlap_updates=240,
+                         overlap_chunk=40):
     results = []
     for engine in BATCH_ENGINES:
         n = plaintext_updates if engine == "plaintext" else paillier_updates
@@ -452,18 +720,30 @@ def run_batch_comparison(plaintext_updates=1000, paillier_updates=300,
     sharded = []
     if shard_counts:
         sharded = compare_sharded(list(shard_counts), sharded_updates)
+    backends = {}
+    if include_backends:
+        backends = compare_backends(paillier_updates=backend_updates)
+    overlap = []
+    if include_overlap:
+        overlap = compare_overlap(n_updates=overlap_updates,
+                                  chunk=overlap_chunk)
     artifact = {
         "experiment": "E1-batched",
         "description": "batched (submit_many) vs sequential (submit) "
                        "Figure-2 pipeline throughput, plus the multicore "
                        "execution layer (process pool) vs serial on the "
-                       "Paillier verify path, plus (opt-in) the durability "
+                       "Paillier verify path, the fast-math backend and "
+                       "exponentiation kernels (fixed-base, multi-exp) "
+                       "against builtin pow, plus (opt-in) the pipelined "
+                       "verify/anchor overlap schedule, the durability "
                        "layer's fsync cost per mode and the sharded "
                        "front-end's scaling across shard counts",
         "results": results,
         "parallel": parallel,
         "durability": durability,
         "sharded": sharded,
+        "backends": backends,
+        "overlap": overlap,
     }
     if out_path:
         with open(out_path, "w", encoding="utf-8") as handle:
@@ -478,9 +758,73 @@ def batch_rows(artifact):
             f"{r['sequential_per_sec']:.0f}/s",
             f"{r['batched_per_sec']:.0f}/s",
             f"{r['speedup']:.1f}x",
+            f"{r['verify_share'] * 100:.0f}%",
         ]
         for r in artifact["results"]
     ]
+
+
+BATCH_HEADERS = ["engine", "updates", "sequential", "batched", "speedup",
+                 "verify-share"]
+
+
+def backend_rows(artifact):
+    backends = artifact.get("backends") or {}
+    kernels = {k["backend"]: k for k in backends.get("kernels", [])}
+    verify = {v["backend"]: v for v in backends.get("verify_kernel", [])}
+    return [
+        [
+            r["backend"], r["updates"],
+            f"{r['per_sec']:.0f}/s",
+            f"{verify[r['backend']]['decrypts_per_sec']:.0f}/s",
+            f"{kernels[r['backend']]['fixed_base_speedup']:.2f}x",
+            f"{kernels[r['backend']]['multi_exp_speedup']:.2f}x",
+        ]
+        for r in backends.get("paillier", [])
+    ]
+
+
+def print_backend_table(artifact):
+    rows = backend_rows(artifact)
+    if not rows:
+        return
+    print_table(
+        "E1-backend: fast-math backends and exponentiation kernels",
+        ["backend", "updates", "paillier", "crt-decrypt",
+         "fixed-base", "multi-exp"],
+        rows,
+    )
+    backends = artifact["backends"]
+    if "gmpy2_verify_kernel_speedup" in backends:
+        print(f"gmpy2 verify-kernel speedup: "
+              f"{backends['gmpy2_verify_kernel_speedup']:.2f}x "
+              f"(pipeline: {backends['gmpy2_pipeline_speedup']:.2f}x)")
+
+
+def overlap_rows(artifact):
+    return [
+        [
+            r["mode"], r["updates"],
+            f"{r['serial_per_sec']:.0f}/s",
+            f"{r['pipelined_per_sec']:.0f}/s",
+            f"{r['speedup']:.2f}x",
+            str(r["overlapped_commits"]),
+        ]
+        for r in artifact.get("overlap", [])
+    ]
+
+
+def print_overlap_table(artifact):
+    rows = overlap_rows(artifact)
+    if not rows:
+        return
+    print_table(
+        "E1-overlap: pipelined verify/anchor schedule vs serial "
+        "(submit_pipelined, paillier)",
+        ["mode", "updates", "serial", "pipelined", "speedup",
+         "overlapped"],
+        rows,
+    )
 
 
 def parallel_rows(artifact):
@@ -629,12 +973,16 @@ if pytest is not None:
         with capsys.disabled():
             print_table(
                 "E1-batched: submit_many vs submit",
-                ["engine", "updates", "sequential", "batched", "speedup"],
+                BATCH_HEADERS,
                 batch_rows(artifact),
             )
+            print_backend_table(artifact)
         by_engine = {r["engine"]: r for r in artifact["results"]}
         assert by_engine["plaintext"]["speedup"] >= 5.0
         assert by_engine["paillier"]["speedup"] >= 1.0
+        # The crypto-heavy path is verify-dominated; the batched report
+        # must expose that share explicitly.
+        assert 0.0 < by_engine["paillier"]["verify_share"] <= 1.0
 
 
 def main(argv=None):
@@ -673,11 +1021,27 @@ def main(argv=None):
                              "decision and on the Merkle root-of-roots")
     parser.add_argument("--sharded-updates", type=int, default=2000,
                         help="stream length for the sharded comparison")
+    parser.add_argument("--no-backends", action="store_true",
+                        help="skip the fast-math backend/kernel comparison")
+    parser.add_argument("--backend-updates", type=int, default=200,
+                        help="Paillier stream length per backend for the "
+                             "backend comparison")
+    parser.add_argument("--overlap", action="store_true",
+                        help="also price the pipelined verify/anchor "
+                             "overlap schedule (submit_pipelined) against "
+                             "serial chunked submit_many, asserting ledger "
+                             "root and WAL bytes are identical")
+    parser.add_argument("--overlap-updates", type=int, default=240,
+                        help="stream length for the overlap comparison")
+    parser.add_argument("--overlap-chunk", type=int, default=40,
+                        help="batch size for the overlap comparison")
     parser.add_argument("--smoke", action="store_true",
                         help="small streams; assert batched is not slower")
     args = parser.parse_args(argv)
     if args.updates <= 0 or args.paillier_updates <= 0 \
-            or args.durability_updates <= 0 or args.sharded_updates <= 0:
+            or args.durability_updates <= 0 or args.sharded_updates <= 0 \
+            or args.backend_updates <= 0 or args.overlap_updates <= 0 \
+            or args.overlap_chunk <= 0:
         parser.error("stream lengths must be positive")
     if args.workers <= 0:
         parser.error("--workers must be positive")
@@ -692,6 +1056,8 @@ def main(argv=None):
         args.paillier_updates = min(args.paillier_updates, 100)
         args.durability_updates = min(args.durability_updates, 200)
         args.sharded_updates = min(args.sharded_updates, 400)
+        args.backend_updates = min(args.backend_updates, 60)
+        args.overlap_updates = min(args.overlap_updates, 120)
 
     artifact = run_batch_comparison(
         plaintext_updates=args.updates,
@@ -703,12 +1069,19 @@ def main(argv=None):
         durability_updates=args.durability_updates,
         shard_counts=args.shards,
         sharded_updates=args.sharded_updates,
+        include_backends=not args.no_backends,
+        backend_updates=args.backend_updates,
+        include_overlap=args.overlap,
+        overlap_updates=args.overlap_updates,
+        overlap_chunk=args.overlap_chunk,
     )
     print_table(
         "E1-batched: submit_many vs submit",
-        ["engine", "updates", "sequential", "batched", "speedup"],
+        BATCH_HEADERS,
         batch_rows(artifact),
     )
+    print_backend_table(artifact)
+    print_overlap_table(artifact)
     print_parallel_table(artifact)
     print_sharded_table(artifact)
     print_durability_table(artifact)
@@ -727,6 +1100,36 @@ def main(argv=None):
             raise SystemExit(
                 f"batched path slower than sequential for "
                 f"{result['engine']} ({result['speedup']:.2f}x)"
+            )
+    backends = artifact.get("backends") or {}
+    for kernel in backends.get("kernels", []):
+        # The fixed-base gate: even the pure-python table must beat the
+        # builtin C pow on the generator shape (that is the whole point
+        # of the kernel); the Straus kernel likewise.
+        if kernel["backend"] == "python" \
+                and kernel["fixed_base_speedup"] < 1.0:
+            raise SystemExit(
+                f"pure-python fixed-base kernel slower than builtin pow "
+                f"({kernel['fixed_base_speedup']:.2f}x)"
+            )
+    if "gmpy2_verify_kernel_speedup" in backends \
+            and backends["gmpy2_verify_kernel_speedup"] < 2.0:
+        # Binds only when gmpy2 is importable (the CI gmpy2 job).
+        raise SystemExit(
+            f"gmpy2 Paillier verify kernel speedup "
+            f"{backends['gmpy2_verify_kernel_speedup']:.2f}x below the "
+            f"2x bar"
+        )
+    for result in artifact.get("overlap", []):
+        # On hosts where fsync is effectively free (fast container
+        # filesystems) there is nothing to hide and the pipelined
+        # schedule can only pay its thread-handoff cost, so this is a
+        # no-pathological-regression floor, not a speedup bar — the
+        # win itself shows up wherever fsync_seconds is material.
+        if result["speedup"] < 0.85:
+            raise SystemExit(
+                f"pipelined overlap schedule slower than serial under "
+                f"{result['mode']!r} ({result['speedup']:.2f}x)"
             )
     if not args.smoke:
         plaintext = next(r for r in artifact["results"]

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Clean-output bench runner.
+#
+# CI images (and some interactive shells) initialize conda from
+# login-shell startup files, which prints
+#
+#   WARNING conda.cli.condarc:set_key(...): Key auto_activate_base is
+#   an alias of auto_activate; setting value with latter
+#
+# on stderr before anything else runs.  Captured "bench output" then
+# leads with a warning that breaks table diffs and any consumer
+# parsing a redirected stream.  This runner keeps bench output clean
+# two ways: it is a plain non-login script (so shell-init warnings
+# never fire inside it), and it filters residual conda condarc
+# warnings from the bench's stderr — stdout is passed through
+# untouched, and the bench's exit code is preserved.
+#
+# Usage: benchmarks/run_bench.sh [bench_pipeline.py args...]
+#   e.g. benchmarks/run_bench.sh --smoke --durability --shards 1 2 4
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+    python benchmarks/bench_pipeline.py "$@" \
+    2> >(grep -v 'conda\.cli\.condarc' >&2)
+status=$?
+# Let the stderr filter drain before the caller's prompt returns.
+wait
+exit "$status"

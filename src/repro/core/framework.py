@@ -159,6 +159,9 @@ class PReVer:
         # The staged update path (repro.core.pipeline): both submit
         # APIs below are thin drivers over this one stage sequence.
         self.pipeline = Pipeline(self)
+        # Overlap scheduler (repro.core.pipelined), created on first
+        # submit_pipelined() so plain frameworks stay thread-free.
+        self._pipelined = None
 
     # -- step (0): constraint registration -------------------------------
 
@@ -252,6 +255,25 @@ class PReVer:
         executor = executor if executor is not None else self.executor
         return self.pipeline.run_batch(updates, executor)
 
+    def submit_pipelined(self, batches: Sequence[Sequence[Update]],
+                         executor=None) -> List[UpdateResult]:
+        """Run a sequence of batches with verify↔anchor overlap.
+
+        Semantically ``[*submit_many(b) for b in batches]`` — same
+        decisions, ledger roots, and WAL bytes — but batch N+1's
+        crypto-heavy prep (batch Schnorr auth, engine contribution
+        encryption) overlaps batch N's group-commit fsync in a
+        background thread, hiding durability latency behind
+        verification work.  See :mod:`repro.core.pipelined` for the
+        schedule and its safety argument.  All commits are drained
+        before returning.
+        """
+        if self._pipelined is None:
+            from repro.core.pipelined import PipelinedScheduler
+
+            self._pipelined = PipelinedScheduler(self)
+        return self._pipelined.submit_batches(batches, executor=executor)
+
     def _apply(self, update: Update) -> None:
         database = self._target_database(update)
         if update.operation is UpdateOperation.INSERT:
@@ -331,8 +353,11 @@ class PReVer:
         return path
 
     def close(self) -> None:
-        """Flush and fsync the WAL; call before discarding the
-        instance (a no-op with durability off)."""
+        """Drain any in-flight pipelined commit, then flush and fsync
+        the WAL; call before discarding the instance (a no-op with
+        durability off and no pipelined submissions)."""
+        if self._pipelined is not None:
+            self._pipelined.close()
         if self._wal is not None:
             self._wal.close()
 

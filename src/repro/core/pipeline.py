@@ -414,11 +414,23 @@ class AnchorStage(Stage):
                 start=start, end=anchor_end, batched=False,
             )
 
-    def run_batch(self, ctxs: Sequence[UpdateContext], executor) -> None:
+    def run_batch(self, ctxs: Sequence[UpdateContext], executor,
+                  defer_commit: bool = False):
         """Amortized anchoring: one Merkle extension for the whole
         batch (halted contexts included — rejections are decisions
         too), one anchor marker, identical per-entry sequence numbers
-        and inclusion proofs to the one-by-one path."""
+        and inclusion proofs to the one-by-one path.
+
+        With ``defer_commit=True`` the durability commit (anchor
+        marker + group fsync + maybe snapshot) is *not* run; instead a
+        zero-argument closure performing it is returned, for the
+        pipelined scheduler to overlap with the next batch's verify
+        work.  The ledger digest the marker embeds is captured eagerly
+        here — while this batch's entries are still the frontier — so
+        the WAL bytes are identical to the immediate-commit path no
+        matter when the closure runs.  Returns ``None`` when the
+        commit ran (or durability is off).
+        """
         fw = self.framework
         tracing = fw.tracer.enabled
         start = fw._wall.now()
@@ -430,8 +442,17 @@ class AnchorStage(Stage):
         fw.metrics.timer("pipeline.anchor_batch").record(anchor_elapsed)
         anchor_share = anchor_elapsed / len(ctxs)
         batch_digest = fw.ledger.digest() if tracing else None
+        deferred = None
         if fw._wal is not None:
-            self.durability.commit(payloads, digest=batch_digest)
+            if defer_commit:
+                digest = (batch_digest if batch_digest is not None
+                          else fw.ledger.digest())
+
+                def deferred(payloads=payloads, digest=digest):
+                    """Commit this batch's anchor with its frozen digest."""
+                    self.durability.commit(payloads, digest=digest)
+            else:
+                self.durability.commit(payloads, digest=batch_digest)
         for ctx, entry in zip(ctxs, entries):
             ctx.timings["anchor"] = anchor_share
             ctx.sequence = entry.sequence
@@ -440,6 +461,7 @@ class AnchorStage(Stage):
                     ctx, entry, batch_digest,
                     start=start, end=anchor_end, batched=True,
                 )
+        return deferred
 
     def _close_span(self, ctx: UpdateContext, entry, digest,
                     start: float, end: float, batched: bool) -> None:

@@ -1,0 +1,148 @@
+"""Verify↔anchor overlap: the pipelined batch scheduler.
+
+With durability on, every batch ends in a group-commit fsync (the
+anchor marker) before the next batch may start — so the CPU sits idle
+for the disk and the disk sits idle for the CPU, alternately.  The two
+phases use disjoint resources: batch-prep (Schnorr RLC authentication,
+engine contribution encryption via ``prepare_batch``) is pure
+computation over the *incoming* updates, while the commit of the
+*previous* batch is an append + fsync + optional snapshot.  fsync
+releases the GIL, so even on one core a background thread overlaps the
+wait with useful crypto.
+
+:class:`PipelinedScheduler` runs batch N+1's prep concurrently with
+batch N's commit, then joins before anything touches shared state:
+
+    prep(N+1)  ∥  commit(N)      ← overlap window
+    join                          ← commit N durable
+    walk(N+1): WAL-log → apply    ← strictly serial
+    anchor(N+1), defer commit     ← commit N+1 handed to the thread
+
+Safety argument for the overlap window, stage by stage:
+
+* ``AuthStage.run_batch`` only reads update bodies and does group
+  arithmetic — no framework state.
+* ``VerifyStage.run_batch`` builds the aggregate cache from database
+  *reads* and fills the engine's prepared-ciphertext map; neither is
+  consulted by the commit path (the snapshotter serializes databases,
+  ledger frontier and the engine's *applied* aggregates — which only
+  mutate inside the walk, after the join).
+* The WAL is touched by exactly one thread at a time: the commit
+  closure until the join, the walk after it.  WAL byte order therefore
+  matches the serial schedule exactly, and the deferred commit's
+  ledger digest was captured at anchor time (see
+  ``AnchorStage.run_batch(defer_commit=True)``), so anchor markers are
+  byte-identical too.
+
+Fault injection (``crash_after``) forces the serial schedule: a
+simulated crash must fire at the same WAL position it would under
+:meth:`~repro.core.framework.PReVer.submit_many`, which a background
+commit cannot guarantee.
+
+Decisions, ledger roots, and WAL bytes are pinned against the serial
+schedule by ``tests/test_pipelined.py``.
+"""
+
+from typing import List, Sequence
+
+from repro.core.outcome import UpdateResult
+from repro.core.pipeline import UpdateContext
+from repro.model.update import Update
+
+
+class PipelinedScheduler:
+    """Drives batches through the pipeline with commit/prep overlap.
+
+    One scheduler per framework, created lazily by
+    :meth:`~repro.core.framework.PReVer.submit_pipelined`.  The
+    committer thread is also lazy: durability-off frameworks never
+    start it (every deferred commit is ``None``), keeping that
+    configuration thread-free and byte-identical to ``submit_many``.
+    """
+
+    def __init__(self, framework):
+        self.framework = framework
+        self._committer = None  # lazy single-thread pool
+        self._pending = None    # Future of the in-flight commit
+        self._overlaps = framework.metrics.counter(
+            "pipeline.overlapped_commits"
+        )
+
+    def _pool(self):
+        if self._committer is None:
+            from concurrent.futures import ThreadPoolExecutor
+
+            self._committer = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="prever-commit"
+            )
+        return self._committer
+
+    def _join(self) -> None:
+        """Wait for the in-flight commit; re-raise anything it raised."""
+        pending, self._pending = self._pending, None
+        if pending is not None:
+            pending.result()
+
+    def submit_batches(
+        self,
+        batches: Sequence[Sequence[Update]],
+        executor=None,
+    ) -> List[UpdateResult]:
+        """Run batches through the pipeline with verify↔anchor overlap.
+
+        Returns the concatenated per-update results, equal to
+        ``submit_many`` over the same batches in order.  All commits
+        are drained before returning, so the framework is as durable
+        on exit as after a serial run.
+        """
+        fw = self.framework
+        executor = executor if executor is not None else fw.executor
+        if fw._crash_after is not None:
+            # Fault injection: crash points must fire at the same WAL
+            # position as the serial schedule; fall back to it.
+            results = []
+            for batch in batches:
+                results.extend(fw.submit_many(batch, executor=executor))
+            return results
+        pipeline = fw.pipeline
+        results: List[UpdateResult] = []
+        try:
+            for batch in batches:
+                batch = list(batch)
+                if not batch:
+                    continue
+                ctxs = [UpdateContext(update) for update in batch]
+                # Overlap window: this batch's prep vs the previous
+                # batch's commit, running in the committer thread.
+                if self._pending is not None:
+                    self._overlaps.add()
+                pipeline.auth.run_batch(ctxs, executor)
+                pipeline.verify.run_batch(ctxs, executor)
+                self._join()  # commit durable; WAL is ours again
+                try:
+                    for ctx in ctxs:
+                        pipeline._begin(ctx)
+                        pipeline._walk(ctx)
+                finally:
+                    pipeline.verify.finish_batch(ctxs)
+                commit = pipeline.anchor.run_batch(
+                    ctxs, executor, defer_commit=True
+                )
+                if commit is not None:
+                    self._pending = self._pool().submit(commit)
+                results.extend(pipeline._record(ctx) for ctx in ctxs)
+        finally:
+            # Always leave durable — also on a mid-run exception.
+            self._join()
+        return results
+
+    def drain(self) -> None:
+        """Block until no commit is in flight."""
+        self._join()
+
+    def close(self) -> None:
+        """Drain and stop the committer thread (idempotent)."""
+        self._join()
+        if self._committer is not None:
+            self._committer.shutdown(wait=True)
+            self._committer = None

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.common.errors import PReVerError
+from repro.crypto.backend import fixed_base
 from repro.crypto.group import SchnorrGroup
 from repro.crypto.numbers import modinv
 
@@ -59,14 +60,17 @@ class ElGamalPublicKey:
     y: int  # y = g^x
 
     def encrypt(self, message: int, rng=None) -> ElGamalCiphertext:
-        r = self.group.random_exponent(rng)
-        c1 = self.group.power(self.group.g, r)
-        c2 = (
-            self.group.power(self.group.g, message)
-            * self.group.power(self.y, r)
-            % self.group.p
-        )
-        return ElGamalCiphertext(self.group, c1, c2)
+        group = self.group
+        r = group.random_exponent(rng)
+        # Both exponentiation bases are long-lived: g's fixed-base
+        # table is process-shared and warm, and the public key's is
+        # built eagerly here (a key that encrypts once will encrypt
+        # again — counters are re-encrypted every rerandomization).
+        c1 = group.power_of_g(r)
+        y_pow = fixed_base(self.y, group.p, group.q.bit_length(),
+                           warm=True).pow(r)
+        c2 = group.power_of_g(message % group.q) * y_pow % group.p
+        return ElGamalCiphertext(group, c1, c2)
 
     def rerandomize(self, ct: ElGamalCiphertext, rng=None) -> ElGamalCiphertext:
         """Multiply in a fresh encryption of zero."""
@@ -104,7 +108,7 @@ def discrete_log_bounded(
         baby.setdefault(value, j)
         value = value * group.g % group.p
     # giant stride: g^-step
-    stride = modinv(group.power(group.g, step), group.p)
+    stride = modinv(group.power_of_g(step), group.p)
     gamma = target
     for i in range(step + 1):
         if gamma in baby:
@@ -126,6 +130,6 @@ def generate_elgamal_keypair(
 ) -> ElGamalKeyPair:
     group = group or SchnorrGroup.default()
     x = group.random_exponent(rng)
-    y = group.power(group.g, x)
+    y = group.power_of_g(x)
     public = ElGamalPublicKey(group=group, y=y)
     return ElGamalKeyPair(public_key=public, private_key=ElGamalPrivateKey(public, x))

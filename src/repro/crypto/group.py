@@ -9,6 +9,7 @@ generators (for Pedersen's second base ``h``).
 from dataclasses import dataclass
 
 from repro.common.randomness import SystemRandomSource
+from repro.crypto.backend import fixed_base, powmod
 from repro.crypto.numbers import generate_safe_prime, jacobi
 from repro.crypto.hashing import hash_to_int
 from repro.crypto.numbers import int_to_bytes
@@ -72,7 +73,19 @@ class SchnorrGroup:
         return rng.randrange(1, self.q)
 
     def power(self, base: int, exponent: int) -> int:
-        return pow(base, exponent % self.q, self.p)
+        return powmod(base, exponent % self.q, self.p)
+
+    def power_of_g(self, exponent: int) -> int:
+        """``g ** (exponent mod q) mod p`` via a warm fixed-base table.
+
+        The generator is the hottest base in the system (every
+        signature, commitment, and ElGamal encryption raises it), so
+        its table is built eagerly and shared per process through the
+        :func:`repro.crypto.backend.fixed_base` cache — value-identical
+        to :meth:`power` with ``base=g``.
+        """
+        return fixed_base(self.g, self.p, self.q.bit_length(),
+                          warm=True).pow(exponent % self.q)
 
     def mul(self, a: int, b: int) -> int:
         return (a * b) % self.p
@@ -91,7 +104,7 @@ class SchnorrGroup:
             return False
         if self.p == 2 * self.q + 1:
             return jacobi(element, self.p) == 1
-        return pow(element, self.q, self.p) == 1
+        return powmod(element, self.q, self.p) == 1
 
     def independent_generator(self, label: bytes) -> int:
         """Derive a second generator with unknown discrete log w.r.t. g.

@@ -9,6 +9,7 @@ rounds is below 2^-80, standard for this setting.
 from typing import Optional, Tuple
 
 from repro.common.randomness import SystemRandomSource
+from repro.crypto import backend
 
 _SMALL_PRIMES = [
     2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61,
@@ -37,11 +38,11 @@ def is_probable_prime(n: int, rounds: int = _DEFAULT_ROUNDS, rng=None) -> bool:
         r += 1
     for _ in range(rounds):
         a = rng.randrange(2, n - 1)
-        x = pow(a, d, n)
+        x = backend.powmod(a, d, n)
         if x in (1, n - 1):
             continue
         for _ in range(r - 1):
-            x = pow(x, 2, n)
+            x = backend.mulmod(x, x, n)
             if x == n - 1:
                 break
         else:
@@ -77,11 +78,10 @@ def generate_safe_prime(bits: int, rng=None) -> Tuple[int, int]:
 
 
 def modinv(a: int, m: int) -> int:
-    """Modular inverse via the extended Euclidean algorithm."""
-    g, x, _ = _extended_gcd(a % m, m)
-    if g != 1:
-        raise ValueError(f"{a} is not invertible modulo {m}")
-    return x % m
+    """Modular inverse through the fast-math backend (extended Euclid
+    in pure python, GMP's ``invert`` under gmpy2; both raise
+    ``ValueError`` on a non-invertible input)."""
+    return backend.invert(a, m)
 
 
 def _extended_gcd(a: int, b: int) -> Tuple[int, int, int]:

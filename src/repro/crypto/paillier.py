@@ -40,6 +40,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.errors import PReVerError
 from repro.common.randomness import SystemRandomSource
+from repro.crypto.backend import multi_exp, powmod
 from repro.crypto.numbers import (
     generate_prime,
     lcm,
@@ -52,6 +53,18 @@ DEFAULT_KEY_BITS = 512
 
 class PaillierError(PReVerError):
     """Raised on key/ciphertext misuse (mismatched keys, bad range)."""
+
+
+def _obfuscate(n: int, n_sq: int, r: int) -> int:
+    """``r^n mod n²`` — the one obfuscator exponentiation.
+
+    Every encryption path (pool precompute, pool miss, executor chunk
+    workers) funnels through here, so the fast-math backend applies
+    uniformly and the formula exists in exactly one place.  Fixed-base
+    tables do not help: the *base* ``r`` is fresh per call; only the
+    exponent ``n`` is fixed.
+    """
+    return powmod(r, n, n_sq)
 
 
 @dataclass(frozen=True)
@@ -115,7 +128,7 @@ class PaillierPublicKey:
                 label="paillier.precompute",
             )
         else:
-            obfuscators = [pow(r, n, n_sq) for r in rs]
+            obfuscators = [_obfuscate(n, n_sq, r) for r in rs]
         self._r_pool.extend(obfuscators)
         return self.randomness_pool_size
 
@@ -144,7 +157,8 @@ class PaillierPublicKey:
                 object.__setattr__(self, "_r_pool_head", 0)
             return value
         rng = rng or SystemRandomSource()
-        return pow(random_coprime(self.n, rng=rng), self.n, self._n_sq)
+        return _obfuscate(self.n, self._n_sq,
+                          random_coprime(self.n, rng=rng))
 
     def encrypt(self, plaintext: int, rng=None) -> "PaillierCiphertext":
         """Encrypt an integer in [0, n)."""
@@ -177,7 +191,7 @@ class PaillierPrivateKey:
         p, q = self.p, self.q
         # Classic-path parameters: λ = lcm(p-1, q-1), μ = L(g^λ mod n²)⁻¹.
         lam = lcm(p - 1, q - 1)
-        u = pow(g, lam, self.public_key.n_squared)
+        u = powmod(g, lam, self.public_key.n_squared)
         mu = modinv((u - 1) // n, n)
         object.__setattr__(self, "_lambda", lam)
         object.__setattr__(self, "_mu", mu)
@@ -185,8 +199,8 @@ class PaillierPrivateKey:
         # q) and the recombination coefficient q⁻¹ mod p.
         object.__setattr__(self, "_p_sq", p * p)
         object.__setattr__(self, "_q_sq", q * q)
-        gp = pow(g, p - 1, p * p)
-        gq = pow(g, q - 1, q * q)
+        gp = powmod(g, p - 1, self._p_sq)
+        gq = powmod(g, q - 1, self._q_sq)
         object.__setattr__(self, "_hp", modinv((gp - 1) // p, p))
         object.__setattr__(self, "_hq", modinv((gq - 1) // q, q))
         object.__setattr__(self, "_q_inv_p", modinv(q, p))
@@ -214,7 +228,7 @@ class PaillierPrivateKey:
         n = self.public_key.n
         if math.gcd(ciphertext.value, n) != 1:
             raise PaillierError("ciphertext is not coprime to the modulus")
-        u = pow(ciphertext.value, self._lambda, self.public_key.n_squared)
+        u = powmod(ciphertext.value, self._lambda, self.public_key.n_squared)
         return ((u - 1) // n) * self._mu % n
 
     def decrypt_signed(self, ciphertext: "PaillierCiphertext") -> int:
@@ -239,8 +253,8 @@ class PaillierPrivateKey:
         if math.gcd(c, self.public_key.n) != 1:
             raise PaillierError("ciphertext is not coprime to the modulus")
         p, q = self.p, self.q
-        mp = (pow(c, p - 1, self._p_sq) - 1) // p * self._hp % p
-        mq = (pow(c, q - 1, self._q_sq) - 1) // q * self._hq % q
+        mp = (powmod(c, p - 1, self._p_sq) - 1) // p * self._hp % p
+        mq = (powmod(c, q - 1, self._q_sq) - 1) // q * self._hq % q
         # Recombine: m ≡ mp (mod p), m ≡ mq (mod q).
         h = self._q_inv_p * (mp - mq) % p
         return (mq + q * h) % self.public_key.n
@@ -293,7 +307,8 @@ class PaillierCiphertext:
         n = self.public_key.n
         exponent = scalar % n
         return PaillierCiphertext(
-            self.public_key, pow(self.value, exponent, self.public_key.n_squared)
+            self.public_key,
+            powmod(self.value, exponent, self.public_key.n_squared),
         )
 
     __rmul__ = __mul__
@@ -342,7 +357,7 @@ def _obfuscator_chunk(items: List[Tuple[int, int]]) -> List[int]:
     """``[(n, r), ...] -> [r^n mod n², ...]`` (the precompute hot loop)."""
     out = []
     for n, r in items:
-        out.append(pow(r, n, _worker_public_key(n).n_squared))
+        out.append(_obfuscate(n, _worker_public_key(n).n_squared, r))
     return out
 
 
@@ -360,7 +375,7 @@ def _encrypt_chunk(items: List[Tuple[int, int, Optional[int]]]) -> List[int]:
         if r is None:
             obfuscator = key._obfuscator()
         else:
-            obfuscator = pow(r, n, n_sq)
+            obfuscator = _obfuscate(n, n_sq, r)
         out.append(((1 + n * (m % n)) % n_sq) * obfuscator % n_sq)
     return out
 
@@ -386,6 +401,14 @@ def _fold_chunk(items: List[Tuple[int, int]]) -> List[int]:
     for _, c in items:
         acc = acc * c % n_sq
     return [acc]
+
+
+def _weighted_fold_chunk(items: List[Tuple[int, int, int]]) -> List[int]:
+    """``[(n, c, w), ...] -> [Π c^w mod n²]`` via one simultaneous
+    multi-exponentiation (shared Straus squaring chain per chunk)."""
+    n = items[0][0]
+    n_sq = _worker_public_key(n).n_squared
+    return [multi_exp([(c, w) for _, c, w in items], n_sq)]
 
 
 def encrypt_batch(
@@ -459,10 +482,17 @@ def fold_ciphertexts(
     ciphertexts: Sequence["PaillierCiphertext"],
     public_key: Optional[PaillierPublicKey] = None,
     executor=None,
+    weights: Optional[Sequence[int]] = None,
 ) -> "PaillierCiphertext":
     """Homomorphically sum a batch: partial products per worker chunk,
     combined serially (modular multiplication is associative, so the
     result equals the serial left fold bit-for-bit).
+
+    With ``weights`` the result encrypts the weighted sum ``Σ w_i·m_i``
+    (``Π c_i^{w_i} mod n²``), computed with simultaneous
+    multi-exponentiation — one shared squaring chain per chunk instead
+    of one full exponentiation per ciphertext.  Weights are reduced
+    modulo ``n``, matching ``ciphertext * w`` semantics.
 
     An empty batch returns the multiplicative identity ciphertext
     (``c = 1``, an encryption of 0 with unit randomness) and requires
@@ -478,6 +508,21 @@ def fold_ciphertexts(
         if ciphertext.public_key.n != public_key.n:
             raise PaillierError("cannot fold ciphertexts under different keys")
     n, n_sq = public_key.n, public_key.n_squared
+    if weights is not None:
+        weights = [w % n for w in weights]
+        if len(weights) != len(ciphertexts):
+            raise PaillierError("weights must match ciphertexts 1:1")
+        items = [(n, c.value, w) for c, w in zip(ciphertexts, weights)]
+        if executor is None or not getattr(executor, "parallel", False):
+            partials = _weighted_fold_chunk(items)
+        else:
+            partials = executor.map_chunks(
+                _weighted_fold_chunk, items, label="paillier.fold",
+            )
+        acc = 1
+        for partial in partials:
+            acc = acc * partial % n_sq
+        return PaillierCiphertext(public_key=public_key, value=acc)
     if executor is None or not getattr(executor, "parallel", False):
         acc = 1
         for ciphertext in ciphertexts:

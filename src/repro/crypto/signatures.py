@@ -27,6 +27,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.common.randomness import SystemRandomSource
 from repro.common.serialization import canonical_bytes
+from repro.crypto.backend import fixed_base, multi_exp
 from repro.crypto.group import SchnorrGroup
 from repro.crypto.hashing import hash_to_int
 from repro.crypto.numbers import int_to_bytes
@@ -54,11 +55,11 @@ class SchnorrSigner:
     def __init__(self, group: Optional[SchnorrGroup] = None, rng=None):
         self.group = group or SchnorrGroup.default()
         self._x = self.group.random_exponent(rng)
-        self.public_key = self.group.power(self.group.g, self._x)
+        self.public_key = self.group.power_of_g(self._x)
 
     def sign(self, message: bytes, rng=None) -> SchnorrSignature:
         k = self.group.random_exponent(rng)
-        commitment = self.group.power(self.group.g, k)
+        commitment = self.group.power_of_g(k)
         e = _challenge(self.group, commitment, self.public_key, message)
         s = (k + e * self._x) % self.group.q
         return SchnorrSignature(commitment=commitment, response=s)
@@ -81,13 +82,15 @@ class SchnorrVerifier:
     def verify(self, message: bytes, signature: SchnorrSignature) -> bool:
         if not self.group.is_member(signature.commitment):
             return False
-        e = _challenge(self.group, signature.commitment, self.public_key, message)
-        lhs = self.group.power(self.group.g, signature.response)
-        rhs = (
-            signature.commitment
-            * self.group.power(self.public_key, e)
-            % self.group.p
-        )
+        group = self.group
+        e = _challenge(group, signature.commitment, self.public_key, message)
+        # Both bases are long-lived: g's table is warm and shared; the
+        # public key's builds from its second verification (verifiers
+        # are cached per key, so hot keys amortize it immediately).
+        lhs = group.power_of_g(signature.response)
+        pk_pow = fixed_base(self.public_key, group.p,
+                            group.q.bit_length()).pow(e % group.q)
+        rhs = signature.commitment * pk_pow % group.p
         return lhs == rhs
 
     def verify_obj(self, obj, signature: SchnorrSignature) -> bool:
@@ -147,7 +150,9 @@ def _verify_chunk(items: List[tuple]) -> List[bool]:
 
 
 def _rlc_chunk(items: List[tuple]) -> List[int]:
-    """Worker: partial product ``Π R^z · pk^(e·z) mod p`` for a chunk.
+    """Worker: partial product ``Π R^z · pk^(e·z) mod p`` for a chunk,
+    via one simultaneous multi-exponentiation over the chunk's bases
+    (all of them share a single Straus squaring chain).
 
     Exponents ``e·z`` are deliberately *not* reduced mod q: a hostile
     public key outside the order-q subgroup would make the reduced and
@@ -155,11 +160,11 @@ def _rlc_chunk(items: List[tuple]) -> List[int]:
     equals the individually-verified equations raised to ``z``.
     """
     p = items[0][0]
-    acc = 1
-    for p_, commitment, z, pk, ez in items:
-        acc = acc * pow(commitment, z, p) % p
-        acc = acc * pow(pk, ez, p) % p
-    return [acc]
+    pairs = []
+    for _p, commitment, z, pk, ez in items:
+        pairs.append((commitment, z))
+        pairs.append((pk, ez))
+    return [multi_exp(pairs, p)]
 
 
 def verify_batch(
@@ -206,7 +211,7 @@ def verify_batch(
     if not candidates:
         return [bool(r) for r in results]
 
-    lhs = pow(g, s_combined, p)
+    lhs = group.power_of_g(s_combined)
     partials = _map(executor, _rlc_chunk, [
         (p, signature.commitment, z, pk, e * z)
         for (_, pk, _, e, z, signature) in candidates

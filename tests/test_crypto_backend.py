@@ -1,0 +1,235 @@
+"""Tests for the fast-math backend and its exponentiation kernels.
+
+The backend abstraction is only sound if both implementations are
+value-identical — a backend switch must never change a decision,
+digest, or WAL byte — so the core of this suite is randomized
+equivalence: python vs gmpy2 ``powmod``/``invert``/``mulmod`` (when
+gmpy2 is importable), fixed-base tables vs plain ``pow``, and
+``multi_exp`` vs a product of independent ``pow`` calls.
+"""
+
+import random
+
+import pytest
+
+from repro.crypto import backend
+from repro.crypto.backend import (
+    FixedBaseTable,
+    MathBackendError,
+    clear_fixed_base_cache,
+    fixed_base,
+    fixed_base_cache_stats,
+    multi_exp,
+    powmod,
+)
+
+GMPY2_AVAILABLE = backend._load_gmpy2() is not None
+
+# A 256-bit safe prime (the default Schnorr group modulus) and a
+# 128-bit odd composite: one prime and one non-prime modulus cover
+# both invertibility regimes.
+P = int("f9e844c492ec33833e3da2a37d60d4ae233b69d4613449d30c996bb220d133db", 16)
+COMPOSITE = (2**64 + 13) * (2**64 + 141)
+
+
+@pytest.fixture(autouse=True)
+def _restore_backend():
+    """Leave the module-level backend/caches the way we found them."""
+    yield
+    backend.set_backend(None)
+
+
+def test_python_backend_is_always_available():
+    assert backend.set_backend("python") == "python"
+    assert backend.backend_name() == "python"
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(MathBackendError):
+        backend.set_backend("cuda")
+
+
+@pytest.mark.skipif(GMPY2_AVAILABLE, reason="gmpy2 is installed here")
+def test_explicit_gmpy2_fails_loud_when_missing():
+    """REPRO_MATH_BACKEND=gmpy2 without gmpy2 must error, not silently
+    fall back (the operator asked for the fast path)."""
+    with pytest.raises(MathBackendError):
+        backend.set_backend("gmpy2")
+
+
+def test_env_variable_selects_backend(monkeypatch):
+    monkeypatch.setenv("REPRO_MATH_BACKEND", "python")
+    assert backend.set_backend(None) == "python"
+
+
+def test_invert_matches_pow_inverse_on_prime_modulus():
+    backend.set_backend("python")
+    rng = random.Random(7)
+    for _ in range(50):
+        a = rng.randrange(1, P)
+        inv = backend.invert(a, P)
+        assert a * inv % P == 1
+        assert inv == pow(a, P - 2, P)  # Fermat cross-check
+
+
+def test_invert_raises_on_non_invertible():
+    backend.set_backend("python")
+    factor = 2**64 + 13
+    with pytest.raises(ValueError):
+        backend.invert(factor, COMPOSITE)
+    with pytest.raises(ValueError):
+        backend.invert(0, P)
+
+
+@pytest.mark.skipif(not GMPY2_AVAILABLE, reason="gmpy2 not installed")
+def test_gmpy2_equivalence_randomized():
+    """python and gmpy2 backends agree operation-by-operation (this is
+    the property that lets a gmpy2 run reproduce python-run digests)."""
+    py = backend._PYTHON_BACKEND
+    gm = backend._load_gmpy2()
+    rng = random.Random(13)
+    for modulus in (P, COMPOSITE, 97, 2**512 + 75):
+        for _ in range(25):
+            a = rng.randrange(0, modulus)
+            b = rng.randrange(0, modulus)
+            e = rng.randrange(0, 1 << 300)
+            assert py.powmod(a, e, modulus) == gm.powmod(a, e, modulus)
+            assert py.mulmod(a, b, modulus) == gm.mulmod(a, b, modulus)
+            try:
+                expected = py.invert(a, modulus)
+            except ValueError:
+                with pytest.raises(ValueError):
+                    gm.invert(a, modulus)
+            else:
+                assert gm.invert(a, modulus) == expected
+            assert isinstance(gm.powmod(a, e, modulus), int)
+
+
+@pytest.mark.skipif(not GMPY2_AVAILABLE, reason="gmpy2 not installed")
+def test_gmpy2_kernels_match_python_kernels():
+    """Fixed-base tables and multi_exp built under gmpy2 return the
+    same plain ints as under the python backend."""
+    rng = random.Random(17)
+    exps = [rng.randrange(0, 1 << 256) for _ in range(8)]
+    pairs = [(rng.randrange(2, P), rng.randrange(0, 1 << 256))
+             for _ in range(6)]
+    backend.set_backend("python")
+    table_py = [FixedBaseTable(5, P, 256).pow(e) for e in exps]
+    multi_py = multi_exp(pairs, P)
+    backend.set_backend("gmpy2")
+    assert [FixedBaseTable(5, P, 256).pow(e) for e in exps] == table_py
+    assert multi_exp(pairs, P) == multi_py
+    assert isinstance(multi_exp(pairs, P), int)
+
+
+# -- fixed-base windowed exponentiation ---------------------------------------
+
+def test_fixed_base_table_matches_pow():
+    rng = random.Random(29)
+    for window in (2, 4, 8):
+        table = FixedBaseTable(3, P, 256, window=window)
+        for exponent in [0, 1, 2, (1 << 256) - 1] + [
+            rng.randrange(0, 1 << 256) for _ in range(40)
+        ]:
+            assert table.pow(exponent) == pow(3, exponent, P)
+
+
+def test_fixed_base_table_overflow_falls_back():
+    table = FixedBaseTable(3, P, max_bits=64)
+    big = 1 << 200  # beyond the table's range: plain powmod fallback
+    assert table.pow(big) == pow(3, big, P)
+
+
+def test_fixed_base_table_rejects_negative_exponent():
+    table = FixedBaseTable(3, P, 64)
+    with pytest.raises(ValueError):
+        table.pow(-1)
+
+
+def test_fixed_base_table_rejects_bad_shape():
+    with pytest.raises(ValueError):
+        FixedBaseTable(3, 0, 64)
+    with pytest.raises(ValueError):
+        FixedBaseTable(3, P, 0)
+    with pytest.raises(ValueError):
+        FixedBaseTable(3, P, 64, window=0)
+
+
+def test_fixed_base_entries_accounting():
+    table = FixedBaseTable(3, P, 256, window=8)
+    assert table.entries == (256 // 8) * (1 << 8)
+
+
+def test_fixed_base_cache_builds_on_second_sighting():
+    clear_fixed_base_cache()
+    first = fixed_base(7, P, 256)
+    assert not isinstance(first, FixedBaseTable)  # one-shot: no build
+    assert first.pow(12345) == pow(7, 12345, P)
+    second = fixed_base(7, P, 256)
+    assert isinstance(second, FixedBaseTable)
+    assert second.pow(12345) == pow(7, 12345, P)
+    # Third sighting returns the cached table object itself.
+    assert fixed_base(7, P, 256) is second
+
+
+def test_fixed_base_warm_builds_immediately():
+    clear_fixed_base_cache()
+    table = fixed_base(11, P, 256, warm=True)
+    assert isinstance(table, FixedBaseTable)
+    stats = fixed_base_cache_stats()
+    assert stats["tables"] == 1
+    assert stats["entries"] == table.entries
+
+
+def test_fixed_base_cache_is_lru_bounded():
+    clear_fixed_base_cache()
+    for base in range(2, 2 + backend._FB_TABLE_CAP + 10):
+        fixed_base(base, P, 32, warm=True)
+    assert fixed_base_cache_stats()["tables"] == backend._FB_TABLE_CAP
+
+
+def test_set_backend_clears_fixed_base_cache():
+    fixed_base(13, P, 64, warm=True)
+    assert fixed_base_cache_stats()["tables"] >= 1
+    backend.set_backend("python")
+    assert fixed_base_cache_stats()["tables"] == 0
+
+
+# -- simultaneous multi-exponentiation ----------------------------------------
+
+def test_multi_exp_matches_pow_product():
+    rng = random.Random(31)
+    for modulus in (P, COMPOSITE):
+        for count in (1, 2, 3, 7, 20):
+            pairs = [
+                (rng.randrange(0, modulus), rng.randrange(0, 1 << 384))
+                for _ in range(count)
+            ]
+            expected = 1
+            for base, exponent in pairs:
+                expected = expected * pow(base, exponent, modulus) % modulus
+            assert multi_exp(pairs, modulus) == expected
+
+
+def test_multi_exp_unreduced_exponents():
+    """The RLC check feeds exponents far beyond the group order; the
+    kernel must not reduce them."""
+    pairs = [(3, P * P + 12345), (5, 2 * P + 7)]
+    expected = pow(3, P * P + 12345, P) * pow(5, 2 * P + 7, P) % P
+    assert multi_exp(pairs, P) == expected
+
+
+def test_multi_exp_edge_cases():
+    assert multi_exp([], P) == 1
+    assert multi_exp([], 1) == 0  # 1 mod 1
+    assert multi_exp([(5, 0), (7, 0)], P) == 1  # zero exponents skipped
+    assert multi_exp([(5, 3)], P) == pow(5, 3, P)
+    with pytest.raises(ValueError):
+        multi_exp([(5, -1)], P)
+    with pytest.raises(ValueError):
+        multi_exp([(5, 3)], 0)
+
+
+def test_module_level_powmod_dispatch():
+    backend.set_backend("python")
+    assert powmod(3, 20, P) == pow(3, 20, P)

@@ -9,6 +9,7 @@ from repro.crypto.numbers import (
     generate_prime,
     generate_safe_prime,
     is_probable_prime,
+    jacobi,
     lcm,
     modinv,
     next_prime_above,
@@ -90,3 +91,58 @@ def test_next_prime_above():
     assert next_prime_above(10) == 11
     assert next_prime_above(13) == 17
     assert is_probable_prime(next_prime_above(10**6))
+
+
+# -- Jacobi symbol -----------------------------------------------------------
+#
+# jacobi() is the fast path behind safe-prime subgroup membership
+# (Legendre symbol via quadratic reciprocity), so it must agree with
+# Euler's criterion on every input class: residues, non-residues,
+# multiples of the modulus, zero, and negatives.
+
+@pytest.mark.parametrize("n", [0, -7, 2, 100])
+def test_jacobi_rejects_bad_modulus(n):
+    with pytest.raises(ValueError):
+        jacobi(3, n)
+
+
+@pytest.mark.parametrize("p", [3, 7, 11, 101, 7919, 104729])
+def test_jacobi_matches_euler_criterion_on_primes(p):
+    for a in range(0, min(p, 120)):
+        euler = pow(a, (p - 1) // 2, p)
+        expected = 0 if euler == 0 else (1 if euler == 1 else -1)
+        assert jacobi(a, p) == expected
+
+
+def test_jacobi_zero_and_multiples_of_modulus():
+    assert jacobi(0, 7) == 0
+    assert jacobi(21, 7) == 0
+    assert jacobi(0, 1) == 1  # (0/1) = 1 by convention
+
+
+def test_jacobi_negative_inputs_reduce_mod_n():
+    # a is reduced mod n first, so (a/n) == (a + k*n / n).
+    for a in range(-20, 0):
+        assert jacobi(a, 11) == jacobi(a % 11, 11)
+
+
+def test_jacobi_even_numerator():
+    # (2/p) = 1 iff p ≡ ±1 (mod 8).
+    assert jacobi(2, 7) == 1
+    assert jacobi(2, 3) == -1
+    assert jacobi(2, 5) == -1
+    assert jacobi(2, 17) == 1
+
+
+def test_jacobi_composite_modulus_is_multiplicative():
+    # (a/15) = (a/3)(a/5); 2 is a non-residue mod both -> product 1
+    # even though 2 is not a square mod 15 (the classic Jacobi trap).
+    assert jacobi(2, 15) == jacobi(2, 3) * jacobi(2, 5) == 1
+
+
+@given(st.integers(min_value=-10**6, max_value=10**6))
+@settings(max_examples=80)
+def test_jacobi_of_square_is_one_or_zero(a):
+    p = 104729
+    value = jacobi(a * a, p)
+    assert value == (0 if a % p == 0 else 1)

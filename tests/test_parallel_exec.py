@@ -363,6 +363,23 @@ def test_decrypt_and_fold_batch_parallel_equals_serial(paillier):
     assert paillier.private_key.decrypt_signed(folded_parallel) == sum(plaintexts)
 
 
+def test_weighted_fold_encrypts_weighted_sum(paillier):
+    plaintexts = [7, -2, 40, 0, -13, 5]
+    weights = [1, 3, 0, 2, 5, 1]
+    ciphertexts = encrypt_batch(paillier.public_key, plaintexts, signed=True)
+    expected = sum(w * m for w, m in zip(weights, plaintexts))
+    serial = fold_ciphertexts(ciphertexts, weights=weights)
+    parallel = fold_ciphertexts(ciphertexts, weights=weights,
+                                executor=small_parallel())
+    assert serial.value == parallel.value
+    assert paillier.private_key.decrypt_signed(serial) == expected
+    # The multi-exp fold equals the naive scalar-multiply-then-fold.
+    naive = fold_ciphertexts([c * w for c, w in zip(ciphertexts, weights)])
+    assert paillier.private_key.decrypt_signed(naive) == expected
+    with pytest.raises(PaillierError):
+        fold_ciphertexts(ciphertexts, weights=weights[:-1])
+
+
 def test_fold_empty_batch(paillier):
     identity = fold_ciphertexts([], public_key=paillier.public_key)
     assert identity.value == 1

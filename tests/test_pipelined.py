@@ -1,0 +1,153 @@
+"""Equivalence suite for the verify↔anchor overlap scheduler.
+
+``submit_pipelined`` moves each batch's group-commit fsync into a
+background thread so it overlaps the *next* batch's crypto prep — but
+the overlap must be invisible: same decisions, same ledger roots, and
+the same WAL bytes as running ``submit_many`` per batch.  The golden
+stream and WAL hashing helpers come from ``test_pipeline_stages``, so
+the pipelined schedule is pinned against the very same constants the
+serial batched path is.
+"""
+
+import pytest
+
+from repro.core.framework import PReVer
+from repro.durability import Durability, SimulatedCrash
+from repro.model.update import Update, UpdateOperation
+
+from tests.test_pipeline_stages import (
+    BUILDERS,
+    GOLDEN,
+    golden_stream,
+    make_db,
+    wal_sha256,
+)
+
+
+def run_pipelined(engine, state_dir, durability=True):
+    framework = BUILDERS[engine](
+        durability=Durability.wal(state_dir) if durability else None
+    )
+    stream = golden_stream()
+    # Same two-chunk split as test_pipeline_stages.run_path's batched
+    # branch, so WAL anchor markers land at identical offsets.
+    results = framework.submit_pipelined([stream[:8], stream[8:]])
+    framework.close()
+    return framework, results
+
+
+@pytest.mark.parametrize("engine", ["plaintext", "paillier"])
+def test_pipelined_matches_batched_goldens(engine, tmp_path):
+    """The overlapped schedule reproduces the serial batched path's
+    pinned ledger root and WAL bytes exactly."""
+    framework, results = run_pipelined(engine, str(tmp_path))
+    golden = GOLDEN[(engine, "batched")]
+    assert framework.ledger.digest().root.hex() == golden["root"], \
+        "overlap scheduler changed the anchored decision bytes"
+    assert wal_sha256(str(tmp_path)) == golden["wal_sha256"], \
+        "overlap scheduler changed the WAL bytes"
+    assert any(r.applied for r in results)
+    assert any(not r.accepted for r in results)
+
+
+@pytest.mark.parametrize("engine", ["plaintext", "paillier"])
+def test_pipelined_matches_submit_many_results(engine, tmp_path):
+    serial_fw = BUILDERS[engine](
+        durability=Durability.wal(str(tmp_path / "serial"))
+    )
+    stream = golden_stream()
+    serial_results = []
+    serial_results.extend(serial_fw.submit_many(stream[:8]))
+    serial_results.extend(serial_fw.submit_many(stream[8:]))
+    serial_fw.close()
+
+    pipelined_fw, pipelined_results = run_pipelined(
+        engine, str(tmp_path / "pipelined")
+    )
+    assert len(serial_results) == len(pipelined_results)
+    for s, p in zip(serial_results, pipelined_results):
+        assert (s.accepted, s.applied) == (p.accepted, p.applied)
+        assert s.ledger_sequence == p.ledger_sequence
+        assert s.outcome.failed_constraint == p.outcome.failed_constraint
+    assert serial_fw.ledger.digest().root == pipelined_fw.ledger.digest().root
+    assert (wal_sha256(str(tmp_path / "serial"))
+            == wal_sha256(str(tmp_path / "pipelined")))
+
+
+def test_pipelined_without_durability_stays_threadless(tmp_path):
+    """Durability off ⇒ no commit to overlap ⇒ the committer thread is
+    never started, and results still match submit_many."""
+    pipelined_fw = BUILDERS["plaintext"](durability=None)
+    stream = golden_stream()
+    results = pipelined_fw.submit_pipelined([stream[:8], stream[8:]])
+    assert pipelined_fw._pipelined is not None
+    assert pipelined_fw._pipelined._committer is None
+
+    serial_fw = BUILDERS["plaintext"](durability=None)
+    expected = []
+    expected.extend(serial_fw.submit_many(stream[:8]))
+    expected.extend(serial_fw.submit_many(stream[8:]))
+    assert [r.accepted for r in results] == [r.accepted for r in expected]
+    assert pipelined_fw.ledger.digest().root == serial_fw.ledger.digest().root
+
+
+def test_pipelined_empty_batches(tmp_path):
+    framework = BUILDERS["plaintext"](
+        durability=Durability.wal(str(tmp_path))
+    )
+    assert framework.submit_pipelined([]) == []
+    stream = golden_stream()
+    results = framework.submit_pipelined([[], stream[:2], []])
+    assert len(results) == 2
+    framework.close()
+
+
+def test_pipelined_many_small_batches_roundtrips_recovery(tmp_path):
+    """Many overlapped commits in sequence, then a full crash-recovery
+    cycle: the recovered framework must land on the same root."""
+    state = str(tmp_path)
+    framework = BUILDERS["plaintext"](durability=Durability.wal(state))
+    stream = golden_stream()
+    batches = [stream[i:i + 3] for i in range(0, len(stream), 3)]
+    framework.submit_pipelined(batches)
+    root = framework.ledger.digest().root
+    framework.close()
+
+    recovered = BUILDERS["plaintext"](durability=Durability.wal(state))
+    report = recovered.recover()
+    assert report.verified_against_anchor
+    assert report.final_root == root.hex()
+    assert recovered.ledger.digest().root == root
+
+
+def test_pipelined_crash_injection_falls_back_to_serial(tmp_path):
+    """Fault injection needs the serial WAL schedule; the scheduler
+    must delegate to submit_many so the crash fires at the exact same
+    point it would there."""
+    durability = Durability.wal(str(tmp_path)).with_crash_after(
+        "anchor_append"
+    )
+    framework = BUILDERS["plaintext"](durability=durability)
+    stream = golden_stream()
+    with pytest.raises(SimulatedCrash):
+        framework.submit_pipelined([stream[:4], stream[4:8]])
+    # No background commit may be pending after the crash path.
+    assert (framework._pipelined is None
+            or framework._pipelined._pending is None)
+
+
+def test_pipelined_returns_fully_drained(tmp_path):
+    """After submit_pipelined returns, no commit may still be in
+    flight — the caller's durability guarantee matches submit_many's."""
+    framework = PReVer(
+        [make_db()], durability=Durability.wal(str(tmp_path))
+    )
+    good = Update(
+        table="events", operation=UpdateOperation.INSERT,
+        payload={"id": 1, "who": "alice", "amount": 5},
+        update_id="ok-1",
+    )
+    results = framework.submit_pipelined([[good]])
+    assert results[0].applied
+    assert framework._pipelined._pending is None
+    framework.close()
