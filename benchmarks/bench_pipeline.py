@@ -19,11 +19,15 @@ stream across a table-partitioned ``ShardedPReVer`` (one worker
 process per shard), asserting for every shard count that serial and
 process dispatch reach identical decisions and the identical
 root-of-roots, and reporting throughput vs the 1-shard baseline.
+A profiler-overhead row prices the wall-mode sampling profiler
+against the default profiler-absent path on the same stream (root
+equality asserted, <=5% overhead gate; ``--profile-out`` keeps the
+collapsed stacks).  Batched rows carry per-stage p50/p99 latency.
 Everything is written to ``BENCH_pipeline.json``.  Standalone:
 
     PYTHONPATH=src python benchmarks/bench_pipeline.py [--smoke]
         [--executor {serial,process}] [--workers N] [--durability]
-        [--shards N [N ...]]
+        [--shards N [N ...]] [--profile-out PATH]
 """
 
 import argparse
@@ -136,9 +140,13 @@ def compare_batched_vs_sequential(engine, n_updates):
     assert seq_fw.ledger.digest().root == bat_fw.ledger.digest().root, \
         "batched anchoring must reproduce the sequential digest"
 
-    stage_totals = {
-        stage: stats["total"]
-        for stage, stats in bat_fw.throughput_report()["stages"].items()
+    stages = bat_fw.throughput_report()["stages"]
+    stage_totals = {stage: stats["total"] for stage, stats in stages.items()}
+    # Per-update latency distribution per stage: the p50/p99 pair the
+    # serving-tier items size against (tail, not just mean).
+    stage_latency = {
+        stage: {"p50": stats["p50"], "p99": stats["p99"]}
+        for stage, stats in stages.items()
     }
     # Verify-stage share of the batched wall clock, charging the
     # batch-prepare phase (front-loaded contribution encryption) to
@@ -156,6 +164,7 @@ def compare_batched_vs_sequential(engine, n_updates):
         "verify_seconds": verify_seconds,
         "verify_share": verify_seconds / bat_elapsed,
         "batched_stage_totals": stage_totals,
+        "batched_stage_latency": stage_latency,
         # Stable, versioned exporter schema (repro.obs.export): the
         # batched framework's full counter/timer telemetry, sorted so
         # consecutive artifacts diff cleanly.
@@ -211,6 +220,10 @@ def compare_parallel_vs_serial(engine="paillier", n_updates=300, workers=4):
             fw.metrics.timer_total("pipeline.prepare_batch")
         return totals
 
+    def stage_latency(fw):
+        return {stage: {"p50": stats["p50"], "p99": stats["p99"]}
+                for stage, stats in fw.throughput_report()["stages"].items()}
+
     serial_stages = stage_totals(serial_fw)
     parallel_stages = stage_totals(parallel_fw)
     stage_speedup = {
@@ -238,6 +251,8 @@ def compare_parallel_vs_serial(engine="paillier", n_updates=300, workers=4):
         "stage_speedup": stage_speedup,
         "serial_stage_totals": serial_stages,
         "parallel_stage_totals": parallel_stages,
+        "serial_stage_latency": stage_latency(serial_fw),
+        "parallel_stage_latency": stage_latency(parallel_fw),
         "note": note,
     }
 
@@ -629,6 +644,87 @@ def compare_overlap(engine="paillier", n_updates=240, chunk=40, repeats=3):
     return results
 
 
+# -- profiler overhead -------------------------------------------------------
+
+def compare_profiler_overhead(engine="plaintext", n_updates=400, chunk=100,
+                              repeats=3, interval=0.005, profile_out=""):
+    """Price the always-on-capable sampling profiler: the same chunked
+    ``submit_many`` stream with the wall-mode sampler attached vs the
+    default (profiler absent) path.
+
+    Asserts the profiled run reproduces the unprofiled ledger root (the
+    observe-don't-perturb invariant), takes the best of ``repeats``
+    runs per configuration, and reports the overhead ratio the <=5%
+    gate binds on.  With ``profile_out`` the last profiled run's
+    collapsed stacks are written there (flamegraph.pl input).
+    """
+    from repro.obs.profiler import SamplingProfiler
+
+    def timed_run(profiler):
+        # REPRO_PROFILE is stripped for the build: the framework ctor
+        # would otherwise attach an env profiler to the "off" side and
+        # the row would compare profiled against profiled.
+        saved = os.environ.pop("REPRO_PROFILE", None)
+        try:
+            framework = build(engine)
+        finally:
+            if saved is not None:
+                os.environ["REPRO_PROFILE"] = saved
+        if profiler is not None:
+            framework.profiler = profiler
+            profiler.start()
+        stream = make_stream(n_updates)
+        gc.collect()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            for i in range(0, n_updates, chunk):
+                framework.submit_many(stream[i:i + chunk])
+            seconds = time.perf_counter() - start
+        finally:
+            gc.enable()
+            if profiler is not None:
+                profiler.stop()
+        return seconds, framework.ledger.digest().root
+
+    baseline_root = None
+    off_best = on_best = None
+    profiler = SamplingProfiler(mode="wall", interval=interval)
+    # Alternate off/on so drift (thermal, host load) hits both equally.
+    for _ in range(repeats):
+        off_seconds, off_root = timed_run(None)
+        if baseline_root is None:
+            baseline_root = off_root
+        assert off_root == baseline_root
+        if off_best is None or off_seconds < off_best:
+            off_best = off_seconds
+        on_seconds, on_root = timed_run(profiler)
+        assert on_root == baseline_root, \
+            "profiled run changed the ledger root"
+        if on_best is None or on_seconds < on_best:
+            on_best = on_seconds
+
+    row = {
+        "mode": "profiler-overhead",
+        "engine": engine,
+        "updates": n_updates,
+        "chunk": chunk,
+        "repeats": repeats,
+        "profiler": profiler.describe(),
+        "off_seconds": off_best,
+        "on_seconds": on_best,
+        "off_per_sec": n_updates / off_best,
+        "on_per_sec": n_updates / on_best,
+        "overhead": on_best / off_best,
+        "stage_report": profiler.stage_report(),
+        "root": baseline_root.hex(),
+    }
+    if profile_out:
+        row["profile_out"] = profile_out
+        row["stacks_written"] = profiler.write_collapsed(profile_out)
+    return row
+
+
 #: Durability pricing menu: label -> policy factory (None = off).
 #: ``wal`` is the group-commit default (fsync once per anchored batch);
 #: ``wal-fsync-each`` additionally fsyncs every update record (the
@@ -702,7 +798,8 @@ def run_batch_comparison(plaintext_updates=1000, paillier_updates=300,
                          shard_counts=(), sharded_updates=2000,
                          include_backends=True, backend_updates=200,
                          include_overlap=False, overlap_updates=240,
-                         overlap_chunk=40):
+                         overlap_chunk=40, include_profiler=True,
+                         profiler_updates=400, profile_out=""):
     results = []
     for engine in BATCH_ENGINES:
         n = plaintext_updates if engine == "plaintext" else paillier_updates
@@ -727,6 +824,10 @@ def run_batch_comparison(plaintext_updates=1000, paillier_updates=300,
     if include_overlap:
         overlap = compare_overlap(n_updates=overlap_updates,
                                   chunk=overlap_chunk)
+    profiler = {}
+    if include_profiler:
+        profiler = compare_profiler_overhead(n_updates=profiler_updates,
+                                             profile_out=profile_out)
     artifact = {
         "experiment": "E1-batched",
         "description": "batched (submit_many) vs sequential (submit) "
@@ -737,13 +838,16 @@ def run_batch_comparison(plaintext_updates=1000, paillier_updates=300,
                        "against builtin pow, plus (opt-in) the pipelined "
                        "verify/anchor overlap schedule, the durability "
                        "layer's fsync cost per mode and the sharded "
-                       "front-end's scaling across shard counts",
+                       "front-end's scaling across shard counts, plus "
+                       "the sampling profiler's overhead row (on vs "
+                       "off, same stream, <=5% gate)",
         "results": results,
         "parallel": parallel,
         "durability": durability,
         "sharded": sharded,
         "backends": backends,
         "overlap": overlap,
+        "profiler": profiler,
     }
     if out_path:
         with open(out_path, "w", encoding="utf-8") as handle:
@@ -759,13 +863,42 @@ def batch_rows(artifact):
             f"{r['batched_per_sec']:.0f}/s",
             f"{r['speedup']:.1f}x",
             f"{r['verify_share'] * 100:.0f}%",
+            _latency_cell(r, "p50"),
+            _latency_cell(r, "p99"),
         ]
         for r in artifact["results"]
     ]
 
 
+def _latency_cell(result, quantile):
+    """Verify-stage per-update latency cell (ms) for the batch table."""
+    stats = result.get("batched_stage_latency", {}).get("verify")
+    return f"{stats[quantile] * 1e3:.3f}ms" if stats else "-"
+
+
 BATCH_HEADERS = ["engine", "updates", "sequential", "batched", "speedup",
-                 "verify-share"]
+                 "verify-share", "verify-p50", "verify-p99"]
+
+
+def print_profiler_table(artifact):
+    r = artifact.get("profiler") or {}
+    if not r:
+        return
+    print_table(
+        "E1-profiler: wall-mode sampling overhead (submit_many, "
+        "profiler on vs off)",
+        ["engine", "updates", "off", "on", "overhead", "samples"],
+        [[
+            r["engine"], r["updates"],
+            f"{r['off_per_sec']:.0f}/s",
+            f"{r['on_per_sec']:.0f}/s",
+            f"{(r['overhead'] - 1.0) * 100:+.1f}%",
+            str(r["profiler"]["samples"]),
+        ]],
+    )
+    if r.get("profile_out"):
+        print(f"wrote {r['stacks_written']} collapsed stacks to "
+              f"{r['profile_out']}")
 
 
 def backend_rows(artifact):
@@ -1035,13 +1168,20 @@ def main(argv=None):
                         help="stream length for the overlap comparison")
     parser.add_argument("--overlap-chunk", type=int, default=40,
                         help="batch size for the overlap comparison")
+    parser.add_argument("--no-profiler", action="store_true",
+                        help="skip the sampling-profiler overhead row")
+    parser.add_argument("--profiler-updates", type=int, default=400,
+                        help="stream length for the profiler overhead row")
+    parser.add_argument("--profile-out", default="",
+                        help="write the profiled run's collapsed stacks "
+                             "(flamegraph.pl input) to this path")
     parser.add_argument("--smoke", action="store_true",
                         help="small streams; assert batched is not slower")
     args = parser.parse_args(argv)
     if args.updates <= 0 or args.paillier_updates <= 0 \
             or args.durability_updates <= 0 or args.sharded_updates <= 0 \
             or args.backend_updates <= 0 or args.overlap_updates <= 0 \
-            or args.overlap_chunk <= 0:
+            or args.overlap_chunk <= 0 or args.profiler_updates <= 0:
         parser.error("stream lengths must be positive")
     if args.workers <= 0:
         parser.error("--workers must be positive")
@@ -1058,6 +1198,7 @@ def main(argv=None):
         args.sharded_updates = min(args.sharded_updates, 400)
         args.backend_updates = min(args.backend_updates, 60)
         args.overlap_updates = min(args.overlap_updates, 120)
+        args.profiler_updates = min(args.profiler_updates, 200)
 
     artifact = run_batch_comparison(
         plaintext_updates=args.updates,
@@ -1074,6 +1215,9 @@ def main(argv=None):
         include_overlap=args.overlap,
         overlap_updates=args.overlap_updates,
         overlap_chunk=args.overlap_chunk,
+        include_profiler=not args.no_profiler,
+        profiler_updates=args.profiler_updates,
+        profile_out=args.profile_out,
     )
     print_table(
         "E1-batched: submit_many vs submit",
@@ -1085,6 +1229,7 @@ def main(argv=None):
     print_parallel_table(artifact)
     print_sharded_table(artifact)
     print_durability_table(artifact)
+    print_profiler_table(artifact)
     if args.out:
         print(f"\nwrote {args.out}")
     if args.metrics_out:
@@ -1131,6 +1276,15 @@ def main(argv=None):
                 f"pipelined overlap schedule slower than serial under "
                 f"{result['mode']!r} ({result['speedup']:.2f}x)"
             )
+    profiler_row = artifact.get("profiler") or {}
+    if profiler_row and not args.smoke and profiler_row["overhead"] > 1.05:
+        # The always-on promise: sampling must cost <= 5% of the
+        # unprofiled throughput (best-of-N on both sides filters host
+        # noise; smoke streams are too short to measure this fairly).
+        raise SystemExit(
+            f"profiler overhead {(profiler_row['overhead'] - 1) * 100:.1f}% "
+            f"above the 5% bar"
+        )
     if not args.smoke:
         plaintext = next(r for r in artifact["results"]
                          if r["engine"] == "plaintext")

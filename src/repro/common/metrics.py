@@ -34,8 +34,29 @@ class Counter:
         return {"name": self.name, "count": self.count, "total": self.total}
 
 
+class Gauge:
+    """A point-in-time value that can move both ways (queue depths,
+    committer lag, pool sizes) — unlike :class:`Counter`, ``set`` is
+    the primary write and the latest value is the whole story."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the current value."""
+        self.value = float(value)
+
+    def add(self, delta: float = 1.0) -> None:
+        """Move the current value by ``delta`` (may be negative)."""
+        self.value += delta
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "value": self.value}
+
+
 class Timer:
-    """Collects durations; reports mean / p50 / p95 / max."""
+    """Collects durations; reports mean / p50 / p95 / p99 / max."""
 
     def __init__(self, name: str):
         self.name = name
@@ -68,8 +89,13 @@ class Timer:
             "total": self.total,
             "p50": self.percentile(50),
             "p95": self.percentile(95),
+            "p99": self.percentile(99),
             "max": max(self.samples) if self.samples else 0.0,
         }
+
+    def summary(self) -> dict:
+        """Alias for :meth:`to_dict` — the reporting-side name."""
+        return self.to_dict()
 
 
 class Histogram:
@@ -129,11 +155,12 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """Holds named counters, timers, and histograms for one run."""
+    """Holds named counters, gauges, timers, and histograms for one run."""
 
     def __init__(self, clock=None):
         self._clock = clock or WallClock()
         self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
         self._timers: Dict[str, Timer] = {}
         self._histograms: Dict[str, Histogram] = {}
 
@@ -141,6 +168,11 @@ class MetricsRegistry:
         if name not in self._counters:
             self._counters[name] = Counter(name)
         return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        if name not in self._gauges:
+            self._gauges[name] = Gauge(name)
+        return self._gauges[name]
 
     def timer(self, name: str) -> Timer:
         if name not in self._timers:
@@ -167,6 +199,12 @@ class MetricsRegistry:
         counter = self._counters.get(name)
         return counter.total if counter is not None else 0.0
 
+    def gauge_value(self, name: str) -> float:
+        """Current value for gauge ``name`` without creating it (0.0
+        when it was never set) — the read-side accessor."""
+        gauge = self._gauges.get(name)
+        return gauge.value if gauge is not None else 0.0
+
     def timer_total(self, name: str) -> float:
         """Total recorded seconds for ``name`` without creating the
         timer (0.0 when it never fired) — the read-side accessor."""
@@ -188,6 +226,8 @@ class MetricsRegistry:
         return {
             "counters": {n: self._counters[n].to_dict()
                          for n in sorted(self._counters)},
+            "gauges": {n: self._gauges[n].to_dict()
+                       for n in sorted(self._gauges)},
             "timers": {n: self._timers[n].to_dict()
                        for n in sorted(self._timers)},
             "histograms": {n: self._histograms[n].to_dict()
@@ -224,13 +264,34 @@ class MetricsRegistry:
                 "n": n,
                 "mean": timer.mean,
                 "total": timer.total,
+                "p50": timer.percentile(50),
                 "p95": timer.percentile(95),
+                "p99": timer.percentile(99),
                 "per_sec": (n / timer.total) if timer.total else 0.0,
             }
             total_seconds += timer.total
-        return {
+        report = {
             "updates": count,
             "stages": stages,
             "total_seconds": total_seconds,
             "updates_per_sec": (count / total_seconds) if total_seconds else 0.0,
         }
+        # Pipelined (verify↔anchor overlap) runs record their committer
+        # telemetry under pipeline.*; surface it so overlap wins are
+        # measured, not inferred.  The section appears only once a
+        # PipelinedScheduler has been created, keeping the report shape
+        # stable for plain submit/submit_many runs.
+        if "pipeline.deferred_commits" in self._counters:
+            report["pipelined"] = {
+                "deferred_commits":
+                    self.counter_value("pipeline.deferred_commits"),
+                "overlapped_commits":
+                    self.counter_value("pipeline.overlapped_commits"),
+                "committer_wait_seconds":
+                    self.timer_total("pipeline.committer_wait"),
+                "committer_lag_seconds":
+                    self.timer_total("pipeline.committer_lag"),
+                "committer_queue_depth":
+                    self.gauge_value("pipeline.committer_queue_depth"),
+            }
+        return report

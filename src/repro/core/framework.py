@@ -70,6 +70,7 @@ class PReVer:
         tracer: Optional[Tracer] = None,
         executor=None,
         durability: Optional[Durability] = None,
+        profiler=None,
     ):
         if not databases:
             raise PReVerError("PReVer needs at least one database")
@@ -124,6 +125,12 @@ class PReVer:
         self.executor = resolve_executor(executor)
         if self.tracer.enabled:
             self.executor.bind_tracer(self.tracer)
+        # Worker telemetry: pooled executors ship each worker's metric
+        # delta back with its chunk results and merge it here under
+        # per-worker labels.  A no-op for in-process executors, and
+        # result-invariant for pooled ones, so binding unconditionally
+        # is safe.
+        self.executor.bind_metrics(self.metrics)
         if hasattr(self.ledger, "bind_executor"):
             self.ledger.bind_executor(self.executor)
         if engine is not None and hasattr(engine, "bind_executor"):
@@ -156,6 +163,21 @@ class PReVer:
                     metrics=self.metrics,
                     tracer=self.tracer,
                 )
+        # Always-on profiling: default None (and profiler_from_env()
+        # returns None unless REPRO_PROFILE is set), so the unprofiled
+        # pipeline path is the exact pre-profiler code.  When present,
+        # the sampler starts now and stage markers in the pipeline
+        # attribute samples to authenticate/verify/anchor/....
+        if profiler is None:
+            from repro.obs.profiler import profiler_from_env
+
+            profiler = profiler_from_env()
+        self.profiler = profiler
+        if self.profiler is not None:
+            self.profiler.start()
+        # The digest captured by the most recent durable anchor commit;
+        # /readyz checks the live ledger still extends it.
+        self._last_anchored_digest = None
         # The staged update path (repro.core.pipeline): both submit
         # APIs below are thin drivers over this one stage sequence.
         self.pipeline = Pipeline(self)
@@ -360,6 +382,8 @@ class PReVer:
             self._pipelined.close()
         if self._wal is not None:
             self._wal.close()
+        if self.profiler is not None:
+            self.profiler.stop()
 
     def _record_result(self, update: Update, outcome: VerificationOutcome,
                        applied: bool, timings: Dict[str, float],
@@ -435,6 +459,119 @@ class PReVer:
             return "row", view.prove_row(key)
         except IntegrityError:
             return "absent", view.prove_absent(key)
+
+    # -- ops probes & audit trails (served by repro.obs.server) -----------
+
+    def health_report(self) -> dict:
+        """Liveness checks behind the ops server's ``/healthz``.
+
+        Three checks, each ``{"ok": bool, ...detail}``:
+
+        * ``ledger`` — the Merkle ledger is reachable and can produce a
+          digest;
+        * ``wal`` — with durability on, the write-ahead log still holds
+          an open handle on a writable directory (closed or torn-down
+          WALs flip this, and with it the whole probe, to unhealthy);
+        * ``executor`` — the execution layer can still accept work (a
+          broken process pool flips this).
+
+        The report's top-level ``ok`` is the conjunction; the ops
+        server maps it to HTTP 200/503.
+        """
+        checks: Dict[str, dict] = {}
+        try:
+            digest = self.ledger.digest()
+            checks["ledger"] = {
+                "ok": True, "size": digest.size, "root": digest.root.hex(),
+            }
+        except Exception as exc:
+            checks["ledger"] = {"ok": False, "error": repr(exc)}
+        if self._wal is not None:
+            checks["wal"] = {
+                "ok": self._wal.writable(), "last_lsn": self._wal.last_lsn,
+            }
+        else:
+            checks["wal"] = {"ok": True, "enabled": False}
+        checks["executor"] = {
+            "ok": self.executor.healthy(), **self.executor.describe(),
+        }
+        return {
+            "ok": all(c["ok"] for c in checks.values()),
+            "checks": checks,
+        }
+
+    def readiness_report(self) -> dict:
+        """Readiness checks behind ``/readyz``: everything
+        :meth:`health_report` checks, plus anchored-root consistency —
+        the live ledger's prefix root at the last durably anchored size
+        must still equal the root the anchor recorded.  A mismatch
+        means the in-memory ledger diverged from what was committed,
+        and the instance must not serve until :meth:`recover` runs.
+        """
+        report = self.health_report()
+        anchored = self._last_anchored_digest
+        if anchored is None:
+            check = {"ok": True, "anchored": False}
+        else:
+            try:
+                live_root = self.ledger.digest(anchored.size).root
+                check = {
+                    "ok": live_root == anchored.root,
+                    "anchored": True,
+                    "size": anchored.size,
+                    "root": anchored.root.hex(),
+                }
+            except Exception as exc:
+                check = {"ok": False, "error": repr(exc)}
+        report["checks"]["anchored_root"] = check
+        report["ok"] = report["ok"] and check["ok"]
+        return report
+
+    def verification_trail(self, trace_id: str) -> Optional[dict]:
+        """One traced update's full verification trail, re-verifiable
+        offline.
+
+        Scans the ledger for the anchored decision stamped with
+        ``trace_id`` (only traced runs stamp it — see
+        :meth:`_anchor_payload`) and returns the anchored payload, the
+        ledger inclusion proof against the last *anchored* digest
+        (falling back to the live digest when the entry postdates it),
+        a server-side ``verified`` verdict, and every correlated
+        event-log record.  ``None`` when no anchored entry carries the
+        trace ID.  Served as ``/trace/<trace_id>``; see
+        ``examples/telemetry_demo.py`` for the client-side
+        re-verification.
+        """
+        entry = None
+        for candidate in self.ledger.entries():
+            payload = candidate.payload
+            if isinstance(payload, dict) and payload.get("trace_id") == trace_id:
+                entry = candidate
+                break
+        if entry is None:
+            return None
+        digest = self._last_anchored_digest
+        if digest is None or digest.size <= entry.sequence:
+            digest = self.ledger.digest()
+        proof = self.ledger.prove_inclusion(entry.sequence, size=digest.size)
+        verified = CentralLedger.verify_entry(digest, entry, proof)
+        events = []
+        for sink in getattr(self.tracer, "sinks", []):
+            if hasattr(sink, "for_trace"):
+                events.extend(sink.for_trace(trace_id))
+        return {
+            "trace_id": trace_id,
+            "sequence": entry.sequence,
+            "payload": entry.payload,
+            "digest": {"size": digest.size, "root": digest.root.hex()},
+            "proof": {
+                "leaf_index": proof.leaf_index,
+                "tree_size": proof.tree_size,
+                "path": [node.hex() for node in proof.path],
+            },
+            "verified": verified,
+            "events": events,
+        }
 
     # -- reporting ---------------------------------------------------------------
 

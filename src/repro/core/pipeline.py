@@ -330,6 +330,9 @@ class DurabilityStage(Stage):
         )
         if fw._crash_after is not None:
             fw._crash_point("anchor_marker")
+        # Remember what was just made durable: /readyz checks the live
+        # ledger still extends this digest.
+        fw._last_anchored_digest = digest
         if fw._snapshotter is not None:
             taken = fw._snapshotter.maybe_take(
                 fw, fw._wal.last_lsn, len(payloads)
@@ -512,25 +515,42 @@ class Pipeline:
         """Drive one update through the full pipeline (``submit``)."""
         fw = self.framework
         ctx = UpdateContext(update)
+        prof = fw.profiler
         self._begin(ctx)
-        self._walk(ctx)
-        self.anchor.run_one(ctx)
+        self._walk(ctx, prof)
+        if prof is None:
+            self.anchor.run_one(ctx)
+        else:
+            with prof.stage("anchor"):
+                self.anchor.run_one(ctx)
         return self._record(ctx)
 
     def run_batch(self, updates: Sequence[Update],
                   executor) -> List[UpdateResult]:
         """Drive a batch through the pipeline, anchoring once
         (``submit_many``)."""
+        fw = self.framework
         ctxs = [UpdateContext(update) for update in updates]
-        self.auth.run_batch(ctxs, executor)
-        self.verify.run_batch(ctxs, executor)
+        prof = fw.profiler
+        if prof is None:
+            self.auth.run_batch(ctxs, executor)
+            self.verify.run_batch(ctxs, executor)
+        else:
+            with prof.stage("auth_batch"):
+                self.auth.run_batch(ctxs, executor)
+            with prof.stage("prepare_batch"):
+                self.verify.run_batch(ctxs, executor)
         try:
             for ctx in ctxs:
                 self._begin(ctx)
-                self._walk(ctx)
+                self._walk(ctx, prof)
         finally:
             self.verify.finish_batch(ctxs)
-        self.anchor.run_batch(ctxs, executor)
+        if prof is None:
+            self.anchor.run_batch(ctxs, executor)
+        else:
+            with prof.stage("anchor_batch"):
+                self.anchor.run_batch(ctxs, executor)
         return [self._record(ctx) for ctx in ctxs]
 
     def _begin(self, ctx: UpdateContext) -> None:
@@ -548,17 +568,60 @@ class Pipeline:
         ctx.now = fw.clock.now()
         ctx.mark = fw._wall.now()
 
-    def _walk(self, ctx: UpdateContext) -> None:
-        """The per-update stage sequence, up to (not including) anchor."""
-        self.auth.run_one(ctx)
+    def _walk(self, ctx: UpdateContext, prof=None) -> None:
+        """The per-update stage sequence, up to (not including) anchor.
+
+        ``prof`` is the framework's sampling profiler or ``None``; the
+        ``None`` branch is the exact unprofiled hot path (no context
+        managers, no extra calls), so default-off runs stay
+        byte-identical in behavior and timing shape.
+        """
+        if prof is None:
+            self.auth.run_one(ctx)
+            if ctx.halted:
+                return
+            self.route.run_one(ctx)
+            self.verify.run_one(ctx)
+            if ctx.halted:
+                return
+            self.durability.run_one(ctx)
+            self.apply.run_one(ctx)
+            return
+        # Profiled branch: raw push/pop on the thread's stage stack
+        # rather than the stage() context manager — five boundaries per
+        # update make even minimal with-statement machinery a
+        # measurable tax on the plaintext engine, and the bench gates
+        # enabled-profiler overhead at 5%.
+        stack = prof.thread_stack()
+        stack.append("authenticate")
+        try:
+            self.auth.run_one(ctx)
+        finally:
+            stack.pop()
         if ctx.halted:
             return
-        self.route.run_one(ctx)
-        self.verify.run_one(ctx)
+        stack.append("route")
+        try:
+            self.route.run_one(ctx)
+        finally:
+            stack.pop()
+        stack.append("verify")
+        try:
+            self.verify.run_one(ctx)
+        finally:
+            stack.pop()
         if ctx.halted:
             return
-        self.durability.run_one(ctx)
-        self.apply.run_one(ctx)
+        stack.append("durability")
+        try:
+            self.durability.run_one(ctx)
+        finally:
+            stack.pop()
+        stack.append("apply")
+        try:
+            self.apply.run_one(ctx)
+        finally:
+            stack.pop()
 
     def _record(self, ctx: UpdateContext) -> UpdateResult:
         fw = self.framework

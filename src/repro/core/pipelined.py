@@ -43,6 +43,7 @@ Decisions, ledger roots, and WAL bytes are pinned against the serial
 schedule by ``tests/test_pipelined.py``.
 """
 
+import time
 from typing import List, Sequence
 
 from repro.core.outcome import UpdateResult
@@ -64,9 +65,17 @@ class PipelinedScheduler:
         self.framework = framework
         self._committer = None  # lazy single-thread pool
         self._pending = None    # Future of the in-flight commit
-        self._overlaps = framework.metrics.counter(
-            "pipeline.overlapped_commits"
-        )
+        metrics = framework.metrics
+        self._overlaps = metrics.counter("pipeline.overlapped_commits")
+        # Committer telemetry (see throughput_report's "pipelined"
+        # section): how many commits were deferred, how long the
+        # foreground thread stalled at joins, how long deferred commits
+        # actually took in the background, and whether one is in
+        # flight right now.
+        self._ctr_deferred = metrics.counter("pipeline.deferred_commits")
+        self._tmr_wait = metrics.timer("pipeline.committer_wait")
+        self._tmr_lag = metrics.timer("pipeline.committer_lag")
+        self._gauge_depth = metrics.gauge("pipeline.committer_queue_depth")
 
     def _pool(self):
         if self._committer is None:
@@ -81,7 +90,28 @@ class PipelinedScheduler:
         """Wait for the in-flight commit; re-raise anything it raised."""
         pending, self._pending = self._pending, None
         if pending is not None:
-            pending.result()
+            start = time.perf_counter()
+            try:
+                pending.result()
+            finally:
+                self._tmr_wait.record(time.perf_counter() - start)
+                self._gauge_depth.set(0)
+
+    def _run_commit(self, commit) -> None:
+        """(committer thread) Run one deferred commit, timing its true
+        duration — the lag a scrape of ``committer_lag`` vs
+        ``committer_wait`` exposes as overlap won."""
+        fw = self.framework
+        prof = fw.profiler
+        start = time.perf_counter()
+        try:
+            if prof is None:
+                commit()
+            else:
+                with prof.stage("committer"):
+                    commit()
+        finally:
+            self._tmr_lag.record(time.perf_counter() - start)
 
     def submit_batches(
         self,
@@ -122,14 +152,18 @@ class PipelinedScheduler:
                 try:
                     for ctx in ctxs:
                         pipeline._begin(ctx)
-                        pipeline._walk(ctx)
+                        pipeline._walk(ctx, fw.profiler)
                 finally:
                     pipeline.verify.finish_batch(ctxs)
                 commit = pipeline.anchor.run_batch(
                     ctxs, executor, defer_commit=True
                 )
                 if commit is not None:
-                    self._pending = self._pool().submit(commit)
+                    self._ctr_deferred.add()
+                    self._gauge_depth.set(1)
+                    self._pending = self._pool().submit(
+                        self._run_commit, commit
+                    )
                 results.extend(pipeline._record(ctx) for ctx in ctxs)
         finally:
             # Always leave durable — also on a mid-run exception.

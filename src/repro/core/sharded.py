@@ -132,6 +132,7 @@ class _SerialShard:
 
     def __init__(self, spec: ShardSpec):
         self.framework = spec.build()
+        self._tracker = None
 
     def submit(self, update: Update) -> UpdateResult:
         """Route one update through the shard's pipeline."""
@@ -156,6 +157,29 @@ class _SerialShard:
     def metrics_snapshot(self) -> dict:
         """The shard's metrics snapshot."""
         return self.framework.metrics.snapshot()
+
+    def telemetry_delta(self):
+        """Incremental telemetry delta (full history on first call)."""
+        if self._tracker is None:
+            from repro.obs.aggregate import DeltaTracker
+
+            self._tracker = DeltaTracker(
+                self.framework.metrics, tracer=self.framework.tracer,
+                origin=True,
+            )
+        return self._tracker.capture()
+
+    def alive(self) -> bool:
+        """Liveness: delegates to the in-process framework's checks."""
+        return self.framework.health_report()["ok"]
+
+    def readiness_report(self) -> dict:
+        """The shard framework's readiness report."""
+        return self.framework.readiness_report()
+
+    def verification_trail(self, trace_id: str):
+        """The shard's trail for ``trace_id`` (None when absent)."""
+        return self.framework.verification_trail(trace_id)
 
     def counters(self) -> dict:
         """Submitted/applied/ledger-size counters."""
@@ -202,6 +226,22 @@ class _ProcessShard:
     def metrics_snapshot(self) -> dict:
         """The shard's metrics snapshot."""
         return self.worker.metrics_snapshot()
+
+    def telemetry_delta(self):
+        """Incremental telemetry delta from the shard's child process."""
+        return self.worker.telemetry_delta()
+
+    def alive(self) -> bool:
+        """Liveness: the pinned worker process can still take work."""
+        return self.worker.alive()
+
+    def readiness_report(self) -> dict:
+        """The shard framework's readiness report, from the child."""
+        return self.worker.call("readiness_report")
+
+    def verification_trail(self, trace_id: str):
+        """The shard's trail for ``trace_id`` (None when absent)."""
+        return self.worker.call("verification_trail", trace_id)
 
     def counters(self) -> dict:
         """Submitted/applied/ledger-size counters."""
@@ -486,6 +526,72 @@ class ShardedPReVer:
         for spec, shard in zip(self.specs, self.shards):
             merged[spec.name] = shard.metrics_snapshot()
         return merged
+
+    def collect_telemetry(self) -> MetricsRegistry:
+        """Pull every shard's telemetry delta and merge it into the
+        coordinator registry under ``shard.<name>.*`` labels.
+
+        Incremental and idempotent across calls (each shard ships only
+        what happened since its previous capture), so the ops server
+        can call this on every ``/metrics`` scrape.  Returns the
+        coordinator registry, now holding the merged view.
+        """
+        from repro.obs.aggregate import merge_delta
+
+        for spec, shard in zip(self.specs, self.shards):
+            delta = shard.telemetry_delta()
+            if delta is not None and not delta.empty():
+                merge_delta(self.metrics, delta,
+                            prefix=f"shard.{spec.name}")
+        return self.metrics
+
+    # -- ops probes & audit trails ----------------------------------------
+
+    def health_report(self) -> dict:
+        """Liveness checks for the ops server's ``/healthz``: every
+        shard can take work and the escalation ledger is reachable."""
+        checks = {
+            "escalation_ledger": {
+                "ok": True, "size": len(self.escalation_ledger),
+            },
+        }
+        for spec, shard in zip(self.specs, self.shards):
+            try:
+                ok = shard.alive()
+                detail = {"ok": ok, "dispatch": self.dispatch}
+            except Exception as exc:
+                detail = {"ok": False, "error": repr(exc)}
+            checks[f"shard.{spec.name}"] = detail
+        return {
+            "ok": all(c["ok"] for c in checks.values()),
+            "checks": checks,
+        }
+
+    def readiness_report(self) -> dict:
+        """Readiness checks for ``/readyz``: liveness plus every
+        shard's own ledger-root vs last-anchored-root consistency."""
+        report = self.health_report()
+        for spec, shard in zip(self.specs, self.shards):
+            try:
+                shard_ready = shard.readiness_report()
+                detail = {"ok": shard_ready["ok"]}
+            except Exception as exc:
+                detail = {"ok": False, "error": repr(exc)}
+            report["checks"][f"shard.{spec.name}.ready"] = detail
+        report["ok"] = all(c["ok"] for c in report["checks"].values())
+        return report
+
+    def verification_trail(self, trace_id: str) -> Optional[dict]:
+        """One update's full verification trail, searched across every
+        shard (each shard's trail verifies against its *own* ledger
+        digest; the shard root is independently checkable against the
+        root-of-roots commitment).  None when no shard anchored it."""
+        for spec, shard in zip(self.specs, self.shards):
+            trail = shard.verification_trail(trace_id)
+            if trail is not None:
+                trail["shard"] = spec.name
+                return trail
+        return None
 
     def acceptance_rate(self) -> float:
         """Applied / submitted across all shards *and* coordinator

@@ -113,6 +113,7 @@ class WriteAheadLog:
         self._tmr_append = self.metrics.timer("durability.wal_append")
         self._tmr_fsync = self.metrics.timer("durability.fsync")
         self._handle = None
+        self._closed = False
         self._segment_path: Optional[str] = None
         self._segment_size = 0
         self._unsynced_updates = 0
@@ -245,6 +246,7 @@ class WriteAheadLog:
             self.directory, _segment_name(first_lsn)
         )
         self._handle = open(self._segment_path, "ab")
+        self._closed = False  # appends after close() reopen the log
         self._segment_size = 0
         _fsync_directory(self.directory)
 
@@ -259,8 +261,24 @@ class WriteAheadLog:
         self._ctr_fsyncs.add()
         self._unsynced_updates = 0
 
+    def writable(self) -> bool:
+        """Health probe: True while the log can still take appends.
+
+        False once :meth:`close` ran, or when the segment handle was
+        torn down underneath us, or when the directory itself stopped
+        being writable.  A fresh log (no segment opened yet) counts as
+        writable — the first append opens it lazily.  A False here
+        flips the ops server's ``/healthz`` to 503.
+        """
+        if self._closed:
+            return False
+        if self._handle is not None and self._handle.closed:
+            return False
+        return os.access(self.directory, os.W_OK)
+
     def close(self) -> None:
         """Flush, fsync, and release the current segment handle."""
+        self._closed = True
         if self._handle is not None:
             self.sync()
             self._handle.close()

@@ -1,4 +1,4 @@
-"""Observability: tracing, structured events, and metric exporters.
+"""Observability: tracing, events, exporters, aggregation, ops server.
 
 The pipeline (``repro.core.framework``), the simulated network, both
 consensus protocols, the ledger, and the crypto hot paths all accept a
@@ -13,9 +13,22 @@ is attached.
   as a span sink, correlating spans, constraint verdicts, rejections,
   and ledger anchors by ``trace_id``;
 * :mod:`repro.obs.export` — Prometheus text format and a stable JSON
-  schema for :class:`~repro.common.metrics.MetricsRegistry`.
+  schema for :class:`~repro.common.metrics.MetricsRegistry`;
+* :mod:`repro.obs.aggregate` — picklable :class:`TelemetryDelta`
+  snapshots merging worker-process and shard-child telemetry into the
+  coordinator registry;
+* :mod:`repro.obs.server` — the live ops endpoint (``/metrics``,
+  ``/metrics.json``, ``/healthz``, ``/readyz``, ``/trace/<id>``);
+* :mod:`repro.obs.profiler` — the opt-in (``REPRO_PROFILE=wall|cpu``)
+  per-stage sampling profiler with collapsed-stack output.
 """
 
+from repro.obs.aggregate import (
+    DeltaTracker,
+    TelemetryDelta,
+    merge_delta,
+    worker_metrics,
+)
 from repro.obs.events import EventLog
 from repro.obs.export import (
     METRICS_SCHEMA_VERSION,
@@ -23,16 +36,26 @@ from repro.obs.export import (
     to_prometheus,
     write_metrics_json,
 )
+from repro.obs.profiler import SamplingProfiler, profiler_from_env
+from repro.obs.server import OpsServer, start_ops_server
 from repro.obs.tracing import NOOP_TRACER, NullTracer, Span, Tracer
 
 __all__ = [
+    "DeltaTracker",
     "EventLog",
     "METRICS_SCHEMA_VERSION",
     "NOOP_TRACER",
     "NullTracer",
+    "OpsServer",
+    "SamplingProfiler",
     "Span",
+    "TelemetryDelta",
     "Tracer",
+    "merge_delta",
     "metrics_to_json",
+    "profiler_from_env",
+    "start_ops_server",
     "to_prometheus",
+    "worker_metrics",
     "write_metrics_json",
 ]

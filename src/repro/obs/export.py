@@ -8,7 +8,13 @@ embeds the batched pipeline's metrics in ``BENCH_pipeline.json``.
 
 The JSON schema is versioned (:data:`METRICS_SCHEMA_VERSION`); any
 field rename or semantic change must bump it so downstream consumers
-(CI artifact diffing, the benchmark) can detect the break.
+(CI artifact diffing, the benchmark) can detect the break.  Version
+history:
+
+* 1 — counters / timers (n, mean, total, p50, p95, max) / histograms.
+* 2 — a ``gauges`` section, ``p99`` on every timer, and non-finite
+  values serialized as the strings ``"NaN"`` / ``"+Inf"`` / ``"-Inf"``
+  (strict JSON has no literal for any of them).
 """
 
 import json
@@ -18,9 +24,15 @@ from typing import Optional
 
 from repro.common.metrics import MetricsRegistry
 
-METRICS_SCHEMA_VERSION = 1
+METRICS_SCHEMA_VERSION = 2
 
 _PROM_NAME = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: Timer summary fields exported to JSON, in schema order.
+_TIMER_KEYS = ("n", "mean", "total", "p50", "p95", "p99", "max")
+
+#: ``quantile`` label → snapshot key for the Prometheus summary rows.
+_SUMMARY_QUANTILES = (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99"))
 
 
 def _prom_name(name: str, namespace: Optional[str]) -> str:
@@ -30,33 +42,73 @@ def _prom_name(name: str, namespace: Optional[str]) -> str:
 
 
 def _prom_value(value: float) -> str:
+    value = float(value)
+    if math.isnan(value):
+        return "NaN"
     if math.isinf(value):
         return "+Inf" if value > 0 else "-Inf"
-    return repr(float(value))
+    return repr(value)
+
+
+def _json_safe(value):
+    """Non-finite floats as strings — strict JSON has no literal for
+    them, and ``json.dumps`` would otherwise emit invalid output."""
+    if isinstance(value, float) and not math.isfinite(value):
+        if math.isnan(value):
+            return "NaN"
+        return "+Inf" if value > 0 else "-Inf"
+    return value
+
+
+class _TypeLines:
+    """Emit each ``# TYPE`` header at most once per exposition.
+
+    Distinct dotted names can sanitize to the same Prometheus
+    identifier (``a.b`` and ``a_b`` both become ``a_b``); their sample
+    lines all render, but a repeated TYPE header for the same metric
+    family is invalid exposition text.
+    """
+
+    def __init__(self, lines):
+        self._lines = lines
+        self._seen = set()
+
+    def declare(self, metric: str, kind: str) -> None:
+        if metric not in self._seen:
+            self._seen.add(metric)
+            self._lines.append(f"# TYPE {metric} {kind}")
 
 
 def to_prometheus(registry: MetricsRegistry,
                   namespace: Optional[str] = "repro") -> str:
     """Render the registry in the Prometheus text exposition format.
 
-    Counters become ``<name>_total``; timers become summaries with
-    ``quantile`` labels plus ``_sum``/``_count``; histograms become
-    classic cumulative ``_bucket`` series with ``le`` labels.
+    Counters become ``<name>_total``; gauges keep their name; timers
+    become summaries with ``quantile`` labels plus ``_sum``/``_count``;
+    histograms become classic cumulative ``_bucket`` series with ``le``
+    labels.
     """
     snapshot = registry.snapshot()
     lines = []
+    types = _TypeLines(lines)
 
     for name in sorted(snapshot["counters"]):
         counter = snapshot["counters"][name]
         metric = _prom_name(name, namespace) + "_total"
-        lines.append(f"# TYPE {metric} counter")
+        types.declare(metric, "counter")
         lines.append(f"{metric} {_prom_value(counter['count'])}")
+
+    for name in sorted(snapshot.get("gauges", {})):
+        gauge = snapshot["gauges"][name]
+        metric = _prom_name(name, namespace)
+        types.declare(metric, "gauge")
+        lines.append(f"{metric} {_prom_value(gauge['value'])}")
 
     for name in sorted(snapshot["timers"]):
         timer = snapshot["timers"][name]
         metric = _prom_name(name, namespace) + "_seconds"
-        lines.append(f"# TYPE {metric} summary")
-        for label, key in (("0.5", "p50"), ("0.95", "p95")):
+        types.declare(metric, "summary")
+        for label, key in _SUMMARY_QUANTILES:
             lines.append(
                 f'{metric}{{quantile="{label}"}} {_prom_value(timer[key])}'
             )
@@ -66,7 +118,7 @@ def to_prometheus(registry: MetricsRegistry,
     for name in sorted(snapshot["histograms"]):
         histogram = snapshot["histograms"][name]
         metric = _prom_name(name, namespace)
-        lines.append(f"# TYPE {metric} histogram")
+        types.declare(metric, "histogram")
         for bucket in histogram["buckets"]:
             lines.append(
                 f'{metric}_bucket{{le="{_prom_value(bucket["le"])}"}} '
@@ -83,27 +135,34 @@ def metrics_to_json(registry: MetricsRegistry) -> dict:
 
     Layout::
 
-        {"schema_version": 1,
+        {"schema_version": 2,
          "counters":   {name: {"count": int, "total": float}},
-         "timers":     {name: {"n", "mean", "total", "p50", "p95", "max"}},
+         "gauges":     {name: {"value": float}},
+         "timers":     {name: {"n", "mean", "total",
+                               "p50", "p95", "p99", "max"}},
          "histograms": {name: {"count", "total", "buckets": [...]}}}
 
-    Names are sorted; ``+inf`` bucket bounds serialize as the string
-    ``"+Inf"`` (JSON has no infinity literal).
+    Names are sorted; ``+inf`` bucket bounds and any non-finite value
+    serialize as the strings ``"+Inf"`` / ``"-Inf"`` / ``"NaN"`` (JSON
+    has no literals for them).
     """
     snapshot = registry.snapshot()
     counters = {
-        name: {"count": c["count"], "total": c["total"]}
+        name: {"count": c["count"], "total": _json_safe(c["total"])}
         for name, c in snapshot["counters"].items()
     }
+    gauges = {
+        name: {"value": _json_safe(g["value"])}
+        for name, g in snapshot.get("gauges", {}).items()
+    }
     timers = {
-        name: {key: t[key] for key in ("n", "mean", "total", "p50", "p95", "max")}
+        name: {key: _json_safe(t[key]) for key in _TIMER_KEYS}
         for name, t in snapshot["timers"].items()
     }
     histograms = {
         name: {
             "count": h["count"],
-            "total": h["total"],
+            "total": _json_safe(h["total"]),
             "buckets": [
                 {"le": ("+Inf" if math.isinf(b["le"]) else b["le"]),
                  "count": b["count"]}
@@ -115,6 +174,7 @@ def metrics_to_json(registry: MetricsRegistry) -> dict:
     return {
         "schema_version": METRICS_SCHEMA_VERSION,
         "counters": counters,
+        "gauges": gauges,
         "timers": timers,
         "histograms": histograms,
     }

@@ -23,6 +23,7 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.common.errors import PReVerError
+from repro.obs.aggregate import instrumented_chunk, merge_delta
 from repro.obs.tracing import NOOP_TRACER
 
 #: Below this many items a process round-trip costs more than it saves;
@@ -62,6 +63,18 @@ class Executor:
     def bind_tracer(self, tracer) -> None:
         """Attach a tracer; parallel maps then record ``parallel.map``
         spans with worker/chunk counts."""
+
+    def bind_metrics(self, registry) -> None:
+        """Attach a metrics registry; pooled maps then collect each
+        worker's telemetry delta alongside its results and merge it
+        here under per-worker labels.  A no-op for executors that run
+        everything in the calling process (their work already records
+        into the caller's registry)."""
+
+    def healthy(self) -> bool:
+        """Liveness probe for the ops server: True when the executor
+        can still accept work (always, for in-process executors)."""
+        return True
 
     def map_chunks(self, fn: Callable[[list], list], items: Sequence,
                    label: str = "map") -> list:
@@ -141,10 +154,46 @@ class ParallelExecutor(Executor):
         self.workers = workers or os.cpu_count() or 1
         self.min_items = min_items
         self.tracer = tracer or NOOP_TRACER
+        # Telemetry collection (off unless a registry is bound): pooled
+        # chunks are wrapped so each worker's metric delta rides back
+        # with its results, merged here under a stable per-worker label
+        # (pids map to w0, w1, ... in first-seen order).
+        self._metrics = None
+        self._worker_labels: Dict[int, str] = {}
 
     def bind_tracer(self, tracer) -> None:
         """Attach a tracer: maps then emit ``parallel.map`` spans."""
         self.tracer = tracer
+
+    def bind_metrics(self, registry) -> None:
+        """Attach the coordinator registry worker telemetry merges
+        into.  Rebinding (an executor shared across frameworks)
+        redirects future merges to the latest registry."""
+        self._metrics = registry
+
+    def healthy(self) -> bool:
+        """True while the shared pool (if started) is not broken."""
+        pool = _POOL_CACHE.get(self.workers)
+        if pool is None:
+            return True  # lazily started; nothing to be broken yet
+        return not getattr(pool, "_broken", False)
+
+    def _submit(self, pool, fn, chunk):
+        if self._metrics is not None:
+            return pool.submit(instrumented_chunk, fn, chunk)
+        return pool.submit(fn, chunk)
+
+    def _consume(self, future) -> list:
+        value = future.result()
+        if self._metrics is not None:
+            results, delta, pid = value
+            label = self._worker_labels.get(pid)
+            if label is None:
+                label = f"worker.w{len(self._worker_labels)}"
+                self._worker_labels[pid] = label
+            merge_delta(self._metrics, delta, prefix=label)
+            return results
+        return value
 
     def map_chunks(self, fn: Callable[[list], list], items: Sequence,
                    label: str = "map") -> list:
@@ -160,10 +209,10 @@ class ParallelExecutor(Executor):
         if self.tracer.enabled:
             return self._map_traced(fn, chunks, len(items), label)
         pool = _shared_pool(self.workers)
-        futures = [pool.submit(fn, chunk) for chunk in chunks]
+        futures = [self._submit(pool, fn, chunk) for chunk in chunks]
         out: List[Any] = []
         for future in futures:
-            out.extend(future.result())
+            out.extend(self._consume(future))
         return out
 
     def _map_traced(self, fn, chunks, n_items: int, label: str) -> list:
@@ -179,11 +228,11 @@ class ParallelExecutor(Executor):
                 child = span.child(
                     "parallel.chunk", chunk=i, items=len(chunk)
                 )
-                futures.append((pool.submit(fn, chunk), child))
+                futures.append((self._submit(pool, fn, chunk), child))
             out: List[Any] = []
             for future, child in futures:
                 try:
-                    out.extend(future.result())
+                    out.extend(self._consume(future))
                 except BaseException as exc:
                     child.set_status("error")
                     child.set_attribute("exception", repr(exc))

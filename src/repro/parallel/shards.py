@@ -31,6 +31,10 @@ from repro.common.errors import PReVerError
 #: its own shard's entry.
 _STATE: Dict[str, object] = {}
 
+#: Child-process-side delta trackers: shard key -> the DeltaTracker
+#: computing incremental telemetry captures for that shard.
+_TRACKERS: Dict[str, object] = {}
+
 
 def _shard_build(key: str, builder: Callable[[], object]) -> bool:
     """(child) Build the shard's framework into the registry."""
@@ -51,6 +55,24 @@ def _shard_digest(key: str):
 def _shard_metrics(key: str) -> dict:
     """(child) The shard's metrics snapshot."""
     return _STATE[key].metrics.snapshot()
+
+
+def _shard_telemetry(key: str):
+    """(child) The shard's telemetry delta since the last capture.
+
+    The first capture for a shard covers everything it ever recorded
+    (origin baseline), so a coordinator that starts scraping late still
+    sees the full history; later captures ship only the increments.
+    """
+    from repro.obs.aggregate import DeltaTracker
+
+    framework = _STATE[key]
+    tracker = _TRACKERS.get(key)
+    if tracker is None:
+        tracker = _TRACKERS[key] = DeltaTracker(
+            framework.metrics, tracer=framework.tracer, origin=True
+        )
+    return tracker.capture()
 
 
 def _shard_counters(key: str) -> dict:
@@ -117,6 +139,18 @@ class ShardWorker:
     def metrics_snapshot(self) -> dict:
         """The shard's metrics snapshot, fetched from the child."""
         return self._pool.submit(_shard_metrics, self.key).result()
+
+    def telemetry_delta(self):
+        """The shard's incremental
+        :class:`~repro.obs.aggregate.TelemetryDelta` (everything since
+        the previous call; the full history on the first)."""
+        return self._pool.submit(_shard_telemetry, self.key).result()
+
+    def alive(self) -> bool:
+        """Liveness probe: True while the pinned child can take work."""
+        if self._closed:
+            return False
+        return not getattr(self._pool, "_broken", False)
 
     def counters(self) -> dict:
         """Submitted/applied/ledger-size counters from the child."""

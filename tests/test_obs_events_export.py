@@ -131,12 +131,13 @@ def populated_registry():
 
 def test_metrics_to_json_schema():
     doc = metrics_to_json(populated_registry())
-    assert doc["schema_version"] == METRICS_SCHEMA_VERSION
+    assert doc["schema_version"] == METRICS_SCHEMA_VERSION == 2
     assert doc["counters"]["net.messages"]["count"] == 2
     timer = doc["timers"]["pipeline.stage.verify"]
-    assert set(timer) == {"n", "mean", "total", "p50", "p95", "max"}
+    assert set(timer) == {"n", "mean", "total", "p50", "p95", "p99", "max"}
     buckets = doc["histograms"]["hop.latency"]["buckets"]
     assert buckets[-1] == {"le": "+Inf", "count": 1}
+    assert "gauges" in doc  # new in schema v2 (empty here)
     # The document must be JSON-serializable as-is (no inf, no bytes).
     json.dumps(doc)
 
@@ -174,3 +175,66 @@ def test_prometheus_namespace_and_sanitization():
     metrics.counter("weird name-with.bits").add()
     text = to_prometheus(metrics, namespace=None)
     assert "weird_name_with_bits_total 1.0" in text
+
+
+# -- exporter edge cases (schema v2) --------------------------------------
+
+
+def test_prometheus_p99_quantile_row():
+    metrics = MetricsRegistry()
+    timer = metrics.timer("stage")
+    for i in range(100):
+        timer.record(float(i + 1))
+    text = to_prometheus(metrics)
+    assert 'repro_stage_seconds{quantile="0.99"} 99.0' in text
+    assert 'repro_stage_seconds{quantile="0.5"} 50.0' in text
+
+
+def test_prometheus_gauge_section():
+    metrics = MetricsRegistry()
+    metrics.gauge("queue.depth").set(3)
+    text = to_prometheus(metrics)
+    assert "# TYPE repro_queue_depth gauge" in text
+    assert "repro_queue_depth 3.0" in text
+
+
+def test_empty_registry_exports():
+    metrics = MetricsRegistry()
+    text = to_prometheus(metrics)
+    assert text == "\n" or text.strip() == ""  # no metrics, valid scrape
+    doc = metrics_to_json(metrics)
+    assert doc["schema_version"] == METRICS_SCHEMA_VERSION
+    assert doc["counters"] == {}
+    assert doc["gauges"] == {}
+    assert doc["timers"] == {}
+    assert doc["histograms"] == {}
+    json.dumps(doc)
+
+
+def test_non_finite_values_export_without_breaking_json():
+    nan, inf = float("nan"), float("inf")
+    metrics = MetricsRegistry()
+    metrics.gauge("g.nan").set(nan)
+    metrics.gauge("g.pos").set(inf)
+    metrics.gauge("g.neg").set(-inf)
+    text = to_prometheus(metrics)
+    # Prometheus text format spells non-finite values literally.
+    assert "repro_g_nan NaN" in text
+    assert "repro_g_pos +Inf" in text
+    assert "repro_g_neg -Inf" in text
+    doc = metrics_to_json(metrics)
+    assert doc["gauges"]["g.nan"]["value"] == "NaN"
+    assert doc["gauges"]["g.pos"]["value"] == "+Inf"
+    assert doc["gauges"]["g.neg"]["value"] == "-Inf"
+    # Strict JSON (no Infinity/NaN literals) must accept the document.
+    json.loads(json.dumps(doc, allow_nan=False))
+
+
+def test_sanitization_collision_emits_type_header_once():
+    metrics = MetricsRegistry()
+    metrics.counter("net.messages").add()
+    metrics.counter("net-messages").add()  # sanitizes to the same name
+    text = to_prometheus(metrics)
+    assert text.count("# TYPE repro_net_messages_total counter") == 1
+    # Both samples still exported (they collapse onto one series name).
+    assert text.count("repro_net_messages_total 1.0") == 2

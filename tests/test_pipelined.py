@@ -136,6 +136,38 @@ def test_pipelined_crash_injection_falls_back_to_serial(tmp_path):
             or framework._pipelined._pending is None)
 
 
+def test_pipelined_committer_telemetry_in_report(tmp_path):
+    """The overlap's cost and win are measured, not inferred: deferred
+    and overlapped commit counts, committer wait/lag seconds, and the
+    queue-depth gauge surface in throughput_report's pipelined section."""
+    framework = BUILDERS["plaintext"](
+        durability=Durability.wal(str(tmp_path))
+    )
+    stream = golden_stream()
+    batches = [stream[i:i + 4] for i in range(0, len(stream), 4)]
+    framework.submit_pipelined(batches)
+    framework.close()
+    report = framework.throughput_report()
+    pipelined = report["pipelined"]
+    assert pipelined["deferred_commits"] == len(batches)
+    # Every batch after the first overlaps the previous commit.
+    assert pipelined["overlapped_commits"] == len(batches) - 1
+    assert pipelined["committer_wait_seconds"] >= 0.0
+    assert pipelined["committer_lag_seconds"] > 0.0
+    assert pipelined["committer_queue_depth"] == 0  # drained
+    # Wait/lag sample counts match the commit count.
+    assert len(framework.metrics.timer("pipeline.committer_wait").samples) \
+        == len(batches)
+    assert len(framework.metrics.timer("pipeline.committer_lag").samples) \
+        == len(batches)
+
+
+def test_plain_runs_have_no_pipelined_report_section():
+    framework = BUILDERS["plaintext"]()
+    framework.submit_many(golden_stream())
+    assert "pipelined" not in framework.throughput_report()
+
+
 def test_pipelined_returns_fully_drained(tmp_path):
     """After submit_pipelined returns, no commit may still be in
     flight — the caller's durability guarantee matches submit_many's."""
