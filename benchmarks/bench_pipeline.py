@@ -791,6 +791,173 @@ def compare_durability(engine="plaintext", n_updates=600, chunk=100):
     return results
 
 
+# -- encode-once layer ------------------------------------------------------
+
+def _anchor_shaped_payloads(n):
+    """Decision-record-shaped dicts (the anchor stage's actual output
+    shape) for the encoder microbench."""
+    return [
+        {
+            "update_id": f"upd-{i:07d}",
+            "decision": {
+                "applied": True,
+                "constraint_id": "cst-emissions-cap",
+                "reason": None,
+                "engine": "plaintext",
+            },
+            "update": {
+                "table": "emissions",
+                "operation": "insert",
+                "payload": {"id": i, "org": f"org{i % 8}", "co2": 10},
+                "producers": [],
+                "visibility": "private",
+            },
+        }
+        for i in range(n)
+    ]
+
+
+def compare_encoding(n_payloads=2000, repeats=3, e2e_updates=600,
+                     e2e_chunk=100):
+    """Price the encode-once layer against the legacy encoder.
+
+    Microbench: each anchor payload used to be canonically encoded
+    three independent times per submit (signing body, Merkle leaf, WAL
+    frame).  The encode-once path encodes it once with the fast encoder
+    and splices the fragment (``RawJson``) into the leaf and WAL
+    wrappers.  Gates (enforced in ``main``): the encode-once pattern
+    must beat the legacy 3-encode pattern by >= 2x, and the uncached
+    fast encoder must not lose to the legacy encoder.  Byte equality
+    with the legacy encoder is asserted for every payload.
+
+    End-to-end: a durable plaintext batched run whose ledger leaves
+    and WAL frames were produced by fragment splicing, re-verified two
+    ways — every Merkle leaf recomputed from scratch with the legacy
+    encoder (root equality), and every WAL frame re-framed from its
+    decoded record (byte equality across all segments).
+    """
+    from repro.common.encoding import (
+        RawJson,
+        encode_canonical,
+        legacy_canonical_json,
+    )
+    from repro.crypto.merkle import MerkleTree
+    from repro.durability.wal import WriteAheadLog, encode_record
+
+    payloads = _anchor_shaped_payloads(n_payloads)
+    for payload in payloads:
+        assert encode_canonical(payload) == legacy_canonical_json(payload), \
+            "fast encoder output diverged from the legacy encoder"
+
+    def legacy_3x():
+        # The pre-change hot path: sign body, Merkle leaf, WAL frame
+        # each re-encode the payload through the legacy encoder.
+        for sequence, payload in enumerate(payloads):
+            legacy_canonical_json(payload)
+            legacy_canonical_json(
+                {"sequence": sequence, "payload": payload}
+            )
+            legacy_canonical_json(
+                {"lsn": sequence, "type": "anchor",
+                 "data": {"payloads": [payload]}}
+            )
+
+    def encode_once():
+        # The new hot path: one fast encode, then fragment splices.
+        for sequence, payload in enumerate(payloads):
+            fragment = RawJson(encode_canonical(payload))
+            encode_canonical({"sequence": sequence, "payload": fragment})
+            encode_canonical(
+                {"lsn": sequence, "type": "anchor",
+                 "data": {"payloads": [fragment]}}
+            )
+
+    def fast_1x():
+        for payload in payloads:
+            encode_canonical(payload)
+
+    def legacy_1x():
+        for payload in payloads:
+            legacy_canonical_json(payload)
+
+    def best_of(fn):
+        best = float("inf")
+        for _ in range(repeats):
+            gc.collect()
+            gc.disable()
+            try:
+                start = time.perf_counter()
+                fn()
+                best = min(best, time.perf_counter() - start)
+            finally:
+                gc.enable()
+        return best
+
+    legacy_3x_seconds = best_of(legacy_3x)
+    encode_once_seconds = best_of(encode_once)
+    legacy_1x_seconds = best_of(legacy_1x)
+    fast_1x_seconds = best_of(fast_1x)
+
+    # End-to-end: durable plaintext batched run + from-scratch
+    # re-verification of everything the spliced fragments produced.
+    with tempfile.TemporaryDirectory(prefix="bench-encoding-") as tmp:
+        framework = build("plaintext", durability=Durability.wal(tmp))
+        stream = make_stream(e2e_updates)
+        gc.collect()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            for i in range(0, e2e_updates, e2e_chunk):
+                framework.submit_many(stream[i:i + e2e_chunk])
+            e2e_elapsed = time.perf_counter() - start
+        finally:
+            gc.enable()
+        framework.close()
+        root = framework.ledger.digest().root
+
+        # Root equality: recompute every leaf with the legacy encoder.
+        shadow = MerkleTree(
+            legacy_canonical_json(
+                {"sequence": entry.sequence, "payload": entry.payload}
+            ).encode("utf-8")
+            for entry in framework.ledger.entries()
+        )
+        assert shadow.root() == root, \
+            "spliced Merkle leaves diverged from legacy re-encoding"
+
+        # WAL byte equality: re-frame every decoded record and compare
+        # against the segment bytes on disk.
+        wal_sha = _wal_sha256(tmp)
+        reader = WriteAheadLog(os.path.join(tmp, "wal"))
+        reframed = hashlib.sha256()
+        n_records = 0
+        for lsn, record_type, data in reader.records():
+            reframed.update(encode_record(lsn, record_type, data))
+            n_records += 1
+        reader.close()
+        assert n_records == 0 or reframed.hexdigest() == wal_sha, \
+            "spliced WAL frames diverged from plain re-framing"
+
+    return {
+        "payloads": n_payloads,
+        "repeats": repeats,
+        "legacy_3x_seconds": legacy_3x_seconds,
+        "encode_once_seconds": encode_once_seconds,
+        "encode_once_speedup": legacy_3x_seconds / encode_once_seconds,
+        "legacy_1x_seconds": legacy_1x_seconds,
+        "fast_1x_seconds": fast_1x_seconds,
+        "fast_encoder_speedup": legacy_1x_seconds / fast_1x_seconds,
+        "e2e_engine": "plaintext",
+        "e2e_updates": e2e_updates,
+        "e2e_chunk": e2e_chunk,
+        "e2e_seconds": e2e_elapsed,
+        "e2e_per_sec": e2e_updates / e2e_elapsed,
+        "e2e_root": root.hex(),
+        "e2e_wal_sha256": wal_sha,
+        "e2e_wal_records": n_records,
+    }
+
+
 def run_batch_comparison(plaintext_updates=1000, paillier_updates=300,
                          out_path="BENCH_pipeline.json", workers=4,
                          parallel_updates=None, include_parallel=True,
@@ -799,7 +966,9 @@ def run_batch_comparison(plaintext_updates=1000, paillier_updates=300,
                          include_backends=True, backend_updates=200,
                          include_overlap=False, overlap_updates=240,
                          overlap_chunk=40, include_profiler=True,
-                         profiler_updates=400, profile_out=""):
+                         profiler_updates=400, profile_out="",
+                         include_encoding=True, encoding_payloads=2000,
+                         encoding_updates=600):
     results = []
     for engine in BATCH_ENGINES:
         n = plaintext_updates if engine == "plaintext" else paillier_updates
@@ -828,6 +997,10 @@ def run_batch_comparison(plaintext_updates=1000, paillier_updates=300,
     if include_profiler:
         profiler = compare_profiler_overhead(n_updates=profiler_updates,
                                              profile_out=profile_out)
+    encoding = {}
+    if include_encoding:
+        encoding = compare_encoding(n_payloads=encoding_payloads,
+                                    e2e_updates=encoding_updates)
     artifact = {
         "experiment": "E1-batched",
         "description": "batched (submit_many) vs sequential (submit) "
@@ -840,7 +1013,11 @@ def run_batch_comparison(plaintext_updates=1000, paillier_updates=300,
                        "layer's fsync cost per mode and the sharded "
                        "front-end's scaling across shard counts, plus "
                        "the sampling profiler's overhead row (on vs "
-                       "off, same stream, <=5% gate)",
+                       "off, same stream, <=5% gate), and the "
+                       "encode-once layer (fast canonical encoder + "
+                       "fragment splicing) against the legacy "
+                       "3-encodes-per-submit pattern with byte-equality "
+                       "asserts on roots and WAL frames",
         "results": results,
         "parallel": parallel,
         "durability": durability,
@@ -848,6 +1025,7 @@ def run_batch_comparison(plaintext_updates=1000, paillier_updates=300,
         "backends": backends,
         "overlap": overlap,
         "profiler": profiler,
+        "encoding": encoding,
     }
     if out_path:
         with open(out_path, "w", encoding="utf-8") as handle:
@@ -899,6 +1077,26 @@ def print_profiler_table(artifact):
     if r.get("profile_out"):
         print(f"wrote {r['stacks_written']} collapsed stacks to "
               f"{r['profile_out']}")
+
+
+def print_encoding_table(artifact):
+    r = artifact.get("encoding") or {}
+    if not r:
+        return
+    print_table(
+        "E1-encoding: encode-once (fast encoder + splice) vs legacy "
+        "3-encodes-per-submit",
+        ["payloads", "legacy-3x", "encode-once", "speedup",
+         "fast-1x", "e2e-plaintext"],
+        [[
+            r["payloads"],
+            f"{r['legacy_3x_seconds'] * 1e3:.1f}ms",
+            f"{r['encode_once_seconds'] * 1e3:.1f}ms",
+            f"{r['encode_once_speedup']:.1f}x",
+            f"{r['fast_encoder_speedup']:.2f}x",
+            f"{r['e2e_per_sec']:.0f}/s",
+        ]],
+    )
 
 
 def backend_rows(artifact):
@@ -1175,13 +1373,21 @@ def main(argv=None):
     parser.add_argument("--profile-out", default="",
                         help="write the profiled run's collapsed stacks "
                              "(flamegraph.pl input) to this path")
+    parser.add_argument("--no-encoding", action="store_true",
+                        help="skip the encode-once layer comparison")
+    parser.add_argument("--encoding-payloads", type=int, default=2000,
+                        help="payload count for the encoder microbench")
+    parser.add_argument("--encoding-updates", type=int, default=600,
+                        help="stream length for the encode-once "
+                             "end-to-end row")
     parser.add_argument("--smoke", action="store_true",
                         help="small streams; assert batched is not slower")
     args = parser.parse_args(argv)
     if args.updates <= 0 or args.paillier_updates <= 0 \
             or args.durability_updates <= 0 or args.sharded_updates <= 0 \
             or args.backend_updates <= 0 or args.overlap_updates <= 0 \
-            or args.overlap_chunk <= 0 or args.profiler_updates <= 0:
+            or args.overlap_chunk <= 0 or args.profiler_updates <= 0 \
+            or args.encoding_payloads <= 0 or args.encoding_updates <= 0:
         parser.error("stream lengths must be positive")
     if args.workers <= 0:
         parser.error("--workers must be positive")
@@ -1199,6 +1405,8 @@ def main(argv=None):
         args.backend_updates = min(args.backend_updates, 60)
         args.overlap_updates = min(args.overlap_updates, 120)
         args.profiler_updates = min(args.profiler_updates, 200)
+        args.encoding_payloads = min(args.encoding_payloads, 500)
+        args.encoding_updates = min(args.encoding_updates, 200)
 
     artifact = run_batch_comparison(
         plaintext_updates=args.updates,
@@ -1218,12 +1426,16 @@ def main(argv=None):
         include_profiler=not args.no_profiler,
         profiler_updates=args.profiler_updates,
         profile_out=args.profile_out,
+        include_encoding=not args.no_encoding,
+        encoding_payloads=args.encoding_payloads,
+        encoding_updates=args.encoding_updates,
     )
     print_table(
         "E1-batched: submit_many vs submit",
         BATCH_HEADERS,
         batch_rows(artifact),
     )
+    print_encoding_table(artifact)
     print_backend_table(artifact)
     print_overlap_table(artifact)
     print_parallel_table(artifact)
@@ -1275,6 +1487,23 @@ def main(argv=None):
             raise SystemExit(
                 f"pipelined overlap schedule slower than serial under "
                 f"{result['mode']!r} ({result['speedup']:.2f}x)"
+            )
+    encoding_row = artifact.get("encoding") or {}
+    if encoding_row:
+        # The tentpole gate: one fast encode + fragment splices must
+        # beat the legacy 3-encodes-per-submit pattern by >= 2x.
+        if encoding_row["encode_once_speedup"] < 2.0:
+            raise SystemExit(
+                f"encode-once speedup "
+                f"{encoding_row['encode_once_speedup']:.2f}x below the "
+                f"2x bar"
+            )
+        # Regression floor: the uncached fast encoder must never lose
+        # to the legacy encoder on the anchor-payload shape.
+        if encoding_row["fast_encoder_speedup"] < 1.0:
+            raise SystemExit(
+                f"fast encoder slower than the legacy encoder "
+                f"({encoding_row['fast_encoder_speedup']:.2f}x)"
             )
     profiler_row = artifact.get("profiler") or {}
     if profiler_row and not args.smoke and profiler_row["overhead"] > 1.05:

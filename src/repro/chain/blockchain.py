@@ -23,6 +23,7 @@ from repro.common.errors import IntegrityError, PrivacyError
 from repro.common.ids import make_id
 from repro.common.serialization import canonical_bytes
 from repro.consensus.pbft import PBFTCluster
+from repro.crypto.hashing import digest_canonical
 from repro.crypto.merkle import MerkleTree, verify_inclusion
 
 
@@ -92,7 +93,7 @@ class PrivateDataCollection:
         self._store: Dict[str, Dict[str, Any]] = {}
 
     def put(self, payload: Dict[str, Any]) -> str:
-        digest = _hash(canonical_bytes(payload))
+        digest = digest_canonical(payload)
         self._store[digest] = dict(payload)
         return digest
 
@@ -110,7 +111,7 @@ class PrivateDataCollection:
         payload = self._store.get(digest)
         if payload is None:
             return False
-        return _hash(canonical_bytes(payload)) == digest
+        return digest_canonical(payload) == digest
 
 
 class PermissionedBlockchain:

@@ -18,6 +18,7 @@ from repro.common.errors import (
     SerializationError,
 )
 from repro.common.ids import make_id, short_hash
+from repro.common.encoding import RawJson, encode_canonical, encode_canonical_bytes
 from repro.common.serialization import canonical_bytes, canonical_json
 from repro.common.clock import SimClock, WallClock
 from repro.common.metrics import MetricsRegistry, Counter, Timer
@@ -35,6 +36,9 @@ __all__ = [
     "short_hash",
     "canonical_bytes",
     "canonical_json",
+    "RawJson",
+    "encode_canonical",
+    "encode_canonical_bytes",
     "SimClock",
     "WallClock",
     "MetricsRegistry",

@@ -5,44 +5,35 @@ byte representation; two semantically equal values must serialize to the
 same bytes on every platform.  We use JSON with sorted keys and no
 insignificant whitespace, with a small extension for ``bytes`` (hex
 tagged) and big integers (JSON handles arbitrary ints natively).
+
+Encoding is delegated to :mod:`repro.common.encoding` — the encode-once
+layer with flat fast paths for the str/int/dict shapes that dominate
+update payloads and verbatim splicing of pre-encoded
+:class:`~repro.common.encoding.RawJson` fragments.  Its output is
+byte-identical to the original ``json.JSONEncoder`` path (kept there as
+``legacy_canonical_json``, the oracle the encoding goldens compare
+against), so every root, signature payload, and WAL frame is unchanged.
 """
 
 import json
 from typing import Any
 
+from repro.common.encoding import (
+    _BYTES_TAG,
+    encode_canonical,
+    encode_canonical_bytes,
+)
 from repro.common.errors import SerializationError
 
-_BYTES_TAG = "__bytes_hex__"
+
+def canonical_json(value: Any) -> str:
+    """Serialize ``value`` to a canonical JSON string."""
+    return encode_canonical(value)
 
 
-def _assert_string_keys(value: Any) -> None:
-    """Reject non-string dict keys anywhere in the value.
-
-    ``json.dumps`` would silently coerce them (changing the canonical
-    bytes), so they must be caught before encoding.  This walk builds
-    no intermediate objects — the actual encoding happens in one pass
-    inside the C serializer.
-    """
-    if isinstance(value, dict):
-        for key, item in value.items():
-            if not isinstance(key, str):
-                raise SerializationError(f"non-string dict key: {key!r}")
-            if isinstance(item, (dict, list, tuple)):
-                _assert_string_keys(item)
-    elif isinstance(value, (list, tuple)):
-        for item in value:
-            if isinstance(item, (dict, list, tuple)):
-                _assert_string_keys(item)
-
-
-def _json_default(value: Any) -> Any:
-    """Encoder hook for the non-JSON types we support."""
-    if isinstance(value, bytes):
-        return {_BYTES_TAG: value.hex()}
-    to_dict = getattr(value, "to_dict", None)
-    if to_dict is not None:
-        return to_dict()
-    raise SerializationError(f"cannot canonically serialize {type(value)!r}")
+def canonical_bytes(value: Any) -> bytes:
+    """Serialize ``value`` to canonical UTF-8 bytes (hash/sign input)."""
+    return encode_canonical_bytes(value)
 
 
 def _decode(value: Any) -> Any:
@@ -53,25 +44,6 @@ def _decode(value: Any) -> Any:
     if isinstance(value, list):
         return [_decode(item) for item in value]
     return value
-
-
-# One encoder instance for every call: json.dumps() with non-default
-# arguments builds a fresh JSONEncoder per invocation, which is
-# measurable on the ledger-anchoring hot path.
-_ENCODER = json.JSONEncoder(
-    sort_keys=True, separators=(",", ":"), default=_json_default
-)
-
-
-def canonical_json(value: Any) -> str:
-    """Serialize ``value`` to a canonical JSON string."""
-    _assert_string_keys(value)
-    return _ENCODER.encode(value)
-
-
-def canonical_bytes(value: Any) -> bytes:
-    """Serialize ``value`` to canonical UTF-8 bytes (hash/sign input)."""
-    return canonical_json(value).encode("utf-8")
 
 
 def from_canonical_json(text: str) -> Any:

@@ -17,11 +17,10 @@ different replicas; honest replicas' prepare phase then cannot gather a
 quorum for either value, so safety holds and the view change fires).
 """
 
-import hashlib
 from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.common.errors import ProtocolError
-from repro.common.serialization import canonical_bytes
+from repro.crypto.hashing import digest_canonical
 from repro.consensus.base import (
     ClusterStats,
     ConsensusResult,
@@ -32,7 +31,7 @@ from repro.net.simnet import Message, Node, SimNetwork
 
 
 def _digest(value: Any) -> str:
-    return hashlib.sha256(canonical_bytes(value)).hexdigest()
+    return digest_canonical(value)
 
 
 class PBFTNode(Node):

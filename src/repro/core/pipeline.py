@@ -39,6 +39,7 @@ caches depend on — only auth and anchoring are batch-amortized.
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.common.encoding import RawJson, encode_canonical
 from repro.core.outcome import UpdateResult, VerificationOutcome
 from repro.core.routing import BatchAggregateCache, check_constraint
 from repro.crypto.group import SchnorrGroup
@@ -313,16 +314,28 @@ class DurabilityStage(Stage):
             if fw._crash_after is not None:
                 fw._crash_point("wal_update")
 
-    def commit(self, payloads: List[dict], digest=None) -> None:
+    def commit(self, payloads: List[dict], digest=None,
+               encoded_payloads: Optional[List[str]] = None) -> None:
         """Write the batch's anchor marker (the group-commit fsync that
-        makes the whole batch durable), then maybe checkpoint."""
+        makes the whole batch durable), then maybe checkpoint.
+
+        ``encoded_payloads`` carries the payloads' canonical JSON when
+        the anchor stage already encoded them for the Merkle leaves;
+        the WAL frame then splices those cached fragments instead of
+        re-serializing every payload — byte-identical frames, encoded
+        once.
+        """
         fw = self.framework
         if fw._crash_after is not None:
             fw._crash_point("anchor_append")
         digest = digest if digest is not None else fw.ledger.digest()
+        if encoded_payloads is None:
+            body: List = payloads
+        else:
+            body = [RawJson(encoded) for encoded in encoded_payloads]
         fw._wal.append_anchor(
             {
-                "payloads": payloads,
+                "payloads": body,
                 "size": digest.size,
                 "root": digest.root.hex(),
             },
@@ -401,16 +414,22 @@ class AnchorStage(Stage):
         self.durability = durability
 
     def run_one(self, ctx: UpdateContext) -> None:
-        """Anchor one decision immediately (the ``submit`` path)."""
+        """Anchor one decision immediately (the ``submit`` path).
+
+        The decision payload is canonically encoded exactly once; the
+        Merkle leaf and the WAL anchor frame both splice that one
+        encoding (encode-once, byte-identical to re-encoding).
+        """
         fw = self.framework
         start = fw._wall.now()
         payload = fw._anchor_payload(ctx.update, ctx.outcome, trace=ctx.trace)
-        entry = fw.ledger.append(payload)
+        encoded = encode_canonical(payload)
+        entry = fw.ledger.append(payload, encoded_payload=encoded)
         anchor_end = fw._wall.now()
         ctx.timings["anchor"] = anchor_end - start
         ctx.sequence = entry.sequence
         if fw._wal is not None:
-            self.durability.commit([payload])
+            self.durability.commit([payload], encoded_payloads=[encoded])
         if ctx.trace is not None:
             self._close_span(
                 ctx, entry, fw.ledger.digest(),
@@ -439,7 +458,12 @@ class AnchorStage(Stage):
         start = fw._wall.now()
         payloads = [fw._anchor_payload(ctx.update, ctx.outcome, trace=ctx.trace)
                     for ctx in ctxs]
-        entries = fw.ledger.append_batch(payloads, executor=executor)
+        # Encode-once: each decision payload is canonically serialized
+        # exactly here; the Merkle leaves and the WAL anchor frame both
+        # splice these fragments (byte-identical to re-encoding).
+        encoded = [encode_canonical(payload) for payload in payloads]
+        entries = fw.ledger.append_batch(payloads, executor=executor,
+                                         encoded_payloads=encoded)
         anchor_end = fw._wall.now()
         anchor_elapsed = anchor_end - start
         fw.metrics.timer("pipeline.anchor_batch").record(anchor_elapsed)
@@ -451,11 +475,14 @@ class AnchorStage(Stage):
                 digest = (batch_digest if batch_digest is not None
                           else fw.ledger.digest())
 
-                def deferred(payloads=payloads, digest=digest):
+                def deferred(payloads=payloads, digest=digest,
+                             encoded=encoded):
                     """Commit this batch's anchor with its frozen digest."""
-                    self.durability.commit(payloads, digest=digest)
+                    self.durability.commit(payloads, digest=digest,
+                                           encoded_payloads=encoded)
             else:
-                self.durability.commit(payloads, digest=batch_digest)
+                self.durability.commit(payloads, digest=batch_digest,
+                                       encoded_payloads=encoded)
         for ctx, entry in zip(ctxs, entries):
             ctx.timings["anchor"] = anchor_share
             ctx.sequence = entry.sequence

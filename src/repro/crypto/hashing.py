@@ -8,6 +8,21 @@ that several real-world ledger bugs trace back to.
 
 import hashlib
 import hmac
+from typing import Any
+
+from repro.common.serialization import canonical_bytes
+
+
+def digest_canonical(value: Any, domain: bytes = b"") -> str:
+    """Hex SHA-256 of ``value``'s canonical JSON bytes.
+
+    The one helper for the ``sha256(canonical_bytes(...))`` idiom that
+    used to be re-spelled at every call site (PBFT message digests,
+    snapshot integrity digests, ...).  ``domain`` optionally prefixes
+    the hashed bytes for role separation; the existing call sites all
+    use the bare form, so their digests are unchanged.
+    """
+    return hashlib.sha256(domain + canonical_bytes(value)).hexdigest()
 
 
 def sha256d(data: bytes, domain: bytes = b"") -> bytes:

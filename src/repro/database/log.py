@@ -20,7 +20,14 @@ class LogOp(enum.Enum):
 
 @dataclass(frozen=True)
 class LogRecord:
-    """One committed mutation with before/after images."""
+    """One committed mutation with before/after images.
+
+    The record is frozen and its before/after images are defensive
+    copies (see :meth:`Table.update_row` and friends), so both the
+    serializable dict and the canonical payload bytes are computed once
+    and memoized — WAL framing and ledger anchoring previously rebuilt
+    them on every call.
+    """
 
     sequence: int
     timestamp: float
@@ -32,19 +39,27 @@ class LogRecord:
     update_id: Optional[str] = None
 
     def to_dict(self) -> dict:
-        return {
-            "sequence": self.sequence,
-            "timestamp": self.timestamp,
-            "table": self.table,
-            "op": self.op.value,
-            "key": list(self.key),
-            "before": self.before,
-            "after": self.after,
-            "update_id": self.update_id,
-        }
+        cached = self.__dict__.get("_dict")
+        if cached is None:
+            cached = {
+                "sequence": self.sequence,
+                "timestamp": self.timestamp,
+                "table": self.table,
+                "op": self.op.value,
+                "key": list(self.key),
+                "before": self.before,
+                "after": self.after,
+                "update_id": self.update_id,
+            }
+            object.__setattr__(self, "_dict", cached)
+        return cached
 
     def payload_bytes(self) -> bytes:
-        return canonical_bytes(self.to_dict())
+        cached = self.__dict__.get("_payload_bytes")
+        if cached is None:
+            cached = canonical_bytes(self.to_dict())
+            object.__setattr__(self, "_payload_bytes", cached)
+        return cached
 
 
 class TransactionLog:

@@ -14,7 +14,6 @@ that fail the self-check (falling back to an older snapshot plus a
 longer WAL replay) rather than serving corrupt state.
 """
 
-import hashlib
 import os
 from time import perf_counter
 from typing import Optional, Tuple
@@ -23,10 +22,10 @@ from repro.common.errors import DurabilityError
 from repro.common.metrics import MetricsRegistry
 from repro.common.serialization import (
     SerializationError,
-    canonical_bytes,
     canonical_json,
     from_canonical_json,
 )
+from repro.crypto.hashing import digest_canonical
 from repro.obs.tracing import NOOP_TRACER
 
 SNAPSHOT_VERSION = 1
@@ -95,7 +94,7 @@ class Snapshotter:
         body = capture_state(framework, wal_lsn)
         document = {
             "snapshot": body,
-            "sha256": hashlib.sha256(canonical_bytes(body)).hexdigest(),
+            "sha256": digest_canonical(body),
         }
         path = os.path.join(self.directory, _snapshot_name(wal_lsn))
         tmp_path = path + ".tmp"
@@ -165,7 +164,7 @@ class Snapshotter:
         digest = document.get("sha256")
         if not isinstance(body, dict) or not isinstance(digest, str):
             return None
-        if hashlib.sha256(canonical_bytes(body)).hexdigest() != digest:
+        if digest_canonical(body) != digest:
             return None
         if body.get("version") != SNAPSHOT_VERSION:
             return None

@@ -50,7 +50,13 @@ def _segment_name(first_lsn: int) -> str:
 
 
 def encode_record(lsn: int, record_type: str, data: dict) -> bytes:
-    """Frame one record: length + CRC header, canonical-JSON payload."""
+    """Frame one record: length + CRC header, canonical-JSON payload.
+
+    ``data`` may embed :class:`repro.common.encoding.RawJson` fragments
+    (the anchor stage passes payloads it already canonically encoded);
+    the encoder splices them verbatim, so the framed bytes — and hence
+    the CRC — are identical to encoding the plain values from scratch.
+    """
     payload = canonical_json(
         {"lsn": lsn, "type": record_type, "data": data}
     ).encode("utf-8")

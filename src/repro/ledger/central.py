@@ -16,6 +16,7 @@ it (see :mod:`repro.ledger.audit` and the tamper tests).
 from dataclasses import dataclass
 from typing import Any, Iterable, List, Optional, Sequence
 
+from repro.common.encoding import RawJson, encode_canonical_bytes
 from repro.common.errors import IntegrityError
 from repro.common.serialization import (
     canonical_bytes,
@@ -34,14 +35,43 @@ from repro.obs.tracing import NOOP_TRACER
 
 @dataclass(frozen=True)
 class LedgerEntry:
-    """One journal entry: a sequence number plus an opaque payload."""
+    """One journal entry: a sequence number plus an opaque payload.
+
+    The entry is frozen, so its canonical leaf bytes are computed once
+    and cached on the instance (encode-once): the Merkle append, the
+    ``/trace`` re-verification, and audit-side inclusion checks all
+    reuse the same bytes instead of re-serializing the payload.
+    """
 
     sequence: int
     payload: Any
 
     def leaf_bytes(self) -> bytes:
-        """Canonical bytes hashed into the Merkle tree for this entry."""
-        return canonical_bytes({"sequence": self.sequence, "payload": self.payload})
+        """Canonical bytes hashed into the Merkle tree for this entry
+        (cached; the instance is frozen, so the memo is sound)."""
+        cached = self.__dict__.get("_leaf_bytes")
+        if cached is None:
+            cached = canonical_bytes(
+                {"sequence": self.sequence, "payload": self.payload}
+            )
+            object.__setattr__(self, "_leaf_bytes", cached)
+        return cached
+
+    @classmethod
+    def with_encoded_payload(cls, sequence: int, payload: Any,
+                             encoded_payload: str) -> "LedgerEntry":
+        """Build an entry whose payload was already canonically encoded
+        (``encoded_payload`` must be ``canonical_json(payload)``); the
+        leaf bytes splice the fragment instead of re-encoding, and the
+        result is byte-identical to the re-encoding path."""
+        entry = cls(sequence=sequence, payload=payload)
+        object.__setattr__(
+            entry, "_leaf_bytes",
+            encode_canonical_bytes(
+                {"sequence": sequence, "payload": RawJson(encoded_payload)}
+            ),
+        )
+        return entry
 
 
 @dataclass(frozen=True)
@@ -82,16 +112,30 @@ class CentralLedger:
     def __len__(self) -> int:
         return len(self._entries)
 
-    def append(self, payload: Any) -> LedgerEntry:
+    def append(self, payload: Any,
+               encoded_payload: Optional[str] = None) -> LedgerEntry:
         """Append one opaque payload; returns the new journal entry
-        (its ``sequence`` doubles as the Merkle leaf index)."""
-        entry = LedgerEntry(sequence=len(self._entries), payload=payload)
+        (its ``sequence`` doubles as the Merkle leaf index).
+
+        ``encoded_payload``, when given, must be the payload's
+        canonical JSON; the leaf bytes then splice it instead of
+        re-encoding (the anchor stage shares one encoding between the
+        Merkle leaf and the WAL anchor frame).
+        """
+        sequence = len(self._entries)
+        if encoded_payload is None:
+            entry = LedgerEntry(sequence=sequence, payload=payload)
+        else:
+            entry = LedgerEntry.with_encoded_payload(
+                sequence, payload, encoded_payload
+            )
         self._entries.append(entry)
         self._tree.append(entry.leaf_bytes())
         return entry
 
-    def append_batch(self, payloads: Sequence[Any],
-                     executor=None) -> List[LedgerEntry]:
+    def append_batch(self, payloads: Sequence[Any], executor=None,
+                     encoded_payloads: Optional[Sequence[str]] = None,
+                     ) -> List[LedgerEntry]:
         """Append many payloads under one amortized Merkle extension.
 
         Entries get the same consecutive sequence numbers (and hence
@@ -100,22 +144,38 @@ class CentralLedger:
         the tree is simply extended in bulk instead of leaf-by-leaf.
         ``executor`` overrides the bound execution layer for this batch
         (leaf-chunk hashing only; results are digest-identical).
+        ``encoded_payloads`` (parallel to ``payloads``) carries each
+        payload's canonical JSON when the caller already encoded it;
+        leaf bytes are then assembled by fragment splicing — zero
+        payload re-serialization — with byte-identical output.
         """
         executor = executor if executor is not None else self._executor
         start = len(self._entries)
-        entries = [
-            LedgerEntry(sequence=start + offset, payload=payload)
-            for offset, payload in enumerate(payloads)
-        ]
+        if encoded_payloads is None:
+            entries = [
+                LedgerEntry(sequence=start + offset, payload=payload)
+                for offset, payload in enumerate(payloads)
+            ]
+        else:
+            if len(encoded_payloads) != len(payloads):
+                raise IntegrityError(
+                    "encoded_payloads must parallel payloads"
+                )
+            entries = [
+                LedgerEntry.with_encoded_payload(
+                    start + offset, payload, encoded
+                )
+                for offset, (payload, encoded)
+                in enumerate(zip(payloads, encoded_payloads))
+            ]
         self._entries.extend(entries)
+        leaf_data = [entry.leaf_bytes() for entry in entries]
         if self._tracer.enabled:
             with self._tracer.span("merkle.extend", ledger=self.name,
                                    leaves=len(entries), start=start):
-                self._tree.extend((entry.leaf_bytes() for entry in entries),
-                                  executor=executor)
+                self._tree.extend(leaf_data, executor=executor)
         else:
-            self._tree.extend((entry.leaf_bytes() for entry in entries),
-                              executor=executor)
+            self._tree.extend(leaf_data, executor=executor)
         return entries
 
     def entry(self, sequence: int) -> LedgerEntry:

@@ -200,7 +200,24 @@ class Constraint:
         return False
 
     def body_bytes(self) -> bytes:
-        return canonical_bytes(
+        # Key-based memo, not an identity cache: the dataclass is
+        # mutable (callers pin constraint_id after construction), so
+        # the memo is valid only while every signed field matches the
+        # key it was computed under.  Authority signing + repeated
+        # signature verification hit this on every submit.
+        key = (
+            self.name,
+            self.kind.value,
+            self.constraint_id,
+            self.bound,
+            self.comparison.value if self.comparison else None,
+            tuple(self.tables),
+            self.is_aggregate,
+        )
+        cached = self.__dict__.get("_body_memo")
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        encoded = canonical_bytes(
             {
                 "name": self.name,
                 "kind": self.kind.value,
@@ -211,6 +228,8 @@ class Constraint:
                 "shape": "aggregate" if self.is_aggregate else "predicate",
             }
         )
+        self.__dict__["_body_memo"] = (key, encoded)
+        return encoded
 
     # -- evaluation (plaintext reference semantics) ---------------------
 

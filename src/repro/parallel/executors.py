@@ -18,8 +18,10 @@ torn down atexit.
 """
 
 import atexit
+import math
 import os
 from concurrent.futures import ProcessPoolExecutor
+from time import perf_counter
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.common.errors import PReVerError
@@ -30,8 +32,18 @@ from repro.obs.tracing import NOOP_TRACER
 #: ``ParallelExecutor`` runs such batches inline.
 DEFAULT_MIN_ITEMS = 8
 
+#: Adaptive chunking aims for at least this much measured work per
+#: submitted chunk, so pool dispatch (~0.1–1 ms per chunk) stays a
+#: small fraction of each chunk's runtime.
+TARGET_CHUNK_SECONDS = 0.005
+
+#: EWMA weight for new per-item cost samples (recent batches dominate,
+#: one outlier does not).
+_COST_ALPHA = 0.3
+
 _ENV_EXECUTOR = "REPRO_EXECUTOR"
 _ENV_WORKERS = "REPRO_WORKERS"
+_ENV_ADAPTIVE = "REPRO_ADAPTIVE_CHUNKS"
 
 
 def split_chunks(items: Sequence, n_chunks: int) -> List[List]:
@@ -148,12 +160,24 @@ class ParallelExecutor(Executor):
 
     def __init__(self, workers: Optional[int] = None,
                  min_items: int = DEFAULT_MIN_ITEMS,
-                 tracer=None):
+                 tracer=None, adaptive: Optional[bool] = None):
         if workers is not None and workers <= 0:
             raise PReVerError("ParallelExecutor needs a positive worker count")
         self.workers = workers or os.cpu_count() or 1
         self.min_items = min_items
         self.tracer = tracer or NOOP_TRACER
+        if adaptive is None:
+            raw = os.environ.get(_ENV_ADAPTIVE, "").strip().lower()
+            adaptive = raw not in ("0", "false", "off", "no")
+        self.adaptive = adaptive
+        # Measured per-item cost (seconds, EWMA) per map label.  The
+        # first batch under a label always takes the full fan-out (no
+        # measurement yet — assume the work is expensive); later
+        # batches size their chunk count from the prediction, down to
+        # running inline when the whole batch is cheaper than a single
+        # pool dispatch.  Chunking never changes results (chunk
+        # functions are chunk-local by contract), only scheduling.
+        self._cost_ewma: Dict[str, float] = {}
         # Telemetry collection (off unless a registry is bound): pooled
         # chunks are wrapped so each worker's metric delta rides back
         # with its results, merged here under a stable per-worker label
@@ -178,6 +202,11 @@ class ParallelExecutor(Executor):
             return True  # lazily started; nothing to be broken yet
         return not getattr(pool, "_broken", False)
 
+    def describe(self) -> dict:
+        """Identification for bench artifacts and reports."""
+        return {"executor": self.name, "workers": self.workers,
+                "adaptive": self.adaptive}
+
     def _submit(self, pool, fn, chunk):
         if self._metrics is not None:
             return pool.submit(instrumented_chunk, fn, chunk)
@@ -195,24 +224,68 @@ class ParallelExecutor(Executor):
             return results
         return value
 
+    def _observe(self, label: str, n_items: int, elapsed: float,
+                 n_chunks: int) -> None:
+        """Fold one batch's measured cost into the label's EWMA.
+
+        Pooled batches report wall time; scaling by the chunk count
+        recovers an (optimistic) serial-equivalent per-item cost, which
+        is the quantity the chunk planner predicts with.
+        """
+        if not self.adaptive or n_items <= 0 or elapsed <= 0.0:
+            return
+        sample = elapsed * n_chunks / n_items
+        prior = self._cost_ewma.get(label)
+        if prior is None:
+            self._cost_ewma[label] = sample
+        else:
+            self._cost_ewma[label] = (
+                _COST_ALPHA * sample + (1.0 - _COST_ALPHA) * prior
+            )
+
+    def _plan_chunks(self, label: str, n_items: int) -> int:
+        """Chunk count for this batch: enough chunks that each carries
+        ~:data:`TARGET_CHUNK_SECONDS` of predicted work, capped at the
+        worker count; 1 means run inline.  Unmeasured labels take the
+        full fan-out (expensive until proven cheap)."""
+        if not self.adaptive:
+            return self.workers
+        cost = self._cost_ewma.get(label)
+        if cost is None:
+            return self.workers
+        predicted = cost * n_items
+        return max(1, min(self.workers,
+                          math.ceil(predicted / TARGET_CHUNK_SECONDS)))
+
     def map_chunks(self, fn: Callable[[list], list], items: Sequence,
                    label: str = "map") -> list:
         """Fan chunks out to the shared process pool (inline below
-        ``min_items``); results come back in input order."""
+        ``min_items``, or whenever the measured per-item cost predicts
+        the batch is cheaper than pool dispatch); results come back in
+        input order."""
         items = list(items)
         if not items:
             return []
         if len(items) < max(2, self.min_items) or self.workers == 1:
             # Inline fast path: identical arithmetic, no pool traffic.
             return list(fn(items))
-        chunks = split_chunks(items, self.workers)
+        n_chunks = self._plan_chunks(label, len(items))
+        start = perf_counter()
+        if n_chunks <= 1:
+            out = list(fn(items))
+            self._observe(label, len(items), perf_counter() - start, 1)
+            return out
+        chunks = split_chunks(items, n_chunks)
         if self.tracer.enabled:
-            return self._map_traced(fn, chunks, len(items), label)
-        pool = _shared_pool(self.workers)
-        futures = [self._submit(pool, fn, chunk) for chunk in chunks]
-        out: List[Any] = []
-        for future in futures:
-            out.extend(self._consume(future))
+            out = self._map_traced(fn, chunks, len(items), label)
+        else:
+            pool = _shared_pool(self.workers)
+            futures = [self._submit(pool, fn, chunk) for chunk in chunks]
+            out = []
+            for future in futures:
+                out.extend(self._consume(future))
+        self._observe(label, len(items), perf_counter() - start,
+                      len(chunks))
         return out
 
     def _map_traced(self, fn, chunks, n_items: int, label: str) -> list:
