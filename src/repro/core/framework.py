@@ -374,6 +374,23 @@ class PReVer:
         self._wal.prune(self._wal.last_lsn)
         return path
 
+    def serve(self, **config):
+        """Expose this framework over the wire protocol; returns the
+        started :class:`~repro.serve.server.ServerThread`.
+
+        Keyword arguments are :class:`~repro.serve.server.ServeConfig`
+        fields (``host``, ``port``, ``batch_window``, ``queue_limit``,
+        ...).  The thread owns its own event loop; close it (or use it
+        as a context manager) before closing the framework.  Served
+        decisions and anchored roots are identical to calling
+        :meth:`submit_many` in-process on the same total update order.
+        """
+        from repro.serve.server import ServerThread
+
+        thread = ServerThread(self, **config)
+        thread.start()
+        return thread
+
     def close(self) -> None:
         """Drain any in-flight pipelined commit, then flush and fsync
         the WAL; call before discarding the instance (a no-op with

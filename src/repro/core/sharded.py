@@ -607,6 +607,20 @@ class ShardedPReVer:
             return 0.0
         return applied / submitted
 
+    def serve(self, **config):
+        """Expose the sharded deployment over the wire protocol.
+
+        Same contract as :meth:`repro.core.framework.PReVer.serve`:
+        returns a started :class:`~repro.serve.server.ServerThread`
+        whose batches route across the shards exactly as in-process
+        ``submit_many`` batches do (decisions are dispatch-independent).
+        """
+        from repro.serve.server import ServerThread
+
+        thread = ServerThread(self, **config)
+        thread.start()
+        return thread
+
     def close(self) -> None:
         """Flush every shard's WAL (and stop worker processes under
         process dispatch); idempotent."""

@@ -110,6 +110,23 @@ class Durability:
         return cls(mode="wal+snapshot", directory=directory,
                    snapshot_every=snapshot_every, **overrides)
 
+    @classmethod
+    def serving(cls, directory: str, **overrides) -> "Durability":
+        """The serving-tier preset: WAL with pure group commit.
+
+        ``fsync_every=0`` + ``sync_anchors=True`` means each batch the
+        serving tier coalesces (see
+        :class:`repro.serve.scheduler.BatchingScheduler`) is made
+        durable by exactly **one** fsync, at its anchor marker — the
+        server's ``batch_window`` *is* the group-commit window.  Update
+        records are flushed (surviving a process kill) but not
+        individually fsynced; widen the batch window to amortize the
+        anchor fsync over more updates.
+        """
+        overrides.setdefault("fsync_every", 0)
+        overrides.setdefault("sync_anchors", True)
+        return cls(mode="wal", directory=directory, **overrides)
+
     def with_crash_after(self, point: Optional[str]) -> "Durability":
         """A copy of this policy crashing at ``point`` (None clears)."""
         return dataclasses.replace(self, crash_after=point)

@@ -17,12 +17,16 @@ from repro.model.policy import Visibility
 
 
 class UpdateOperation(enum.Enum):
+    """The three mutation kinds an update can request (Section 3.2)."""
+
     INSERT = "insert"
     MODIFY = "modify"
     DELETE = "delete"
 
 
 class UpdateStatus(enum.Enum):
+    """Lifecycle of an update as the Figure-2 pipeline advances it."""
+
     PENDING = "pending"
     VERIFIED = "verified"
     APPLIED = "applied"
@@ -80,16 +84,20 @@ class Update:
         return self
 
     def mark_verified(self) -> None:
+        """Advance the lifecycle: the update passed verification."""
         self.status = UpdateStatus.VERIFIED
 
     def mark_applied(self) -> None:
+        """Advance the lifecycle: the update was incorporated."""
         self.status = UpdateStatus.APPLIED
 
     def mark_rejected(self, reason: str) -> None:
+        """Terminate the lifecycle with a rejection and its reason."""
         self.status = UpdateStatus.REJECTED
         self.rejection_reason = reason
 
     def to_dict(self) -> dict:
+        """Summary dict for logs and reports (not the signed body)."""
         return {
             "table": self.table,
             "operation": self.operation.value,
@@ -99,3 +107,41 @@ class Update:
             "update_id": self.update_id,
             "status": self.status.value,
         }
+
+    # -- the wire representation (repro.serve) ----------------------------
+
+    def to_wire(self) -> dict:
+        """The update's signed fields as a JSON-safe dict.
+
+        Exactly the fields :meth:`body_bytes` covers, in wire-transport
+        form — a producer-signed update reconstructed from this dict
+        (plus its signature, carried separately by
+        :func:`repro.serve.protocol.update_to_wire`) re-serializes to
+        the same signing bytes, so provenance survives the network.
+        """
+        return {
+            "table": self.table,
+            "operation": self.operation.value,
+            "payload": self.payload,
+            "key": list(self.key) if self.key is not None else None,
+            "visibility": self.visibility.value,
+            "producers": list(self.producers),
+            "managers": list(self.managers),
+            "update_id": self.update_id,
+        }
+
+    @staticmethod
+    def operation_from_wire(value) -> "UpdateOperation":
+        """Parse a wire operation string, with a serve-friendly error.
+
+        Raises :class:`ValueError` naming the valid operations rather
+        than ``KeyError``/``ValueError`` internals, so the serving tier
+        can surface it verbatim as a BAD_MESSAGE response.
+        """
+        try:
+            return UpdateOperation(value)
+        except ValueError:
+            valid = sorted(op.value for op in UpdateOperation)
+            raise ValueError(
+                f"unknown update operation {value!r}; expected one of {valid}"
+            ) from None

@@ -1,0 +1,247 @@
+"""The async client SDK for the PReVer serving tier.
+
+One :class:`ServeClient` owns one connection and reuses it for its
+whole lifetime: a background reader task correlates responses to
+requests by message id, so any number of requests can be **in flight
+simultaneously** on the same socket (pipelining) — the server's
+coalescing window feeds on exactly this.
+
+Authentication is the HELLO → challenge → AUTH handshake from
+``docs/PROTOCOL.md``, driven by any
+:class:`~repro.model.participants.Participant` with a Schnorr signing
+key (a :class:`~repro.model.participants.DataProducer` in the common
+case).  Backpressure surfaces as either an automatic retry (pass
+``retries=``) or a :class:`ServerBusy` exception carrying the server's
+``retry_after_ms`` hint — the client never spins on a saturated
+server.
+
+Typical use::
+
+    async with await ServeClient.connect(host, port, producer=alice) as c:
+        result = await c.submit(update, retries=8)
+        assert result.accepted
+"""
+
+import asyncio
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.model.update import Update
+from repro.serve import protocol
+from repro.serve.protocol import (
+    DEFAULT_MAX_FRAME_BYTES,
+    FrameError,
+    MessageError,
+    ServeError,
+    ServeResult,
+    auth_bytes,
+    make_message,
+)
+
+
+class RequestError(ServeError):
+    """The server answered a request with an ERROR message."""
+
+    def __init__(self, code: int, symbol: str, message: str):
+        self.code = code
+        self.symbol = symbol
+        super().__init__(f"{symbol} ({code}): {message}")
+
+
+class ServerBusy(ServeError):
+    """Backpressure: the server answered RETRY and retries ran out."""
+
+    def __init__(self, retry_after_ms: int, queue_depth: int):
+        self.retry_after_ms = retry_after_ms
+        self.queue_depth = queue_depth
+        super().__init__(
+            f"server busy (queue depth {queue_depth}); "
+            f"retry after {retry_after_ms}ms")
+
+
+class ConnectionClosed(ServeError):
+    """The connection died with requests still awaiting responses."""
+
+
+class ServeClient:
+    """One authenticated, pipelined connection to a serving instance."""
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter,
+                 max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES):
+        self._reader = reader
+        self._writer = writer
+        self._max_frame_bytes = max_frame_bytes
+        self._next_id = 1
+        self._pending: Dict[int, asyncio.Future] = {}
+        self._write_lock = asyncio.Lock()
+        self._closed = False
+        self.session_id: Optional[str] = None
+        self.producer_name: Optional[str] = None
+        self._reader_task = asyncio.get_running_loop().create_task(
+            self._read_loop(), name="prever-serve-client-reader")
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @classmethod
+    async def connect(cls, host: str, port: int, *, producer=None,
+                      max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+                      ) -> "ServeClient":
+        """Open a connection; with ``producer``, authenticate it too.
+
+        ``producer`` is a keyed participant (its ``name``,
+        ``public_key``, and ``sign`` drive the handshake).  Without
+        one the connection stays unauthenticated — useful only against
+        ``require_auth=False`` servers.
+        """
+        reader, writer = await asyncio.open_connection(host, port)
+        client = cls(reader, writer, max_frame_bytes=max_frame_bytes)
+        if producer is not None:
+            try:
+                await client.authenticate(producer)
+            except BaseException:
+                await client.close()
+                raise
+        return client
+
+    async def close(self) -> None:
+        """Close the connection and fail anything still pending."""
+        self._closed = True
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except asyncio.CancelledError:
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        self._fail_pending(ConnectionClosed("client closed"))
+
+    async def __aenter__(self) -> "ServeClient":
+        return self
+
+    async def __aexit__(self, *exc) -> bool:
+        await self.close()
+        return False
+
+    # -- the handshake -----------------------------------------------------
+
+    async def authenticate(self, producer) -> str:
+        """Run HELLO → challenge → AUTH; returns the session id."""
+        msg_type, body = await self.request("HELLO", {
+            "producer": producer.name,
+            "public_key": producer.public_key,
+            "version": protocol.PROTOCOL_VERSION,
+        })
+        challenge = body["challenge"]
+        signature = producer.sign(auth_bytes(producer.name, challenge))
+        msg_type, body = await self.request("AUTH", {
+            "signature": protocol.signature_to_wire(signature),
+        })
+        self.session_id = body["session"]
+        self.producer_name = producer.name
+        return self.session_id
+
+    # -- requests ----------------------------------------------------------
+
+    async def request(self, msg_type: str, body: Dict[str, Any]
+                      ) -> Tuple[str, Dict[str, Any]]:
+        """Send one request; returns ``(response_type, body)``.
+
+        ERROR responses raise :class:`RequestError`; RETRY responses
+        are returned to the caller (``submit`` turns them into backoff
+        or :class:`ServerBusy`).
+        """
+        if self._closed:
+            raise ConnectionClosed("client is closed")
+        msg_id = self._next_id
+        self._next_id += 1
+        future = asyncio.get_running_loop().create_future()
+        self._pending[msg_id] = future
+        frame = protocol.encode_frame(make_message(msg_type, msg_id, body))
+        try:
+            async with self._write_lock:
+                self._writer.write(frame)
+                await self._writer.drain()
+        except ConnectionError as exc:
+            self._pending.pop(msg_id, None)
+            raise ConnectionClosed(f"send failed: {exc}") from exc
+        response = await future
+        if response["type"] == "ERROR":
+            err = response["body"]
+            raise RequestError(err.get("code", 0),
+                               err.get("error", "INTERNAL"),
+                               err.get("message", ""))
+        return response["type"], response["body"]
+
+    async def submit(self, update: Update, *, retries: int = 0,
+                     ) -> ServeResult:
+        """Submit one update; returns its served decision.
+
+        ``retries`` bounds automatic backoff on RETRY responses; when
+        they run out, :class:`ServerBusy` carries the server's hint.
+        """
+        results = await self.submit_many([update], retries=retries)
+        return results[0]
+
+    async def submit_many(self, updates: Sequence[Update], *,
+                          retries: int = 0) -> List[ServeResult]:
+        """Submit a batch of updates; returns served decisions in order."""
+        updates = list(updates)
+        if not updates:
+            return []
+        if len(updates) == 1:
+            msg_type = "SUBMIT"
+            body = {"update": protocol.update_to_wire(updates[0])}
+        else:
+            msg_type = "SUBMIT_MANY"
+            body = {"updates": [protocol.update_to_wire(u)
+                                for u in updates]}
+        attempt = 0
+        while True:
+            response_type, response = await self.request(msg_type, body)
+            if response_type == "RESULT":
+                if msg_type == "SUBMIT":
+                    return [protocol.result_from_wire(response["result"])]
+                return protocol.results_from_wire(response["results"])
+            if response_type != "RETRY":
+                raise MessageError(
+                    "BAD_MESSAGE",
+                    f"unexpected response type {response_type!r}")
+            retry_after_ms = response.get("retry_after_ms", 25)
+            if attempt >= retries:
+                raise ServerBusy(retry_after_ms,
+                                 response.get("queue_depth", -1))
+            attempt += 1
+            await asyncio.sleep(retry_after_ms / 1000.0)
+
+    # -- the reader task ---------------------------------------------------
+
+    async def _read_loop(self) -> None:
+        """Correlate every inbound response to its pending request."""
+        try:
+            while True:
+                message = await protocol.read_frame(self._reader,
+                                                    self._max_frame_bytes)
+                if message is None:
+                    self._fail_pending(
+                        ConnectionClosed("server closed the connection"))
+                    return
+                future = self._pending.pop(message["id"], None)
+                if future is not None and not future.done():
+                    future.set_result(message)
+                # Unsolicited ids are dropped: correlation is by id and
+                # a response to a request we never made proves nothing.
+        except (FrameError, MessageError, ConnectionError,
+                asyncio.IncompleteReadError) as exc:
+            self._fail_pending(ConnectionClosed(f"connection lost: {exc!r}"))
+        except asyncio.CancelledError:
+            raise
+
+    def _fail_pending(self, exc: Exception) -> None:
+        """Fail every outstanding request with ``exc``."""
+        pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(exc)

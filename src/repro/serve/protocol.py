@@ -1,0 +1,419 @@
+"""The PReVer serve wire protocol (v1) — framing, messages, codecs.
+
+This module is the *normative implementation* of ``docs/PROTOCOL.md``:
+the spec's byte-level examples are pinned against these functions by
+``tests/test_serve_protocol.py``, so a change here that alters a single
+frame byte fails the build until the spec moves with it.
+
+Framing (one frame on the stream)::
+
+    +-----------------+------------+--------------------------+
+    | length (u32 BE) | codec (u8) | payload (length bytes)   |
+    +-----------------+------------+--------------------------+
+
+``length`` counts only the payload.  ``codec`` selects the payload
+encoding; v1 defines ``0x01`` = canonical JSON (sorted keys, compact
+separators, ASCII — the same :func:`repro.common.encoding` output the
+ledger and WAL use), and the byte exists precisely so a binary codec
+can slot in later without touching the framing.  Every framing error —
+a torn frame, a zero or oversized length, an unknown codec, a payload
+that does not decode — **fails closed**: the receiver must drop the
+connection rather than resynchronize heuristically.
+
+Messages are JSON objects with exactly four keys::
+
+    {"body": {...}, "id": <int>, "type": "<TYPE>", "v": 1}
+
+Requests (client → server): ``HELLO``, ``AUTH``, ``SUBMIT``,
+``SUBMIT_MANY``.  Responses (server → client): ``RESULT``, ``RETRY``,
+``ERROR``, each echoing the request's ``id`` — correlation is by id,
+never by order, which is what makes client-side pipelining legal.
+"""
+
+import asyncio
+import struct
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.common.encoding import encode_canonical_bytes
+from repro.common.errors import PReVerError, SerializationError
+from repro.common.serialization import canonical_bytes, from_canonical_json
+from repro.core.outcome import UpdateResult
+from repro.model.policy import Visibility
+from repro.model.update import Update
+
+#: Protocol version spoken by this implementation.
+PROTOCOL_VERSION = 1
+
+#: Payload codec ids (the u8 after the length prefix).
+CODEC_JSON = 0x01
+
+#: Default cap on a frame's payload size; larger declared lengths are
+#: rejected from the 5-byte header alone, before any payload is read.
+DEFAULT_MAX_FRAME_BYTES = 1 << 20
+
+#: The 5-byte frame header: payload length (u32 BE) + codec id (u8).
+FRAME_HEADER = struct.Struct(">IB")
+
+#: Request message types.
+REQUEST_TYPES = ("HELLO", "AUTH", "SUBMIT", "SUBMIT_MANY")
+
+#: Response message types.
+RESPONSE_TYPES = ("RESULT", "RETRY", "ERROR")
+
+#: Numeric error codes carried by ERROR bodies, keyed by symbol.
+ERROR_CODES = {
+    "BAD_FRAME": 100,
+    "FRAME_TOO_LARGE": 101,
+    "BAD_MESSAGE": 102,
+    "UNSUPPORTED_VERSION": 103,
+    "AUTH_REQUIRED": 200,
+    "AUTH_FAILED": 201,
+    "SHUTTING_DOWN": 300,
+    "INTERNAL": 400,
+}
+
+#: Domain tag signed during the HELLO/AUTH handshake (see
+#: :func:`auth_payload`); versioned independently of the protocol so a
+#: signature for one purpose can never be replayed for another.
+AUTH_PURPOSE = "prever-serve-auth-v1"
+
+
+class ServeError(PReVerError):
+    """Base class for serving-tier errors."""
+
+
+class FrameError(ServeError):
+    """A frame violated the wire format; the connection must close.
+
+    ``symbol`` is the :data:`ERROR_CODES` key the peer should be told
+    (when the stream is still writable at all).
+    """
+
+    def __init__(self, symbol: str, message: str):
+        self.symbol = symbol
+        self.code = ERROR_CODES[symbol]
+        super().__init__(message)
+
+
+class MessageError(ServeError):
+    """A well-framed payload carried an invalid message.
+
+    Unlike :class:`FrameError` the stream itself is still in sync, so
+    the server answers with an ERROR response instead of dropping the
+    connection (except during the handshake, where it does both).
+    """
+
+    def __init__(self, symbol: str, message: str):
+        self.symbol = symbol
+        self.code = ERROR_CODES[symbol]
+        super().__init__(message)
+
+
+# -- framing ----------------------------------------------------------------
+
+
+def encode_message(message: Dict[str, Any]) -> bytes:
+    """Canonical JSON payload bytes for one message (codec 0x01)."""
+    return encode_canonical_bytes(message)
+
+
+def encode_frame(message: Dict[str, Any], codec: int = CODEC_JSON) -> bytes:
+    """Serialize one message to its full on-wire frame.
+
+    Canonical JSON makes this deterministic: one message has exactly
+    one frame encoding, which is what lets ``docs/PROTOCOL.md`` pin
+    frames byte-for-byte.
+    """
+    if codec != CODEC_JSON:
+        raise FrameError("BAD_FRAME", f"unsupported codec 0x{codec:02x}")
+    payload = encode_message(message)
+    return FRAME_HEADER.pack(len(payload), codec) + payload
+
+
+def decode_header(header: bytes,
+                  max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+                  ) -> Tuple[int, int]:
+    """Validate a 5-byte frame header; returns ``(length, codec)``.
+
+    Oversized and empty frames are rejected here, before any payload
+    byte is read — admission control must not require buffering the
+    offending frame first.
+    """
+    if len(header) != FRAME_HEADER.size:
+        raise FrameError("BAD_FRAME",
+                         f"torn frame header ({len(header)} bytes)")
+    length, codec = FRAME_HEADER.unpack(header)
+    if length == 0:
+        raise FrameError("BAD_FRAME", "zero-length frame")
+    if length > max_frame_bytes:
+        raise FrameError(
+            "FRAME_TOO_LARGE",
+            f"declared payload of {length} bytes exceeds the "
+            f"{max_frame_bytes}-byte cap",
+        )
+    if codec != CODEC_JSON:
+        raise FrameError("BAD_FRAME", f"unsupported codec 0x{codec:02x}")
+    return length, codec
+
+
+def decode_payload(codec: int, payload: bytes) -> Dict[str, Any]:
+    """Decode and shape-check one frame payload into a message dict."""
+    if codec != CODEC_JSON:
+        raise FrameError("BAD_FRAME", f"unsupported codec 0x{codec:02x}")
+    try:
+        message = from_canonical_json(payload.decode("utf-8"))
+    except (SerializationError, UnicodeDecodeError) as exc:
+        raise FrameError("BAD_FRAME", f"undecodable payload: {exc}") from exc
+    return validate_message(message)
+
+
+def validate_message(message: Any) -> Dict[str, Any]:
+    """Check the four-key message envelope; returns the message.
+
+    Raises :class:`MessageError` with ``UNSUPPORTED_VERSION`` for a
+    version this implementation does not speak and ``BAD_MESSAGE`` for
+    every other envelope violation.  Unknown *body* keys are explicitly
+    legal (the additive-evolution rule); unknown envelope keys are not.
+    """
+    if not isinstance(message, dict):
+        raise MessageError("BAD_MESSAGE", "message is not a JSON object")
+    extra = set(message) - {"v", "type", "id", "body"}
+    if extra or set(message) != {"v", "type", "id", "body"}:
+        raise MessageError(
+            "BAD_MESSAGE",
+            f"message must have exactly the keys v/type/id/body, "
+            f"got {sorted(message)}",
+        )
+    if message["v"] != PROTOCOL_VERSION:
+        raise MessageError(
+            "UNSUPPORTED_VERSION",
+            f"protocol version {message['v']!r} not supported "
+            f"(this side speaks {PROTOCOL_VERSION})",
+        )
+    if message["type"] not in REQUEST_TYPES + RESPONSE_TYPES:
+        raise MessageError("BAD_MESSAGE",
+                           f"unknown message type {message['type']!r}")
+    if not isinstance(message["id"], int) or isinstance(message["id"], bool) \
+            or message["id"] < 0:
+        raise MessageError("BAD_MESSAGE",
+                           f"id must be a non-negative int, "
+                           f"got {message['id']!r}")
+    if not isinstance(message["body"], dict):
+        raise MessageError("BAD_MESSAGE", "body must be a JSON object")
+    return message
+
+
+def make_message(msg_type: str, msg_id: int,
+                 body: Dict[str, Any]) -> Dict[str, Any]:
+    """Build one v1 message envelope."""
+    return {"v": PROTOCOL_VERSION, "type": msg_type, "id": msg_id,
+            "body": body}
+
+
+def error_body(symbol: str, message: str) -> Dict[str, Any]:
+    """The ERROR response body for one :data:`ERROR_CODES` symbol."""
+    return {"code": ERROR_CODES[symbol], "error": symbol,
+            "message": message}
+
+
+async def read_frame(reader: asyncio.StreamReader,
+                     max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+                     ) -> Optional[Dict[str, Any]]:
+    """Read and decode one frame from an asyncio stream.
+
+    Returns ``None`` on a clean EOF at a frame boundary.  A torn frame
+    (EOF mid-header or mid-payload) and every other framing violation
+    raise :class:`FrameError` — the caller must close the connection.
+    """
+    try:
+        header = await reader.readexactly(FRAME_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise FrameError(
+            "BAD_FRAME",
+            f"torn frame header ({len(exc.partial)} of "
+            f"{FRAME_HEADER.size} bytes)") from exc
+    length, codec = decode_header(header, max_frame_bytes)
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise FrameError(
+            "BAD_FRAME",
+            f"torn frame payload ({len(exc.partial)} of {length} bytes)",
+        ) from exc
+    return decode_payload(codec, payload)
+
+
+# -- the authenticated-session handshake ------------------------------------
+
+
+def auth_payload(producer: str, challenge: str) -> Dict[str, Any]:
+    """The structured value a producer signs to open a session.
+
+    Binding the producer name and the purpose tag into the signed value
+    (not just the server's random challenge) stops a signature from
+    being replayed for a different producer or a different protocol.
+    """
+    return {"challenge": challenge, "producer": producer,
+            "purpose": AUTH_PURPOSE}
+
+
+def auth_bytes(producer: str, challenge: str) -> bytes:
+    """Canonical signing bytes for the HELLO/AUTH handshake."""
+    return canonical_bytes(auth_payload(producer, challenge))
+
+
+# -- updates and results on the wire ----------------------------------------
+
+
+def signature_to_wire(signature) -> Optional[Dict[str, int]]:
+    """A Schnorr signature as its wire dict (``None`` passes through)."""
+    if signature is None:
+        return None
+    return {"R": signature.commitment, "s": signature.response}
+
+
+def signature_from_wire(doc) -> Optional[object]:
+    """Rebuild a :class:`~repro.crypto.signatures.SchnorrSignature`."""
+    if doc is None:
+        return None
+    from repro.crypto.signatures import SchnorrSignature
+
+    if not (isinstance(doc, dict)
+            and isinstance(doc.get("R"), int)
+            and isinstance(doc.get("s"), int)):
+        raise MessageError("BAD_MESSAGE",
+                           f"signature must be {{R: int, s: int}}, "
+                           f"got {doc!r}")
+    return SchnorrSignature(commitment=doc["R"], response=doc["s"])
+
+
+def update_to_wire(update: Update) -> Dict[str, Any]:
+    """One update as its SUBMIT wire dict.
+
+    Carries every field :meth:`~repro.model.update.Update.body_bytes`
+    covers, so a producer-signed update survives the round trip with
+    its signature still verifying server-side.
+    """
+    doc = update.to_wire()
+    doc["signature"] = signature_to_wire(update.signature)
+    doc["signer_public_key"] = update.signer_public_key
+    return doc
+
+
+_VISIBILITIES = {v.value: v for v in Visibility}
+
+
+def update_from_wire(doc: Any) -> Update:
+    """Rebuild an :class:`~repro.model.update.Update` from its wire dict.
+
+    Every field is validated — the server constructs pipeline inputs
+    from untrusted bytes here, and a malformed update must become a
+    ``BAD_MESSAGE`` response, never an internal error mid-batch.
+    """
+    if not isinstance(doc, dict):
+        raise MessageError("BAD_MESSAGE", "update must be a JSON object")
+
+    def _field(name, types, allow_none=False):
+        value = doc.get(name)
+        if value is None and allow_none:
+            return None
+        if not isinstance(value, types) or isinstance(value, bool):
+            raise MessageError(
+                "BAD_MESSAGE",
+                f"update field {name!r} has invalid value {value!r}")
+        return value
+
+    table = _field("table", str)
+    try:
+        operation = Update.operation_from_wire(doc.get("operation"))
+    except ValueError as exc:
+        raise MessageError("BAD_MESSAGE", str(exc)) from None
+    payload = _field("payload", dict)
+    key = _field("key", list, allow_none=True)
+    visibility = doc.get("visibility", Visibility.PRIVATE.value)
+    if visibility not in _VISIBILITIES:
+        raise MessageError("BAD_MESSAGE",
+                           f"unknown visibility {visibility!r}")
+    for name in ("producers", "managers"):
+        values = doc.get(name, [])
+        if not (isinstance(values, list)
+                and all(isinstance(v, str) for v in values)):
+            raise MessageError(
+                "BAD_MESSAGE",
+                f"update field {name!r} must be a list of strings")
+    update_id = _field("update_id", str)
+    return Update(
+        table=table,
+        operation=operation,
+        payload=payload,
+        key=tuple(key) if key is not None else None,
+        visibility=_VISIBILITIES[visibility],
+        producers=list(doc.get("producers", [])),
+        managers=list(doc.get("managers", [])),
+        update_id=update_id,
+        signature=signature_from_wire(doc.get("signature")),
+        signer_public_key=_field("signer_public_key", int, allow_none=True),
+    )
+
+
+def result_to_wire(result: UpdateResult) -> Dict[str, Any]:
+    """One pipeline outcome as its RESULT wire dict."""
+    return {
+        "update_id": result.update.update_id,
+        "accepted": result.outcome.accepted,
+        "applied": result.applied,
+        "status": result.update.status.value,
+        "ledger_sequence": result.ledger_sequence,
+        "engine": result.outcome.engine,
+        "failed_constraint": result.outcome.failed_constraint,
+        "rejection_reason": result.update.rejection_reason,
+        "trace_id": result.trace_id,
+        "shard": result.shard,
+    }
+
+
+@dataclass(frozen=True)
+class ServeResult:
+    """The client-side view of one served decision.
+
+    The same decision fields :class:`~repro.core.outcome.UpdateResult`
+    carries, minus server-side objects — everything a client needs to
+    react to the decision and later fetch the ``/trace`` trail.
+    """
+
+    update_id: str
+    accepted: bool
+    applied: bool
+    status: str
+    ledger_sequence: Optional[int]
+    engine: str
+    failed_constraint: Optional[str]
+    rejection_reason: Optional[str]
+    trace_id: Optional[str]
+    shard: Optional[str]
+
+
+_RESULT_FIELDS = ("update_id", "accepted", "applied", "status",
+                  "ledger_sequence", "engine", "failed_constraint",
+                  "rejection_reason", "trace_id", "shard")
+
+
+def result_from_wire(doc: Any) -> ServeResult:
+    """Rebuild a :class:`ServeResult` from a RESULT body entry."""
+    if not isinstance(doc, dict):
+        raise MessageError("BAD_MESSAGE", "result must be a JSON object")
+    missing = [name for name in _RESULT_FIELDS if name not in doc]
+    if missing:
+        raise MessageError("BAD_MESSAGE",
+                           f"result missing fields {missing}")
+    return ServeResult(**{name: doc[name] for name in _RESULT_FIELDS})
+
+
+def results_from_wire(docs: Any) -> List[ServeResult]:
+    """Rebuild the RESULT body of a SUBMIT_MANY response."""
+    if not isinstance(docs, list):
+        raise MessageError("BAD_MESSAGE", "results must be a JSON array")
+    return [result_from_wire(doc) for doc in docs]

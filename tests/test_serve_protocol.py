@@ -1,0 +1,246 @@
+"""Wire-protocol tests: framing fail-closed, envelope validation,
+update/result wire round trips, and the docs/PROTOCOL.md byte pins.
+
+The pinning test at the bottom is what makes PROTOCOL.md *normative*:
+every ```frame example in the spec is re-encoded through the real
+codec and compared byte for byte, so the spec and the implementation
+cannot drift apart silently.
+"""
+
+import asyncio
+import json
+import pathlib
+import re
+
+import pytest
+
+from repro.crypto.group import SchnorrGroup
+from repro.crypto.signatures import SchnorrVerifier
+from repro.model.participants import DataProducer
+from repro.model.policy import Visibility
+from repro.model.update import Update, UpdateOperation
+from repro.serve import protocol
+from repro.serve.protocol import (
+    CODEC_JSON,
+    FRAME_HEADER,
+    FrameError,
+    MessageError,
+    decode_header,
+    decode_payload,
+    encode_frame,
+    make_message,
+    read_frame,
+    result_from_wire,
+    update_from_wire,
+    update_to_wire,
+    validate_message,
+)
+
+DOCS = pathlib.Path(__file__).resolve().parent.parent / "docs"
+
+
+def read_from_bytes(data: bytes):
+    """Run read_frame against a literal byte stream ending in EOF."""
+    async def inner():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await read_frame(reader)
+
+    return asyncio.run(inner())
+
+
+def sample_message(msg_id=7):
+    return make_message("HELLO", msg_id,
+                        {"producer": "alice", "public_key": 5, "version": 1})
+
+
+# -- framing -----------------------------------------------------------------
+
+
+def test_frame_roundtrip():
+    message = sample_message()
+    frame = encode_frame(message)
+    length, codec = decode_header(frame[:5])
+    assert codec == CODEC_JSON
+    assert length == len(frame) - 5
+    assert decode_payload(codec, frame[5:]) == message
+
+
+def test_frame_encoding_is_deterministic():
+    a = encode_frame({"v": 1, "type": "RETRY", "id": 3, "body": {"b": 1, "a": 2}})
+    b = encode_frame({"id": 3, "body": {"a": 2, "b": 1}, "type": "RETRY", "v": 1})
+    assert a == b  # canonical JSON: key order cannot change the bytes
+
+
+def test_torn_header_fails_closed():
+    with pytest.raises(FrameError, match="torn frame header"):
+        decode_header(b"\x00\x00")
+    with pytest.raises(FrameError, match="torn frame header"):
+        read_from_bytes(b"\x00\x00\x01")  # EOF mid-header
+
+
+def test_torn_payload_fails_closed():
+    frame = encode_frame(sample_message())
+    with pytest.raises(FrameError, match="torn frame payload"):
+        read_from_bytes(frame[:-3])  # EOF mid-payload
+
+
+def test_clean_eof_returns_none():
+    assert read_from_bytes(b"") is None
+
+
+def test_oversized_frame_rejected_from_header_alone():
+    header = FRAME_HEADER.pack(1 << 21, CODEC_JSON)
+    with pytest.raises(FrameError, match="exceeds") as excinfo:
+        decode_header(header, max_frame_bytes=1 << 20)
+    assert excinfo.value.symbol == "FRAME_TOO_LARGE"
+
+
+def test_zero_length_and_unknown_codec_rejected():
+    with pytest.raises(FrameError, match="zero-length"):
+        decode_header(FRAME_HEADER.pack(0, CODEC_JSON))
+    with pytest.raises(FrameError, match="unsupported codec"):
+        decode_header(FRAME_HEADER.pack(10, 0x7F))
+
+
+def test_garbage_payload_fails_closed():
+    garbage = b"\x00\x00\x00\x04\x01\xff\xfe\xfd\xfc"
+    with pytest.raises(FrameError, match="undecodable"):
+        read_from_bytes(garbage)
+    # Valid JSON that is not an object is a message error, not a frame error.
+    payload = b"[1,2]"
+    frame = FRAME_HEADER.pack(len(payload), CODEC_JSON) + payload
+    with pytest.raises(MessageError, match="not a JSON object"):
+        read_from_bytes(frame)
+
+
+# -- the envelope ------------------------------------------------------------
+
+
+def test_envelope_requires_exactly_four_keys():
+    good = sample_message()
+    assert validate_message(good) is good
+    for broken in (
+        {k: v for k, v in good.items() if k != "id"},     # missing key
+        dict(good, extra=1),                               # unknown key
+    ):
+        with pytest.raises(MessageError, match="exactly the keys"):
+            validate_message(broken)
+
+
+def test_envelope_version_mismatch_is_unsupported_version():
+    with pytest.raises(MessageError) as excinfo:
+        validate_message(dict(sample_message(), v=2))
+    assert excinfo.value.symbol == "UNSUPPORTED_VERSION"
+
+
+def test_envelope_rejects_bad_type_and_id_and_body():
+    good = sample_message()
+    with pytest.raises(MessageError, match="unknown message type"):
+        validate_message(dict(good, type="GOSSIP"))
+    for bad_id in ("7", True, -1, 1.5):
+        with pytest.raises(MessageError, match="id must be"):
+            validate_message(dict(good, id=bad_id))
+    with pytest.raises(MessageError, match="body must be"):
+        validate_message(dict(good, body=[1]))
+
+
+def test_unknown_body_keys_are_legal():
+    # The additive-evolution rule: bodies may grow fields old peers skip.
+    message = make_message("RETRY", 1, {"retry_after_ms": 25,
+                                        "queue_depth": 3,
+                                        "not_yet_invented": True})
+    assert validate_message(message) is message
+
+
+# -- updates and results on the wire -----------------------------------------
+
+
+def signed_update():
+    producer = DataProducer("alice")
+    update = Update(
+        table="emissions", operation=UpdateOperation.MODIFY,
+        payload={"id": 4, "co2": 17}, key=(4,),
+        visibility=Visibility.PUBLIC, managers=["cloud"],
+        update_id="upd-wire-1",
+    ).sign_with(producer)
+    return producer, update
+
+
+def test_update_wire_roundtrip_preserves_signed_bytes():
+    producer, update = signed_update()
+    rebuilt = update_from_wire(update_to_wire(update))
+    assert rebuilt.body_bytes() == update.body_bytes()
+    assert rebuilt.key == (4,)
+    assert rebuilt.visibility is Visibility.PUBLIC
+    # ... and the signature still verifies against the rebuilt bytes.
+    verifier = SchnorrVerifier(SchnorrGroup.default(),
+                               rebuilt.signer_public_key)
+    assert verifier.verify(rebuilt.body_bytes(), rebuilt.signature)
+
+
+def test_update_from_wire_validates_every_field():
+    _, update = signed_update()
+    good = update_to_wire(update)
+    for name, value in [
+        ("table", 7), ("operation", "upsert"), ("payload", [1]),
+        ("key", "k"), ("visibility", "secret"), ("producers", [1]),
+        ("managers", "cloud"), ("update_id", None),
+        ("signature", {"R": "x", "s": 1}), ("signer_public_key", "pk"),
+    ]:
+        with pytest.raises(MessageError) as excinfo:
+            update_from_wire(dict(good, **{name: value}))
+        assert excinfo.value.symbol == "BAD_MESSAGE", name
+    with pytest.raises(MessageError, match="JSON object"):
+        update_from_wire("not a dict")
+
+
+def test_result_wire_roundtrip():
+    doc = {
+        "update_id": "upd-1", "accepted": True, "applied": True,
+        "status": "applied", "ledger_sequence": 9, "engine": "plaintext",
+        "failed_constraint": None, "rejection_reason": None,
+        "trace_id": "trc-1", "shard": None,
+    }
+    result = result_from_wire(doc)
+    assert result.update_id == "upd-1"
+    assert result.ledger_sequence == 9
+    with pytest.raises(MessageError, match="missing fields"):
+        result_from_wire({"update_id": "upd-1"})
+
+
+def test_auth_bytes_bind_producer_and_purpose():
+    a = protocol.auth_bytes("alice", "aa" * 16)
+    b = protocol.auth_bytes("mallory", "aa" * 16)
+    assert a != b  # a signature can never be replayed for another name
+    assert protocol.AUTH_PURPOSE.encode() in a
+
+
+# -- the spec is normative: docs/PROTOCOL.md byte pins -----------------------
+
+
+def spec_frames():
+    """Yield (json_line, hex_bytes) for every ```frame block in the spec."""
+    text = (DOCS / "PROTOCOL.md").read_text()
+    blocks = re.findall(r"```frame\n(.*?)```", text, flags=re.DOTALL)
+    assert blocks, "PROTOCOL.md must pin at least one frame example"
+    for block in blocks:
+        first, _, rest = block.partition("\n")
+        yield first.strip(), bytes.fromhex("".join(rest.split()))
+
+
+def test_protocol_md_examples_match_codec():
+    for json_line, pinned in spec_frames():
+        message = json.loads(json_line)
+        assert encode_frame(message) == pinned, (
+            f"PROTOCOL.md frame for {message.get('type')} does not match "
+            f"the codec output — spec and implementation have drifted")
+
+
+def test_protocol_md_error_codes_match():
+    text = (DOCS / "PROTOCOL.md").read_text()
+    for symbol, code in protocol.ERROR_CODES.items():
+        assert re.search(rf"\b{symbol}\b\D+\b{code}\b", text) or \
+            re.search(rf"\b{code}\b\D+\b{symbol}\b", text), (
+                f"PROTOCOL.md must document error {symbol} = {code}")
