@@ -56,6 +56,8 @@ from repro.model.participants import (
 from repro.model.policy import PrivacyPolicy, Visibility
 from repro.model.threat import AdversaryClass, CollusionStructure, ThreatModel
 from repro.core.framework import PReVer
+from repro.consensus.driver import ReplicationPlan
+from repro.core.replicated import ReplicatedShard
 from repro.core.sharded import ShardedDigest, ShardedPReVer, ShardPlan, ShardSpec
 from repro.core.contexts import (
     single_private_database,
@@ -108,6 +110,8 @@ __all__ = [
     "CollusionStructure",
     "ThreatModel",
     "PReVer",
+    "ReplicationPlan",
+    "ReplicatedShard",
     "ShardedPReVer",
     "ShardSpec",
     "ShardPlan",

@@ -108,6 +108,13 @@ class ShardedLedger:
 
     # -- reporting -------------------------------------------------------
 
+    def shard_stats(self) -> Dict[str, Any]:
+        """Per-shard :class:`~repro.consensus.base.ClusterStats` — the
+        replication drivers and the federated bench read ordering
+        latency per consensus shard from here."""
+        return {name: cluster.stats()
+                for name, cluster in self.shards.items()}
+
     def committed_counts(self) -> Dict[str, int]:
         return {
             name: len(cluster.committed()) for name, cluster in self.shards.items()

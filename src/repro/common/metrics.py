@@ -18,6 +18,23 @@ from typing import Dict, List, Optional, Sequence
 from repro.common.clock import WallClock
 
 
+def nearest_rank(samples: Sequence[float], pct: float) -> float:
+    """Nearest-rank percentile over ``samples``: the smallest sample
+    such that at least ``pct`` percent of samples are <= it (so p50 of
+    ``[1, 2, 3, 4]`` is 2, not 3), and 0.0 for an empty sequence.
+
+    This is the one percentile definition the codebase uses —
+    :meth:`Timer.percentile`, the consensus cluster stats, and the
+    benchmark reports all delegate here, so latency quantiles are
+    comparable across every artifact.
+    """
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = math.ceil(pct / 100.0 * len(ordered))
+    return ordered[min(len(ordered) - 1, max(0, rank - 1))]
+
+
 class Counter:
     """A monotonically increasing count with an optional value sum."""
 
@@ -75,11 +92,7 @@ class Timer:
         """Nearest-rank percentile: the smallest sample such that at
         least ``pct`` percent of samples are <= it (so p50 of
         ``[1, 2, 3, 4]`` is 2, not 3)."""
-        if not self.samples:
-            return 0.0
-        ordered = sorted(self.samples)
-        rank = math.ceil(pct / 100.0 * len(ordered))
-        return ordered[min(len(ordered) - 1, max(0, rank - 1))]
+        return nearest_rank(self.samples, pct)
 
     def to_dict(self) -> dict:
         return {

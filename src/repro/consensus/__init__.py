@@ -12,10 +12,42 @@ implemented from scratch over :class:`repro.net.SimNetwork`:
 
 Both clusters expose the same interface (``submit``, ``committed``),
 so the benchmark harness measures them identically.
+
+:mod:`repro.consensus.driver` lifts them into the update path: a
+:class:`~repro.consensus.driver.ReplicationDriver` orders canonical
+batch payloads into one decided stream that the staged pipeline's
+durability/apply/anchor stages consume (``LocalDriver`` is the
+byte-identical default; ``PaxosDriver`` / ``PbftDriver`` /
+``SharperDriver`` replicate a shard's ledger over SimNetwork).
 """
 
 from repro.consensus.base import ConsensusResult, ClusterStats
+from repro.consensus.driver import (
+    DecidedBatch,
+    LocalDriver,
+    PaxosDriver,
+    PbftDriver,
+    ReplicationDriver,
+    ReplicationPlan,
+    SharperDriver,
+    make_driver,
+    resolve_plan,
+)
 from repro.consensus.paxos import PaxosCluster
 from repro.consensus.pbft import PBFTCluster
 
-__all__ = ["ConsensusResult", "ClusterStats", "PaxosCluster", "PBFTCluster"]
+__all__ = [
+    "ConsensusResult",
+    "ClusterStats",
+    "PaxosCluster",
+    "PBFTCluster",
+    "ReplicationDriver",
+    "ReplicationPlan",
+    "DecidedBatch",
+    "LocalDriver",
+    "PaxosDriver",
+    "PbftDriver",
+    "SharperDriver",
+    "make_driver",
+    "resolve_plan",
+]

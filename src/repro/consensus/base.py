@@ -1,9 +1,10 @@
 """Shared pieces for the consensus clusters."""
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
 from repro.common.errors import ProtocolError
+from repro.common.metrics import nearest_rank
 
 
 @dataclass
@@ -32,6 +33,8 @@ class ClusterStats:
     messages: int
     mean_latency: float
     p95_latency: float
+    p50_latency: float = 0.0
+    p99_latency: float = 0.0
 
     @property
     def throughput(self) -> float:
@@ -39,22 +42,40 @@ class ClusterStats:
             return 0.0
         return self.decided / self.sim_duration
 
+    def to_dict(self) -> dict:
+        """Serializable form for benchmark artifacts."""
+        return {
+            "decided": self.decided,
+            "total": self.total,
+            "sim_duration": self.sim_duration,
+            "messages": self.messages,
+            "throughput": self.throughput,
+            "mean_latency": self.mean_latency,
+            "p50_latency": self.p50_latency,
+            "p95_latency": self.p95_latency,
+            "p99_latency": self.p99_latency,
+        }
+
 
 def compute_stats(results: List[ConsensusResult], sim_duration: float,
                   messages: int) -> ClusterStats:
+    """Aggregate decided-command latencies with the shared nearest-rank
+    percentile (:func:`repro.common.metrics.nearest_rank`), so cluster
+    quantiles agree with ``Timer.percentile`` everywhere else."""
     latencies = sorted(
         r.latency for r in results if r.latency is not None
     )
     decided = len(latencies)
     mean = sum(latencies) / decided if decided else 0.0
-    p95 = latencies[min(decided - 1, int(0.95 * decided))] if decided else 0.0
     return ClusterStats(
         decided=decided,
         total=len(results),
         sim_duration=sim_duration,
         messages=messages,
         mean_latency=mean,
-        p95_latency=p95,
+        p95_latency=nearest_rank(latencies, 95),
+        p50_latency=nearest_rank(latencies, 50),
+        p99_latency=nearest_rank(latencies, 99),
     )
 
 
@@ -65,7 +86,14 @@ class DecisionLog:
         self._decisions: Dict[int, Any] = {}
 
     def decide(self, sequence: int, value: Any) -> bool:
-        """Record a decision; returns False on conflicting re-decision."""
+        """Record a decision for ``sequence``.
+
+        Returns ``True`` the first time a slot is decided and ``False``
+        on an idempotent re-decision of the same value.  A *conflicting*
+        re-decision raises :class:`~repro.common.errors.ProtocolError`
+        (fail-closed: a slot deciding two different values is a safety
+        violation, never something to signal with a return code).
+        """
         existing = self._decisions.get(sequence)
         if existing is not None and existing != value:
             raise ProtocolError(

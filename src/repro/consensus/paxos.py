@@ -66,6 +66,28 @@ class PaxosNode(Node):
             self.send(peer, "accept", {"ballot": self.ballot, "slot": slot,
                                        "value": value})
 
+    def retry_pending(self) -> int:
+        """Re-broadcast ACCEPTs for proposed-but-undecided slots.
+
+        Classic Paxos assumes fair-lossy links and retransmits; the
+        simulator's leader fires this explicitly when a lossy network
+        profile ate part of a Phase-2 round, so a stuck slot cannot gap
+        the committed prefix forever.  Returns the number of slots
+        re-driven.  Safe to call any time: acceptors treat a repeated
+        ACCEPT for the same ballot idempotently.
+        """
+        if not self.is_leader:
+            return 0
+        retried = 0
+        for slot, value in sorted(self.proposals.items()):
+            if self.log.get(slot) is not None:
+                continue
+            retried += 1
+            for peer in self.peers:
+                self.send(peer, "accept", {"ballot": self.ballot,
+                                           "slot": slot, "value": value})
+        return retried
+
     # -- leadership ----------------------------------------------------------
 
     def start_election(self, ballot: int) -> None:
@@ -234,6 +256,14 @@ class PaxosCluster:
 
     def run(self, until: Optional[float] = None) -> None:
         self.network.run(until=until)
+
+    def retry_pending(self) -> int:
+        """Re-drive Phase 2 for any stuck slots (lossy-link recovery);
+        returns the number of slots re-broadcast."""
+        retried = self.leader.retry_pending()
+        if retried:
+            self.network.run()
+        return retried
 
     def committed(self) -> List[Any]:
         return self.leader.log.committed_prefix()

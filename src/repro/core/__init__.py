@@ -16,6 +16,10 @@
 * :mod:`repro.core.sharded` — table-partitioned scale-out:
   :class:`ShardedPReVer` over N independent shards with a combined
   root-of-roots commitment and fail-closed cross-shard escalation;
+* :mod:`repro.core.replicated` — consensus-backed shards:
+  :class:`ReplicatedShard` replays a replication driver's decided
+  batch stream into N replica frameworks with per-batch root-equality
+  asserts and crash/catch-up resynchronization;
 * :mod:`repro.core.contexts` — factory functions for the canonical
   instantiations (single private / federated private / public);
 * :mod:`repro.core.separ` — the Separ instantiation (Section 5).
@@ -42,6 +46,7 @@ from repro.core.pipeline import (
     UpdateContext,
     VerifyStage,
 )
+from repro.core.replicated import ReplicatedShard
 from repro.core.sharded import (
     ShardedDigest,
     ShardedPReVer,
@@ -75,6 +80,7 @@ __all__ = [
     "DurabilityStage",
     "ApplyStage",
     "AnchorStage",
+    "ReplicatedShard",
     "ShardedPReVer",
     "ShardSpec",
     "ShardPlan",

@@ -71,6 +71,7 @@ class PReVer:
         executor=None,
         durability: Optional[Durability] = None,
         profiler=None,
+        replication=None,
     ):
         if not databases:
             raise PReVerError("PReVer needs at least one database")
@@ -175,6 +176,14 @@ class PReVer:
         self.profiler = profiler
         if self.profiler is not None:
             self.profiler.start()
+        # Replication: the pluggable commit point (repro.consensus
+        # .driver).  ``None`` is the implicit LocalDriver — the exact
+        # pre-driver code path, byte-identical decisions/roots/WAL.
+        # With a driver attached, submit/submit_many propose batches
+        # and the pipeline replays only the driver's decided stream.
+        self.replication = replication
+        if self.replication is not None:
+            self.replication.bind_observability(self.metrics, self.tracer)
         # The digest captured by the most recent durable anchor commit;
         # /readyz checks the live ledger still extends it.
         self._last_anchored_digest = None
@@ -401,6 +410,8 @@ class PReVer:
             self._wal.close()
         if self.profiler is not None:
             self.profiler.stop()
+        if self.replication is not None:
+            self.replication.close()
 
     def _record_result(self, update: Update, outcome: VerificationOutcome,
                        applied: bool, timings: Dict[str, float],

@@ -539,8 +539,16 @@ class Pipeline:
                        self.durability, self.apply, self.anchor)
 
     def run_one(self, update: Update) -> UpdateResult:
-        """Drive one update through the full pipeline (``submit``)."""
+        """Drive one update through the full pipeline (``submit``).
+
+        With a replication driver attached, even single submits are
+        ordered: the update rides a one-element batch through the
+        decided stream, so a replicated framework has exactly one
+        commit order no matter which submit API fed it.
+        """
         fw = self.framework
+        if fw.replication is not None:
+            return self.run_batch([update], fw.executor)[0]
         ctx = UpdateContext(update)
         prof = fw.profiler
         self._begin(ctx)
@@ -554,8 +562,54 @@ class Pipeline:
 
     def run_batch(self, updates: Sequence[Update],
                   executor) -> List[UpdateResult]:
-        """Drive a batch through the pipeline, anchoring once
-        (``submit_many``)."""
+        """Drive a batch through the pipeline (``submit_many``).
+
+        This is the commit point of the staged pipeline, and it is
+        pluggable: with no replication driver (the default — the
+        implicit :class:`~repro.consensus.driver.LocalDriver` path)
+        the batch is its own decided order and runs
+        :meth:`run_decided_batch` directly, byte-identical to the
+        pre-driver pipeline.  With a driver attached, the batch is
+        *proposed*, and durability/apply/anchor run only on the
+        driver's decided batch stream — in the agreed order, which
+        under consensus drivers is the order every other replica of
+        this shard sees too.
+        """
+        fw = self.framework
+        driver = fw.replication
+        if driver is None:
+            return self.run_decided_batch(updates, executor)
+        return self._run_replicated(updates, executor, driver)
+
+    def _run_replicated(self, updates: Sequence[Update], executor,
+                        driver) -> List[UpdateResult]:
+        """Propose the batch, then replay every decided batch the
+        stream yields (ours included) in decided order."""
+        payload = driver.encode_batch(updates)
+        sequence = driver.propose_batch(payload)
+        results = None
+        for decided in driver.committed_stream():
+            batch = driver.decode_batch(decided.payload)
+            out = self.run_decided_batch(batch, executor)
+            if decided.sequence == sequence:
+                results = out
+        if results is None:
+            from repro.common.errors import ProtocolError
+
+            raise ProtocolError(
+                f"replication driver {driver.name!r} never delivered "
+                f"proposed batch {sequence}"
+            )
+        return results
+
+    def run_decided_batch(self, updates: Sequence[Update],
+                          executor) -> List[UpdateResult]:
+        """Run one *decided* batch through the stage sequence,
+        anchoring once.  Everything with externally visible effects —
+        the WAL records (DurabilityStage), database mutation
+        (ApplyStage), and ledger anchoring (AnchorStage) — happens
+        only here, i.e. only on batches the replication layer has
+        decided."""
         fw = self.framework
         ctxs = [UpdateContext(update) for update in updates]
         prof = fw.profiler

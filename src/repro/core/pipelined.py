@@ -127,9 +127,13 @@ class PipelinedScheduler:
         """
         fw = self.framework
         executor = executor if executor is not None else fw.executor
-        if fw._crash_after is not None:
+        if fw._crash_after is not None or fw.replication is not None:
             # Fault injection: crash points must fire at the same WAL
-            # position as the serial schedule; fall back to it.
+            # position as the serial schedule; fall back to it.  A
+            # replication driver likewise owns the commit order — each
+            # batch must be proposed and decided before the next may
+            # touch shared state, so overlap degenerates to the serial
+            # (ordered) schedule.
             results = []
             for batch in batches:
                 results.extend(fw.submit_many(batch, executor=executor))

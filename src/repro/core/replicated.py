@@ -1,0 +1,373 @@
+"""Consensus-backed shard: N replica frameworks over one decided stream.
+
+A :class:`ReplicatedShard` is the state-machine-replication view of
+one PReVer shard.  A :class:`~repro.consensus.driver.ReplicationDriver`
+orders proposed update batches; every *live* replica — a full
+:class:`~repro.core.framework.PReVer` with its own ledger, durability
+policy, and WAL directory — deterministically replays each decided
+batch, and the shard asserts per-batch root equality across replicas
+(fail-closed: divergence is an :class:`IntegrityError`, not a warning).
+The replay path is the ordinary staged pipeline
+(:meth:`Pipeline.run_decided_batch` via ``submit_many``), so a
+replica's decision/digest/WAL stream is byte-identical to a standalone
+framework fed the same decided order — which is exactly what the
+driver-equivalence tests pin.
+
+Crash/recovery: :meth:`crash_replica` drops one replica;
+:meth:`restart_replica` rebuilds it from its builder, replays its own
+WAL (when durable), derives how many decided batches that recovered
+prefix covers, then resynchronizes the rest via ``driver.catch_up``
+against the committed prefix and re-asserts root convergence.  A
+non-durable replica recovers from the committed prefix alone — the
+decided stream *is* the authoritative history.
+
+The shard exposes the same handle surface as the sharded front-end's
+serial/process handles (submit, submit_many_async, digest, recover,
+telemetry, ...), so :class:`~repro.core.sharded.ShardedPReVer` can
+drop it in per shard via its ``consensus=`` plan knobs.
+"""
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.common.errors import IntegrityError, PReVerError, ProtocolError
+from repro.common.metrics import MetricsRegistry
+from repro.consensus.driver import LocalDriver, ReplicationDriver
+from repro.core.framework import PReVer
+from repro.core.outcome import UpdateResult
+from repro.model.update import Update
+from repro.obs.tracing import NOOP_TRACER
+
+
+class _Immediate:
+    """Future-alike over an already computed value (the async-dispatch
+    shim the sharded front-end's scatter/gather expects)."""
+
+    def __init__(self, value):
+        self._value = value
+
+    def result(self):
+        """The wrapped value."""
+        return self._value
+
+
+class ReplicatedShard:
+    """One shard's pipeline replicated across N frameworks.
+
+    ``build`` is a zero-argument builder returning a fresh
+    :class:`~repro.core.framework.PReVer`; it runs once per replica at
+    construction and again on :meth:`restart_replica`.  Builders that
+    enable durability must key the WAL directory on the replica index:
+    declare a ``replica`` keyword (``def build(replica): ...``) and the
+    shard passes ``build(replica=index)``; builders without one are
+    called with no arguments.
+    """
+
+    def __init__(
+        self,
+        build: Callable[..., PReVer],
+        replicas: int = 2,
+        driver: Optional[ReplicationDriver] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer=None,
+        name: str = "replicated",
+    ):
+        if replicas < 1:
+            raise PReVerError("ReplicatedShard needs at least one replica")
+        self.name = name
+        self._build = build
+        self.metrics = metrics or MetricsRegistry()
+        self.tracer = tracer or NOOP_TRACER
+        self.driver = driver or LocalDriver()
+        self.driver.bind_observability(self.metrics, self.tracer)
+        self.replicas: List[Optional[PReVer]] = [
+            self._build_replica(i) for i in range(replicas)
+        ]
+        #: Decided batches applied per replica (dense prefix counts).
+        self._applied = [0] * replicas
+        #: Updates per decided batch, in decided order — the map from
+        #: a recovered ledger size back to a batch offset.
+        self._batch_sizes: List[int] = []
+        self._tmr_replay = self.metrics.timer("consensus.replay")
+        self._ctr_batches = self.metrics.counter("consensus.replayed_batches")
+        self._closed = False
+
+    def _build_replica(self, index: int) -> PReVer:
+        try:
+            framework = self._build(replica=index)
+        except TypeError:
+            framework = self._build()
+        if framework.replication is not None:
+            raise PReVerError(
+                "replica builders must not attach their own replication "
+                "driver — the shard owns the decided stream"
+            )
+        return framework
+
+    # -- the decided-stream replay ----------------------------------------
+
+    @property
+    def primary(self) -> PReVer:
+        """The first live replica (reads, reports, and results come
+        from here; all live replicas are byte-equal by construction)."""
+        for replica in self.replicas:
+            if replica is not None:
+                return replica
+        raise IntegrityError(f"shard {self.name!r} has no live replicas")
+
+    @property
+    def primary_index(self) -> int:
+        """Index of the first live replica."""
+        for index, replica in enumerate(self.replicas):
+            if replica is not None:
+                return index
+        raise IntegrityError(f"shard {self.name!r} has no live replicas")
+
+    def submit(self, update: Update) -> UpdateResult:
+        """Order and replay a single update (a one-element batch)."""
+        return self.submit_many([update])[0]
+
+    def submit_many(self, updates: Sequence[Update]) -> List[UpdateResult]:
+        """Propose a batch, then replay every newly decided batch into
+        all live replicas; returns this batch's results (from the
+        primary replica)."""
+        updates = list(updates)
+        if not updates:
+            return []
+        payload = self.driver.encode_batch(updates)
+        sequence = self.driver.propose_batch(payload)
+        results = None
+        for decided in self.driver.committed_stream():
+            out = self._apply_decided(decided)
+            if decided.sequence == sequence:
+                results = out
+        if results is None:
+            raise ProtocolError(
+                f"shard {self.name!r}: proposed batch {sequence} missing "
+                "from the committed stream"
+            )
+        return results
+
+    def submit_many_async(self, updates: Sequence[Update]):
+        """Inline execution behind the async-dispatch interface."""
+        return _Immediate(self.submit_many(updates))
+
+    def _apply_decided(self, decided) -> List[UpdateResult]:
+        """Replay one decided batch into every live replica, asserting
+        the stream is gap-free and the replicas stay root-equal."""
+        if decided.sequence != len(self._batch_sizes):
+            raise IntegrityError(
+                f"shard {self.name!r}: decided batch {decided.sequence} "
+                f"out of order (expected {len(self._batch_sizes)})"
+            )
+        self._batch_sizes.append(len(decided.payload["updates"]))
+        start = self.metrics._clock.now()
+        results = None
+        roots = {}
+        for index, replica in enumerate(self.replicas):
+            if replica is None:
+                continue
+            if self._applied[index] != decided.sequence:
+                raise IntegrityError(
+                    f"shard {self.name!r}: replica {index} at batch "
+                    f"{self._applied[index]}, cannot replay "
+                    f"{decided.sequence} (catch_up required)"
+                )
+            # Fresh update objects per replica: the pipeline mutates
+            # update state, so replicas never share them.
+            batch = self.driver.decode_batch(decided.payload)
+            out = replica.submit_many(batch)
+            self._applied[index] = decided.sequence + 1
+            roots[index] = replica.ledger.digest().root
+            if results is None:
+                results = out
+        self._tmr_replay.record(self.metrics._clock.now() - start)
+        self._ctr_batches.add()
+        self._check_roots(roots, at=decided.sequence)
+        return results
+
+    def _check_roots(self, roots: dict, at: int) -> None:
+        if len(set(roots.values())) > 1:
+            detail = ", ".join(
+                f"replica {i}: {root.hex()[:16]}"
+                for i, root in sorted(roots.items())
+            )
+            raise IntegrityError(
+                f"shard {self.name!r} diverged at decided batch {at}: "
+                f"{detail}"
+            )
+
+    def assert_converged(self) -> bytes:
+        """Every live replica (at the same applied offset) holds the
+        same ledger root; returns that root."""
+        roots = {}
+        offsets = set()
+        for index, replica in enumerate(self.replicas):
+            if replica is None:
+                continue
+            offsets.add(self._applied[index])
+            roots[index] = replica.ledger.digest().root
+        if len(offsets) > 1:
+            raise IntegrityError(
+                f"shard {self.name!r}: replicas at different offsets "
+                f"{sorted(offsets)}; catch_up lagging replicas first"
+            )
+        self._check_roots(roots, at=len(self._batch_sizes) - 1)
+        return next(iter(roots.values()))
+
+    # -- crash / recovery --------------------------------------------------
+
+    def crash_replica(self, index: int) -> None:
+        """Take one replica down (flush + drop).  The shard keeps
+        serving from the remaining replicas; the decided stream keeps
+        the crashed replica's seat in ``_applied``."""
+        replica = self.replicas[index]
+        if replica is None:
+            return
+        replica.close()
+        self.replicas[index] = None
+
+    def restart_replica(self, index: int) -> PReVer:
+        """Rebuild a crashed replica and resynchronize it.
+
+        With durability on, the replica first replays its own WAL
+        (:meth:`PReVer.recover`), and the recovered ledger size is
+        mapped back to a decided-batch offset — fail-closed if it does
+        not land on a batch boundary, because a replica that durably
+        holds half a batch violates the atomic-batch commit this
+        module assumes.  Then :meth:`catch_up` replays the rest of the
+        committed prefix and re-asserts convergence.
+        """
+        if self.replicas[index] is not None:
+            raise PReVerError(f"replica {index} is still live")
+        framework = self._build_replica(index)
+        applied = 0
+        if framework.durability.enabled:
+            framework.recover()
+            size = len(framework.ledger)
+            covered = 0
+            while applied < len(self._batch_sizes) and covered < size:
+                covered += self._batch_sizes[applied]
+                applied += 1
+            if covered != size:
+                raise IntegrityError(
+                    f"shard {self.name!r}: replica {index} recovered "
+                    f"{size} ledger entries, which is not a decided-batch "
+                    f"boundary"
+                )
+        self.replicas[index] = framework
+        self._applied[index] = applied
+        self.catch_up(index)
+        return framework
+
+    def catch_up(self, index: int) -> int:
+        """Replay the committed prefix beyond what replica ``index``
+        has applied; returns the number of batches replayed."""
+        replica = self.replicas[index]
+        if replica is None:
+            raise PReVerError(f"replica {index} is not live")
+        replayed = 0
+        for decided in self.driver.catch_up(self._applied[index]):
+            if decided.sequence < self._applied[index]:
+                continue
+            if decided.sequence != self._applied[index]:
+                raise IntegrityError(
+                    f"shard {self.name!r}: committed prefix has a gap at "
+                    f"{self._applied[index]}"
+                )
+            batch = self.driver.decode_batch(decided.payload)
+            replica.submit_many(batch)
+            self._applied[index] = decided.sequence + 1
+            replayed += 1
+        self.assert_converged()
+        return replayed
+
+    # -- the shard-handle surface (see repro.core.sharded) -----------------
+
+    def digest(self):
+        """The shard ledger's digest — from the primary replica, after
+        asserting every live replica agrees on the root."""
+        self.assert_converged()
+        return self.primary.ledger.digest()
+
+    def recover(self):
+        """Front-end recovery: re-run recovery on the primary replica
+        (non-durable primaries report through recovery's no-op path)."""
+        return self.primary.recover()
+
+    def throughput_report(self) -> dict:
+        """The primary replica's per-stage throughput report."""
+        return self.primary.throughput_report()
+
+    def metrics_snapshot(self) -> dict:
+        """Primary replica metrics, plus this shard's ``consensus.*``
+        ordering metrics under ``"replication"``."""
+        snapshot = self.primary.metrics.snapshot()
+        snapshot["replication"] = self.metrics.snapshot()
+        return snapshot
+
+    def telemetry_delta(self):
+        """Incremental telemetry from the primary replica (full
+        history on first call), for cross-shard aggregation."""
+        from repro.obs.aggregate import DeltaTracker
+
+        primary = self.primary
+        tracker = getattr(primary, "_replicated_tracker", None)
+        if tracker is None:
+            tracker = DeltaTracker(primary.metrics, tracer=primary.tracer,
+                                   origin=True)
+            primary._replicated_tracker = tracker
+        return tracker.capture()
+
+    def alive(self) -> bool:
+        """Liveness: at least one replica is live and healthy."""
+        try:
+            return self.primary.health_report()["ok"]
+        except IntegrityError:
+            return False
+
+    def readiness_report(self) -> dict:
+        """Primary readiness plus replica-convergence checks."""
+        report = self.primary.readiness_report()
+        live = sum(1 for r in self.replicas if r is not None)
+        try:
+            self.assert_converged()
+            check = {"ok": True, "replicas": live,
+                     "of": len(self.replicas)}
+        except IntegrityError as exc:
+            check = {"ok": False, "error": repr(exc)}
+        report["checks"]["replicas_converged"] = check
+        report["ok"] = report["ok"] and check["ok"]
+        return report
+
+    def verification_trail(self, trace_id: str):
+        """The primary replica's trail for ``trace_id``."""
+        return self.primary.verification_trail(trace_id)
+
+    def counters(self) -> dict:
+        """Submitted/applied/ledger-size counters (primary replica)."""
+        primary = self.primary
+        return {
+            "submitted": primary._submitted_count,
+            "applied": primary._applied_count,
+            "ledger_size": len(primary.ledger),
+        }
+
+    def stats(self) -> dict:
+        """Driver ordering stats plus replica/batch bookkeeping."""
+        out = self.driver.stats()
+        out["replicas"] = len(self.replicas)
+        out["live_replicas"] = sum(
+            1 for r in self.replicas if r is not None
+        )
+        out["decided_batches"] = len(self._batch_sizes)
+        return out
+
+    def close(self) -> None:
+        """Flush every live replica and release the driver."""
+        if self._closed:
+            return
+        self._closed = True
+        for replica in self.replicas:
+            if replica is not None:
+                replica.close()
+        self.driver.close()

@@ -26,6 +26,14 @@ with its **own** ledger, durability policy, and executor:
   without one, or registering a single-shard constraint here, raises.
   Escalation rejections are anchored on the coordinator's own ledger,
   so shard ledgers stay clean substream-equivalents;
+* each shard can be **consensus-backed** via the ``consensus=`` plan
+  knobs: a :class:`~repro.core.replicated.ReplicatedShard` orders the
+  shard's batches through a
+  :class:`~repro.consensus.driver.ReplicationDriver` (Paxos, PBFT, or
+  a SharPer shard on a shared simulated network) and replays the
+  decided stream into N replica frameworks, asserting per-batch root
+  equality.  Cross-shard escalation decisions then order through the
+  coordinator's own driver before anchoring;
 * the combined commitment is a Merkle **root-of-roots** over the
   per-shard ledger roots (:meth:`ShardedPReVer.digest`), and
   :meth:`ShardedPReVer.recover` recovers every shard from its own
@@ -42,8 +50,9 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.common.clock import SimClock
-from repro.common.errors import IntegrityError, PReVerError
+from repro.common.errors import IntegrityError, PReVerError, ProtocolError
 from repro.common.metrics import MetricsRegistry
+from repro.consensus.driver import make_driver, resolve_plan
 from repro.core.federated import MPCVerifier, TokenVerifier
 from repro.core.framework import PReVer
 from repro.core.outcome import UpdateResult
@@ -278,6 +287,20 @@ class ShardedPReVer:
     tests, recovery drills, and MPC escalation); ``dispatch="process"``
     pins each shard to a dedicated worker process for real multicore
     batch throughput.  Decisions are dispatch-independent.
+
+    ``consensus`` makes shards consensus-backed: a kind string
+    (``"paxos"``/``"pbft"``/``"sharper"``/``"local"``) or a
+    :class:`~repro.consensus.driver.ReplicationPlan` applies to every
+    shard *and* gives the coordinator its own driver (escalation
+    decisions are then ordered through it before anchoring); a dict
+    maps shard names to per-shard plans, with an optional
+    ``"coordinator"`` key for the escalation driver.  Consensus-backed
+    shards are :class:`~repro.core.replicated.ReplicatedShard`
+    instances — their replica frameworks and simulated consensus
+    networks live in this process, so ``consensus`` requires
+    ``dispatch="serial"`` (fail-closed otherwise).  Sharper plans
+    share one simulated network and ledger: one consensus shard per
+    pipeline shard, so disjoint shards order in parallel.
     """
 
     def __init__(
@@ -288,6 +311,7 @@ class ShardedPReVer:
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
         escalation_ledger: Optional[CentralLedger] = None,
+        consensus=None,
     ):
         if dispatch not in ("serial", "process"):
             raise PReVerError(f"unknown dispatch mode {dispatch!r}")
@@ -307,12 +331,113 @@ class ShardedPReVer:
             self.escalation_ledger.bind_tracer(self.tracer)
         self._cross: List[Tuple[Constraint, object]] = []
         self._closed = False
+        shard_plans, coordinator_plan = self._resolve_consensus(consensus)
+        self.consensus_plans = {
+            spec.name: plan
+            for spec, plan in zip(self.specs, shard_plans)
+            if plan is not None
+        }
+        self.coordinator_plan = coordinator_plan
+        if dispatch == "process" and (
+            coordinator_plan is not None or self.consensus_plans
+        ):
+            raise PReVerError(
+                "consensus-backed shards replay into replica frameworks "
+                "and simulated consensus networks in the coordinator "
+                'process; use dispatch="serial"'
+            )
+        sharper_ledger = self._build_sharper_ledger(
+            shard_plans, coordinator_plan
+        )
         handle_cls = _SerialShard if dispatch == "serial" else _ProcessShard
-        self.shards = [handle_cls(spec) for spec in self.specs]
+        self.shards = [
+            self._build_shard(spec, plan, handle_cls, sharper_ledger)
+            for spec, plan in zip(self.specs, shard_plans)
+        ]
+        #: The coordinator's own ordering driver: cross-shard
+        #: escalation decisions are proposed through it and anchored in
+        #: decided order.  ``None`` appends directly (the pre-driver
+        #: path, byte-identical).
+        self.replication = None
+        if coordinator_plan is not None:
+            self.replication = make_driver(
+                coordinator_plan, metrics=self.metrics, tracer=self.tracer,
+                sharper_ledger=sharper_ledger,
+                sharper_shard="coordinator",
+            )
         self._ctr_updates = self.metrics.counter("sharded.updates")
         self._ctr_escalations = self.metrics.counter("sharded.escalations")
         self._ctr_escalation_rejections = self.metrics.counter(
             "sharded.escalation_rejections"
+        )
+
+    def _resolve_consensus(self, consensus):
+        """Normalize the ``consensus`` knob into per-shard plans plus
+        the coordinator's plan (each ``None`` = the plain direct path)."""
+        names = [spec.name for spec in self.specs]
+        if consensus is None:
+            return [None] * len(names), None
+        if isinstance(consensus, dict):
+            unknown = set(consensus) - set(names) - {"coordinator"}
+            if unknown:
+                raise PReVerError(
+                    f"consensus plans for unknown shards: {sorted(unknown)}"
+                )
+            plans = [
+                resolve_plan(consensus[name]) if name in consensus else None
+                for name in names
+            ]
+            coordinator = (
+                resolve_plan(consensus["coordinator"])
+                if "coordinator" in consensus else None
+            )
+            return plans, coordinator
+        plan = resolve_plan(consensus)
+        return [plan] * len(names), plan
+
+    def _build_sharper_ledger(self, shard_plans, coordinator_plan):
+        """One shared SharPer ledger + simulated network for every
+        sharper-backed shard (and the coordinator, when sharper): one
+        consensus shard per pipeline shard, so disjoint pipeline shards
+        order in parallel — SharPer's scaling argument."""
+        sharper_names = [
+            spec.name
+            for spec, plan in zip(self.specs, shard_plans)
+            if plan is not None and plan.kind == "sharper"
+        ]
+        coordinator_sharper = (
+            coordinator_plan is not None and coordinator_plan.kind == "sharper"
+        )
+        if not sharper_names and not coordinator_sharper:
+            return None
+        from repro.chain.sharper import ShardedLedger
+        from repro.net.simnet import network_profile
+
+        plans = [p for p in list(shard_plans) + [coordinator_plan]
+                 if p is not None and p.kind == "sharper"]
+        first = plans[0]
+        names = sharper_names + (["coordinator"] if coordinator_sharper else [])
+        network = network_profile(first.profile).build(
+            metrics=self.metrics, tracer=self.tracer
+        )
+        return ShardedLedger(names, f=first.f, network=network)
+
+    def _build_shard(self, spec: ShardSpec, plan, handle_cls,
+                     sharper_ledger):
+        """One shard handle: plain serial/process for the default path,
+        a :class:`ReplicatedShard` when a consensus plan asks for
+        ordering or more than one replica."""
+        if plan is None or (plan.kind == "local" and plan.replicas <= 1):
+            return handle_cls(spec)
+        from repro.core.replicated import ReplicatedShard
+
+        driver = make_driver(
+            plan, metrics=self.metrics, tracer=self.tracer,
+            sharper_ledger=sharper_ledger, sharper_shard=spec.name,
+        )
+        return ReplicatedShard(
+            spec.build, replicas=plan.replicas, driver=driver,
+            metrics=self.metrics, tracer=self.tracer, name=spec.name,
         )
 
     # -- cross-shard constraints (fail-closed) ---------------------------
@@ -380,7 +505,7 @@ class ShardedPReVer:
                 update.mark_rejected(
                     outcome.failed_constraint or constraint.constraint_id
                 )
-                entry = self.escalation_ledger.append({
+                entry = self._anchor_escalation({
                     "update_id": update.update_id,
                     "table": update.table,
                     "status": update.status.value,
@@ -395,6 +520,32 @@ class ShardedPReVer:
                 result.shard = None
                 return result
         return None
+
+    def _anchor_escalation(self, payload: dict):
+        """Anchor one escalation decision on the coordinator ledger.
+
+        With no coordinator driver this is a direct append (the
+        pre-consensus path).  With one, the decision is proposed
+        through the driver and *every* newly decided escalation is
+        appended in decided order — so several coordinators sharing a
+        driver converge on one escalation-ledger history — and the
+        entry for this payload is returned.
+        """
+        if self.replication is None:
+            return self.escalation_ledger.append(payload)
+        sequence = self.replication.propose_batch({"escalations": [payload]})
+        entry = None
+        for decided in self.replication.committed_stream():
+            for item in decided.payload.get("escalations", ()):
+                appended = self.escalation_ledger.append(item)
+                if decided.sequence == sequence:
+                    entry = appended
+        if entry is None:
+            raise ProtocolError(
+                "coordinator driver never delivered escalation "
+                f"proposal {sequence}"
+            )
+        return entry
 
     # -- the submit API ---------------------------------------------------
 
@@ -545,6 +696,20 @@ class ShardedPReVer:
                             prefix=f"shard.{spec.name}")
         return self.metrics
 
+    def consensus_report(self) -> dict:
+        """Per-shard replication-driver stats (proposed/decided counts
+        and the underlying cluster's latency/throughput summary), plus
+        the coordinator's escalation driver under ``"coordinator"``.
+        Consensus-free shards are omitted."""
+        report = {}
+        for spec, shard in zip(self.specs, self.shards):
+            stats = getattr(shard, "stats", None)
+            if stats is not None:
+                report[spec.name] = stats()
+        if self.replication is not None:
+            report["coordinator"] = self.replication.stats()
+        return report
+
     # -- ops probes & audit trails ----------------------------------------
 
     def health_report(self) -> dict:
@@ -629,3 +794,5 @@ class ShardedPReVer:
         self._closed = True
         for shard in self.shards:
             shard.close()
+        if self.replication is not None:
+            self.replication.close()

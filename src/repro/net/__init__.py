@@ -7,6 +7,22 @@ throughput/latency comparisons (Paxos vs PBFT vs sharded, Section 6)
 reproducible and independent of host load.
 """
 
-from repro.net.simnet import SimNetwork, Message, Node, LatencyModel
+from repro.net.simnet import (
+    NETWORK_PROFILES,
+    LatencyModel,
+    Message,
+    NetworkProfile,
+    Node,
+    SimNetwork,
+    network_profile,
+)
 
-__all__ = ["SimNetwork", "Message", "Node", "LatencyModel"]
+__all__ = [
+    "SimNetwork",
+    "Message",
+    "Node",
+    "LatencyModel",
+    "NetworkProfile",
+    "NETWORK_PROFILES",
+    "network_profile",
+]

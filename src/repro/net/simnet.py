@@ -45,6 +45,71 @@ class LatencyModel:
         return self.base + self._rng.randbelow(10_000) / 10_000 * self.jitter
 
 
+@dataclass(frozen=True)
+class NetworkProfile:
+    """A named latency/loss shape for :class:`SimNetwork`.
+
+    The federated benchmarks and the replication drivers sweep these
+    instead of raw constructor arguments, so "the WAN rows" in one
+    artifact mean exactly the same network as in another.  ``build``
+    returns a fresh network (own clock, own RNG) — profiles are
+    recipes, never shared state.
+    """
+
+    name: str
+    base_latency: float
+    jitter: float
+    loss_rate: float = 0.0
+    per_message_cost: float = 0.0
+
+    def build(self, metrics: Optional[MetricsRegistry] = None,
+              tracer=None, seed: int = 11) -> "SimNetwork":
+        """A fresh :class:`SimNetwork` with this profile's shape."""
+        return SimNetwork(
+            latency=LatencyModel(base=self.base_latency, jitter=self.jitter),
+            loss_rate=self.loss_rate,
+            seed=seed,
+            metrics=metrics,
+            per_message_cost=self.per_message_cost,
+            tracer=tracer,
+        )
+
+    def to_dict(self) -> dict:
+        """Serializable form for benchmark artifacts."""
+        return {
+            "name": self.name,
+            "base_latency": self.base_latency,
+            "jitter": self.jitter,
+            "loss_rate": self.loss_rate,
+            "per_message_cost": self.per_message_cost,
+        }
+
+
+#: The canonical sweep set: a datacenter-local network, a wide-area
+#: one (25ms +/- 10ms), and a lossy edge profile that exercises the
+#: drivers' retransmission paths.
+NETWORK_PROFILES: Dict[str, NetworkProfile] = {
+    "lan": NetworkProfile("lan", base_latency=0.001, jitter=0.0005),
+    "wan": NetworkProfile("wan", base_latency=0.025, jitter=0.010),
+    "lossy": NetworkProfile("lossy", base_latency=0.005, jitter=0.002,
+                            loss_rate=0.02),
+}
+
+
+def network_profile(profile) -> NetworkProfile:
+    """Resolve ``profile`` — a :class:`NetworkProfile` or a name from
+    :data:`NETWORK_PROFILES` — fail-closed on unknown names."""
+    if isinstance(profile, NetworkProfile):
+        return profile
+    resolved = NETWORK_PROFILES.get(profile)
+    if resolved is None:
+        raise ProtocolError(
+            f"unknown network profile {profile!r}; "
+            f"known: {sorted(NETWORK_PROFILES)}"
+        )
+    return resolved
+
+
 class Node:
     """Base class for protocol participants."""
 

@@ -165,3 +165,55 @@ def test_pbft_message_complexity_quadratic_vs_paxos():
 def test_pbft_minimum_f():
     with pytest.raises(ProtocolError):
         PBFTCluster(f=0)
+
+
+# -- percentile correctness (shared nearest-rank helper) ---------------------
+
+def test_nearest_rank_percentile_boundaries():
+    """The nearest-rank definition, pinned at its boundary cases: the
+    p95 of 20 ordered samples is the 19th (rank ceil(0.95*20)=19), not
+    an interpolated or off-by-one neighbor."""
+    from repro.common.metrics import nearest_rank
+
+    samples = list(range(1, 21))  # 1..20
+    assert nearest_rank(samples, 95) == 19
+    assert nearest_rank(samples, 50) == 10
+    assert nearest_rank(samples, 99) == 20
+    assert nearest_rank(samples, 100) == 20
+    assert nearest_rank(samples, 0) == 1
+    assert nearest_rank([7.0], 95) == 7.0
+    assert nearest_rank([], 95) == 0.0
+    # Unsorted input is ordered first.
+    assert nearest_rank([3, 1, 2], 50) == 2
+
+
+def test_cluster_stats_percentiles_nearest_rank():
+    """ClusterStats p50/p95/p99 all come from the shared helper —
+    p95 over 10 decisions is the 10th-largest-rank sample, and the
+    quantiles are monotone."""
+    from repro.common.metrics import nearest_rank
+
+    cluster = PaxosCluster(n=3)
+    for i in range(10):
+        cluster.submit({"op": i})
+    cluster.run()
+    stats = cluster.stats()
+    assert stats.p50_latency <= stats.p95_latency <= stats.p99_latency
+    d = stats.to_dict()
+    assert {"p50_latency", "p95_latency", "p99_latency"} <= set(d)
+    assert d["p95_latency"] == stats.p95_latency
+    assert nearest_rank([d["p95_latency"]], 95) == d["p95_latency"]
+
+
+def test_decision_log_decide_contract_matches_docstring():
+    """Pin the documented contract: True on first decision, False on an
+    idempotent re-decision, ProtocolError (fail-closed) on a
+    conflicting one — the docstring says exactly this."""
+    log = DecisionLog()
+    assert log.decide(5, {"v": 1}) is True
+    assert log.decide(5, {"v": 1}) is False
+    with pytest.raises(ProtocolError):
+        log.decide(5, {"v": 2})
+    doc = DecisionLog.decide.__doc__
+    assert "ProtocolError" in doc
+    assert "False" in doc and "True" in doc

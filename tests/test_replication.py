@@ -1,0 +1,399 @@
+"""The pluggable replication core: driver equivalence, replica
+convergence, crash/catch-up, and the sharded ``consensus=`` knob.
+
+The contract under test, layer by layer:
+
+* **LocalDriver is invisible** — ``PReVer(replication=LocalDriver())``
+  must reproduce the pre-driver framework byte-for-byte (same pinned
+  golden roots and WAL hashes as ``tests/test_pipeline_stages.py``):
+  the decided stream is just the submission order, with no transport
+  in the way.
+* **Consensus drivers are order-equivalent** — Paxos/PBFT/SharPer
+  order the same batches into the same total order (one proposer, so
+  the only question is that retransmits, view-change no-ops, and
+  decoys are deduplicated/filtered correctly), and a
+  :class:`~repro.core.replicated.ReplicatedShard` replaying that
+  stream converges every replica to the standalone framework's exact
+  ledger root — for the plaintext *and* the Paillier engine, and for
+  the WAL bytes when replicas are durable.
+* **Crash/recovery** — a crashed replica restarts, replays its own WAL
+  when durable, resynchronizes the rest via ``catch_up`` against the
+  committed prefix, and reconverges to the live replicas' root.
+* **The sharded front door** — ``consensus=`` plans produce the same
+  root-of-roots and decisions as the plain sharded deployment, and
+  cross-shard escalations order through the coordinator's driver.
+"""
+
+import functools
+import os
+
+import pytest
+
+from repro.common.errors import IntegrityError, PReVerError
+from repro.consensus.driver import (
+    DecidedBatch,
+    LocalDriver,
+    PaxosDriver,
+    PbftDriver,
+    ReplicationPlan,
+    SharperDriver,
+    make_driver,
+    resolve_plan,
+)
+from repro.core.framework import PReVer
+from repro.core.replicated import ReplicatedShard
+from repro.core.sharded import ShardedPReVer
+from repro.durability import Durability
+
+from tests.test_pipeline_stages import (
+    BUILDERS,
+    GOLDEN,
+    build_plaintext,
+    golden_stream,
+    make_db,
+    pinned_constraints,
+    wal_sha256,
+)
+from tests.test_sharded import (
+    sharded_stream,
+    spanning_count_constraint,
+    two_shard_specs,
+)
+
+DRIVER_FACTORIES = {
+    "local": LocalDriver,
+    "paxos": PaxosDriver,
+    "pbft": PbftDriver,
+    "sharper": SharperDriver,
+}
+
+
+def chunked(stream, size=8):
+    return [stream[lo:lo + size] for lo in range(0, len(stream), size)]
+
+
+# -- plan resolution ---------------------------------------------------------
+
+def test_resolve_plan_forms():
+    assert resolve_plan(None).kind == "local"
+    assert resolve_plan("pbft").kind == "pbft"
+    plan = ReplicationPlan(kind="paxos", replicas=3, profile="wan")
+    assert resolve_plan(plan) is plan
+    with pytest.raises(PReVerError):
+        resolve_plan("raft")
+    with pytest.raises(PReVerError):
+        ReplicationPlan(kind="paxos", replicas=0)
+    with pytest.raises(PReVerError):
+        resolve_plan(42)
+
+
+def test_make_driver_builds_every_kind():
+    for kind, cls in (("local", LocalDriver), ("paxos", PaxosDriver),
+                      ("pbft", PbftDriver), ("sharper", SharperDriver)):
+        driver = make_driver(ReplicationPlan(kind=kind))
+        assert isinstance(driver, cls)
+        assert driver.name == kind
+        driver.close()
+
+
+# -- LocalDriver: byte-identical to the pre-driver framework -----------------
+
+@pytest.mark.parametrize("engine", ["plaintext", "paillier"])
+def test_local_driver_matches_pre_driver_goldens(engine, tmp_path):
+    """The default-on driver changes nothing: same pinned golden root
+    and WAL bytes as the driverless batched path."""
+    framework = BUILDERS[engine](durability=Durability.wal(str(tmp_path)))
+    framework.replication = LocalDriver()
+    stream = golden_stream()
+    results = []
+    results.extend(framework.submit_many(stream[:8]))
+    results.extend(framework.submit_many(stream[8:]))
+    framework.close()
+    golden = GOLDEN[(engine, "batched")]
+    assert framework.ledger.digest().root.hex() == golden["root"]
+    assert wal_sha256(str(tmp_path)) == golden["wal_sha256"]
+    assert any(r.applied for r in results)
+    assert any(not r.accepted for r in results)
+
+
+def test_local_driver_sequential_matches_goldens(tmp_path):
+    framework = build_plaintext(durability=Durability.wal(str(tmp_path)))
+    framework.replication = LocalDriver()
+    for update in golden_stream():
+        framework.submit(update)
+    framework.close()
+    golden = GOLDEN[("plaintext", "sequential")]
+    assert framework.ledger.digest().root.hex() == golden["root"]
+    assert wal_sha256(str(tmp_path)) == golden["wal_sha256"]
+
+
+# -- driver equivalence: consensus ordering reproduces the local stream ------
+
+@pytest.mark.parametrize("kind", ["local", "paxos", "pbft", "sharper"])
+@pytest.mark.parametrize("engine", ["plaintext", "paillier"])
+def test_replicated_shard_converges_to_standalone_root(kind, engine):
+    """Every driver's decided stream replays to the standalone
+    framework's exact root on every replica — plaintext and Paillier."""
+    standalone = BUILDERS[engine]()
+    expected_decisions = []
+    for batch in chunked(golden_stream()):
+        expected_decisions.extend(
+            r.applied for r in standalone.submit_many(batch)
+        )
+    expected_root = standalone.ledger.digest().root
+
+    shard = ReplicatedShard(BUILDERS[engine], replicas=2,
+                            driver=DRIVER_FACTORIES[kind](), name=kind)
+    decisions = []
+    for batch in chunked(golden_stream()):
+        decisions.extend(r.applied for r in shard.submit_many(batch))
+    assert decisions == expected_decisions
+    # digest() re-asserts cross-replica convergence before returning.
+    assert shard.digest().root == expected_root
+    for replica in shard.replicas:
+        assert replica.ledger.digest().root == expected_root
+    stats = shard.stats()
+    assert stats["decided"] == stats["proposed"] == len(
+        chunked(golden_stream())
+    )
+    shard.close()
+
+
+@pytest.mark.parametrize("kind", ["paxos", "pbft", "sharper"])
+def test_replicated_shard_durable_wal_matches_standalone(kind, tmp_path):
+    """Replica WAL bytes equal a standalone durable framework's over
+    the same decided order (the replay path *is* the pipeline)."""
+    standalone_dir = str(tmp_path / "standalone")
+    standalone = build_plaintext(durability=Durability.wal(standalone_dir))
+    for batch in chunked(golden_stream()):
+        standalone.submit_many(batch)
+    standalone.close()
+    expected_sha = wal_sha256(standalone_dir)
+
+    def build_durable(replica=0):
+        return build_plaintext(
+            durability=Durability.wal(str(tmp_path / f"r{replica}"))
+        )
+
+    shard = ReplicatedShard(build_durable, replicas=2,
+                            driver=DRIVER_FACTORIES[kind](), name=kind)
+    for batch in chunked(golden_stream()):
+        shard.submit_many(batch)
+    shard.close()
+    for index in range(2):
+        assert wal_sha256(str(tmp_path / f"r{index}")) == expected_sha
+
+
+def test_decided_sequences_identical_across_drivers():
+    """The decision *sequence* itself (payload order, dense sequence
+    numbers) is driver-independent for one proposer."""
+    streams = {}
+    for kind, factory in DRIVER_FACTORIES.items():
+        driver = factory()
+        payloads = [{"updates": [{"n": n}]} for n in range(5)]
+        for payload in payloads:
+            driver.propose_batch(payload)
+        decided = list(driver.catch_up(0))
+        assert [d.sequence for d in decided] == list(range(5))
+        streams[kind] = [d.payload for d in decided]
+        driver.close()
+    reference = streams.pop("local")
+    for kind, payloads in streams.items():
+        assert payloads == reference, kind
+
+
+# -- crash / catch-up --------------------------------------------------------
+
+@pytest.mark.parametrize("kind", ["paxos", "pbft"])
+def test_replica_crash_and_catch_up_reconverges(kind):
+    shard = ReplicatedShard(build_plaintext, replicas=3,
+                            driver=DRIVER_FACTORIES[kind](), name="c")
+    stream = golden_stream()
+    shard.submit_many(stream[:8])
+    shard.crash_replica(2)
+    assert shard.replicas[2] is None
+    shard.submit_many(stream[8:])  # serves from the 2 live replicas
+    shard.restart_replica(2)
+    root = shard.assert_converged()
+    assert shard._applied == [2, 2, 2]
+    # And the reconverged root is the standalone root.
+    standalone = build_plaintext()
+    standalone.submit_many(stream[:8])
+    standalone.submit_many(stream[8:])
+    assert root == standalone.ledger.digest().root
+
+
+def test_durable_replica_recovers_wal_then_catches_up(tmp_path):
+    """A durable replica restarts from its own WAL (recovery replays
+    the first batch) and only replays the suffix via catch_up."""
+    def build_durable(replica=0):
+        return build_plaintext(
+            durability=Durability.wal(str(tmp_path / f"r{replica}"))
+        )
+
+    shard = ReplicatedShard(build_durable, replicas=2,
+                            driver=PaxosDriver(), name="d")
+    stream = golden_stream()
+    shard.submit_many(stream[:8])
+    shard.crash_replica(1)
+    shard.submit_many(stream[8:])
+    framework = shard.restart_replica(1)
+    assert shard._applied == [2, 2]
+    assert framework.ledger.digest().root == shard.replicas[0].ledger.digest().root
+    shard.close()
+
+
+def test_catch_up_rejects_gapped_prefix():
+    shard = ReplicatedShard(build_plaintext, replicas=1,
+                            driver=LocalDriver(), name="g")
+    shard.submit_many(golden_stream()[:4])
+    # Corrupt the committed prefix: drop the first decided batch.
+    shard.driver._log[0] = DecidedBatch(
+        sequence=1, payload=shard.driver._log[0].payload
+    )
+    shard._applied[0] = 0
+    with pytest.raises(IntegrityError, match="gap"):
+        shard.catch_up(0)
+
+
+def test_divergent_replica_is_fail_closed():
+    """Root divergence across replicas raises, never warns: poison one
+    replica's ledger behind the shard's back and replay a batch."""
+    shard = ReplicatedShard(build_plaintext, replicas=2,
+                            driver=LocalDriver(), name="x")
+    stream = golden_stream()
+    shard.submit_many(stream[:4])
+    shard.replicas[1].ledger.append({"poison": True})
+    with pytest.raises(IntegrityError, match="diverged"):
+        shard.submit_many(stream[4:8])
+
+
+def test_replica_builder_must_not_replicate():
+    def bad_build():
+        framework = build_plaintext()
+        framework.replication = LocalDriver()
+        return framework
+
+    with pytest.raises(PReVerError, match="must not attach"):
+        ReplicatedShard(bad_build, replicas=1)
+
+
+# -- the sharded consensus knob ----------------------------------------------
+
+@pytest.mark.parametrize("kind", ["paxos", "pbft", "sharper"])
+def test_sharded_consensus_matches_plain_deployment(kind):
+    plain = ShardedPReVer(two_shard_specs())
+    stream = sharded_stream()
+    plain_results = plain.submit_many(stream)
+    plain_root = plain.digest().root
+    plain.close()
+
+    backed = ShardedPReVer(two_shard_specs(), consensus=kind)
+    results = backed.submit_many(sharded_stream())
+    assert backed.digest().root == plain_root
+    assert [r.applied for r in results] == [
+        r.applied for r in plain_results
+    ]
+    report = backed.consensus_report()
+    assert set(report) == {"s0", "s1", "coordinator"}
+    assert all(stats["driver"] == kind for stats in report.values())
+    backed.close()
+
+
+def test_sharded_consensus_dict_plans_per_shard():
+    """Per-shard plans: one consensus-backed shard next to a plain one,
+    no coordinator driver."""
+    plain = ShardedPReVer(two_shard_specs())
+    stream = sharded_stream()
+    plain.submit_many(stream)
+    plain_root = plain.digest().root
+    plain.close()
+
+    mixed = ShardedPReVer(
+        two_shard_specs(),
+        consensus={"s0": ReplicationPlan(kind="paxos", replicas=2)},
+    )
+    mixed.submit_many(sharded_stream())
+    assert mixed.digest().root == plain_root
+    assert mixed.replication is None
+    assert set(mixed.consensus_report()) == {"s0"}
+    mixed.close()
+
+
+def test_sharded_consensus_unknown_shard_name_is_refused():
+    with pytest.raises(PReVerError, match="unknown shards"):
+        ShardedPReVer(two_shard_specs(), consensus={"nope": "paxos"})
+
+
+def test_sharded_consensus_requires_serial_dispatch():
+    with pytest.raises(PReVerError, match='dispatch="serial"'):
+        ShardedPReVer(two_shard_specs(), dispatch="process",
+                      consensus="paxos")
+
+
+def test_escalations_order_through_coordinator_driver():
+    """Cross-shard rejections anchor on the escalation ledger in the
+    coordinator driver's decided order, and the driver's stats see the
+    proposals."""
+    from repro.core.federated import TokenVerifier
+
+    constraint = spanning_count_constraint(bound=3)
+    backed = ShardedPReVer(two_shard_specs(), consensus="pbft")
+    backed.register_cross_shard_constraint(constraint,
+                                           TokenVerifier(constraint))
+    results = backed.submit_many(sharded_stream(8))
+    rejected = [r for r in results if not r.applied and r.shard is None]
+    assert rejected, "the token budget must trip"
+    assert len(backed.escalation_ledger) == len(rejected)
+    coordinator = backed.consensus_report()["coordinator"]
+    assert coordinator["decided"] == len(rejected)
+    # Ledger order matches rejection order (decided order == proposal
+    # order for one coordinator).
+    anchored = [entry.payload["update_id"]
+                for entry in backed.escalation_ledger.entries()]
+    assert anchored == [r.update.update_id for r in rejected]
+    backed.close()
+
+
+def test_sharper_shards_share_one_ledger():
+    """Sharper plans co-locate every pipeline shard (and the
+    coordinator) as consensus shards of one SharPer ledger."""
+    backed = ShardedPReVer(two_shard_specs(), consensus="sharper")
+    ledgers = {
+        handle.driver.ledger for handle in backed.shards
+    }
+    ledgers.add(backed.replication.ledger)
+    assert len(ledgers) == 1
+    names = set(next(iter(ledgers)).shards)
+    assert names == {"s0", "s1", "coordinator"}
+    backed.submit_many(sharded_stream(8))
+    backed.close()
+
+
+# -- observability ------------------------------------------------------------
+
+def test_consensus_metrics_surface_on_the_registry():
+    """The coordinator registry carries the driver timers/counters the
+    ops plane exports over ``/metrics``."""
+    backed = ShardedPReVer(two_shard_specs(), consensus="paxos")
+    backed.submit_many(sharded_stream(8))
+    assert backed.metrics.counter_value("consensus.batches_proposed") >= 2
+    assert backed.metrics.counter_value("consensus.batches_decided") >= 2
+    snapshot = backed.metrics.snapshot()
+    assert "consensus.propose" in snapshot["timers"]
+    assert "consensus.decide" in snapshot["timers"]
+    assert "consensus.committed_lag" in snapshot["gauges"]
+    backed.close()
+
+
+def test_framework_replication_knob_binds_observability():
+    """``PReVer(replication=...)`` routes batches through the driver
+    and binds its metrics into the framework registry."""
+    framework = PReVer([make_db()], replication=LocalDriver())
+    for constraint in pinned_constraints():
+        framework.register_constraint(constraint)
+    results = framework.submit_many(golden_stream()[:8])
+    assert len(results) == 8
+    assert framework.metrics.counter_value("consensus.batches_decided") == 1
+    assert framework.replication.stats()["delivered"] == 1
+    framework.close()
